@@ -1,0 +1,52 @@
+//! E10 bench: the three ablations (schedule, rounding, encoding).
+
+use bc_bench::experiments::e10_ablation::diamond_chain;
+use bc_brandes::betweenness_ceilfloat;
+use bc_core::{run_distributed_bc, DistBcConfig, Scheduling};
+use bc_graph::algo::{bfs, sigma_big};
+use bc_graph::generators;
+use bc_numeric::{FpParams, Rounding};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::erdos_renyi_connected(32, 0.15, 3);
+    let mut group = c.benchmark_group("e10");
+    group.sample_size(10);
+    group.bench_function("a_pipelined_n32", |b| {
+        b.iter(|| {
+            run_distributed_bc(black_box(&g), DistBcConfig::default())
+                .unwrap()
+                .rounds
+        })
+    });
+    group.bench_function("a_sequential_n32", |b| {
+        let cfg = DistBcConfig {
+            scheduling: Scheduling::Sequential,
+            ..DistBcConfig::default()
+        };
+        b.iter(|| {
+            run_distributed_bc(black_box(&g), cfg.clone())
+                .unwrap()
+                .rounds
+        })
+    });
+    let grid = generators::grid(5, 5);
+    for (name, mode) in [("b_ceil", Rounding::Ceil), ("b_nearest", Rounding::Nearest)] {
+        group.bench_function(name, |b| {
+            let p = FpParams::new(10, mode);
+            b.iter(|| betweenness_ceilfloat(black_box(&grid), p))
+        });
+    }
+    let chain = diamond_chain(64);
+    group.bench_function("c_exact_sigma_bignum", |b| {
+        b.iter(|| {
+            let dag = bfs(black_box(&chain), 0);
+            sigma_big(&dag).iter().map(|s| s.bit_len()).max()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E13 bench: adaptive vs provisioned phase barriers (wall time of the
+//! simulation; the round-count comparison is in `repro e13`).
+
+use bc_core::{run_distributed_bc, DistBcConfig, Scheduling};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::barabasi_albert(64, 3, 2);
+    let mut group = c.benchmark_group("e13");
+    group.sample_size(10);
+    group.bench_function("provisioned_ba64", |b| {
+        b.iter(|| {
+            run_distributed_bc(black_box(&g), DistBcConfig::default())
+                .unwrap()
+                .rounds
+        })
+    });
+    group.bench_function("adaptive_ba64", |b| {
+        let cfg = DistBcConfig {
+            scheduling: Scheduling::Adaptive,
+            ..DistBcConfig::default()
+        };
+        b.iter(|| {
+            run_distributed_bc(black_box(&g), cfg.clone())
+                .unwrap()
+                .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E1 bench: the Figure 1 worked example end-to-end (schedule + engine).
+
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::paper_figure1();
+    c.bench_function("e1/figure1_distributed_run", |b| {
+        b.iter(|| {
+            let out = run_distributed_bc(black_box(&g), DistBcConfig::default()).unwrap();
+            assert!((out.betweenness[1] - 3.5).abs() < 1e-9);
+            out.rounds
+        })
+    });
+    c.bench_function("e1/figure1_schedule_table", |b| {
+        b.iter(|| black_box(bc_bench::experiments::e1_figure1::paper_wave_times()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

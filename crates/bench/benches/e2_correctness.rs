@@ -1,0 +1,27 @@
+//! E2 bench: distributed run vs centralized Brandes on the same graph.
+
+use bc_brandes::betweenness_f64;
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::erdos_renyi_connected(48, 0.07, 1);
+    let mut group = c.benchmark_group("e2");
+    group.sample_size(10);
+    group.bench_function("distributed_er48", |b| {
+        b.iter(|| {
+            run_distributed_bc(black_box(&g), DistBcConfig::default())
+                .unwrap()
+                .betweenness
+        })
+    });
+    group.bench_function("brandes_er48", |b| {
+        b.iter(|| betweenness_f64(black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E3 bench: simulation wall time across N (the round count itself is
+//! reported by `repro e3`).
+
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_rounds_vs_n");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = generators::erdos_renyi_connected(n, (8.0 / n as f64).min(0.5), 7);
+        group.bench_with_input(BenchmarkId::new("er", n), &g, |b, g| {
+            b.iter(|| {
+                run_distributed_bc(black_box(g), DistBcConfig::default())
+                    .unwrap()
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 bench: the mantissa sweep (accuracy data comes from `repro e4`).
+
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use bc_numeric::{FpParams, Rounding};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::grid(5, 5);
+    let mut group = c.benchmark_group("e4_error_vs_l");
+    group.sample_size(10);
+    for l in [8u32, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("grid5x5_L", l), &l, |b, &l| {
+            let cfg = DistBcConfig {
+                fp: Some(FpParams::new(l, Rounding::Ceil)),
+                ..DistBcConfig::default()
+            };
+            b.iter(|| {
+                run_distributed_bc(black_box(&g), cfg.clone())
+                    .unwrap()
+                    .betweenness
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

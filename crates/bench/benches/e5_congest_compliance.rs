@@ -1,0 +1,33 @@
+//! E5 bench: cost of strict CONGEST enforcement vs record-only accounting.
+
+use bc_congest::Enforcement;
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = generators::barabasi_albert(64, 2, 5);
+    let mut group = c.benchmark_group("e5_compliance");
+    group.sample_size(10);
+    for (name, enforcement) in [
+        ("strict", Enforcement::Strict),
+        ("record", Enforcement::Record),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = DistBcConfig {
+                enforcement,
+                ..DistBcConfig::default()
+            };
+            b.iter(|| {
+                let out = run_distributed_bc(black_box(&g), cfg.clone()).unwrap();
+                assert!(out.metrics.congest_compliant());
+                out.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E6 bench: Figure 2 gadget construction + diameter decision.
+
+use bc_graph::algo;
+use bc_lowerbound::diameter_gadget;
+use bc_lowerbound::disjoint::{random_instance, universe_size};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = random_instance(6, universe_size(6), true, 1);
+    c.bench_function("e6/build_and_decide_x12", |b| {
+        b.iter(|| {
+            let g = diameter_gadget(12, black_box(&inst));
+            let d = algo::diameter(&g.graph);
+            assert_eq!(d, 14);
+            d
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E7 bench: Figure 3 gadget construction + exact probe readout.
+
+use bc_brandes::betweenness_f64;
+use bc_lowerbound::bc_gadget;
+use bc_lowerbound::disjoint::{random_instance, universe_size};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = random_instance(8, universe_size(8), true, 2);
+    c.bench_function("e7/build_and_probe_n8", |b| {
+        b.iter(|| {
+            let g = bc_gadget(black_box(&inst));
+            let cb = betweenness_f64(&g.graph);
+            g.f.iter().map(|&f| cb[f as usize]).sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

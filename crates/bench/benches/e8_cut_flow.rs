@@ -1,0 +1,23 @@
+//! E8 bench: distributed run over the gadget with cut-flow accounting.
+
+use bc_lowerbound::cutflow::measure_bc_gadget;
+use bc_lowerbound::disjoint::{random_instance, universe_size};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = random_instance(6, universe_size(6), true, 3);
+    let mut group = c.benchmark_group("e8");
+    group.sample_size(10);
+    group.bench_function("measure_bc_gadget_n6", |b| {
+        b.iter(|| {
+            let (_, r) = measure_bc_gadget(black_box(&inst)).unwrap();
+            assert!(r.cut_bits > 0);
+            r.cut_bits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 bench: centralized Brandes vs the simulated distributed run, sparse
+//! and dense.
+
+use bc_bench::experiments::e9_central_vs_dist::brandes_op_count;
+use bc_brandes::betweenness_f64;
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sparse = generators::erdos_renyi_connected(64, 0.06, 9);
+    let dense = generators::erdos_renyi_connected(64, 0.4, 9);
+    let mut group = c.benchmark_group("e9");
+    group.sample_size(10);
+    group.bench_function("brandes_sparse", |b| {
+        b.iter(|| betweenness_f64(black_box(&sparse)))
+    });
+    group.bench_function("brandes_dense", |b| {
+        b.iter(|| betweenness_f64(black_box(&dense)))
+    });
+    group.bench_function("distributed_sparse", |b| {
+        b.iter(|| {
+            run_distributed_bc(black_box(&sparse), DistBcConfig::default())
+                .unwrap()
+                .rounds
+        })
+    });
+    group.bench_function("distributed_dense", |b| {
+        b.iter(|| {
+            run_distributed_bc(black_box(&dense), DistBcConfig::default())
+                .unwrap()
+                .rounds
+        })
+    });
+    group.bench_function("brandes_op_count", |b| {
+        b.iter(|| brandes_op_count(black_box(&dense)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

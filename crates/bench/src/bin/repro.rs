@@ -1,0 +1,87 @@
+//! Regenerates every experiment table in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!   repro [--quick] [--json] [e1 e2 ... | all]
+//!
+//! `--quick` runs reduced scales (seconds instead of minutes). Default
+//! output is the markdown that `EXPERIMENTS.md` embeds; `--json` emits a
+//! machine-readable array of reports instead.
+
+use bc_bench::{run_experiment, ExperimentReport, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+    if json {
+        let reports: Vec<ExperimentReport> = ids
+            .iter()
+            .flat_map(|id| run_experiment(id, quick))
+            .collect();
+        println!("{}", to_json(&reports));
+        return;
+    }
+    println!(
+        "# distbc experiment reproduction ({} scale)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let total = Instant::now();
+    for id in &ids {
+        let start = Instant::now();
+        for report in run_experiment(id, quick) {
+            println!("{report}");
+        }
+        println!("_{} finished in {:.1?}_\n", id, start.elapsed());
+    }
+    println!("_total: {:.1?}_", total.elapsed());
+}
+
+/// Tiny JSON encoder for the report shape (strings, arrays, one struct).
+/// `ExperimentReport` also derives `serde::Serialize` so downstream users
+/// can plug in any serde format; this encoder merely avoids pulling a JSON
+/// crate into this workspace for one flag.
+fn to_json(reports: &[ExperimentReport]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn arr(items: &[String]) -> String {
+        let inner: Vec<String> = items.iter().map(|i| format!("\"{}\"", esc(i))).collect();
+        format!("[{}]", inner.join(","))
+    }
+    let objs: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let rows: Vec<String> = r.rows.iter().map(|row| arr(row)).collect();
+            format!(
+                "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+                esc(&r.id),
+                esc(&r.title),
+                arr(&r.headers),
+                rows.join(","),
+                arr(&r.notes)
+            )
+        })
+        .collect();
+    format!("[{}]", objs.join(","))
+}

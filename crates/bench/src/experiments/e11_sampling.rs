@@ -1,0 +1,95 @@
+//! E11 (extension) — sampled-source approximation: the related-work
+//! approach (Brandes–Pich centrally; Holzer's thesis distributively)
+//! implemented inside the paper's protocol. Only `k` nodes launch BFS
+//! waves; betweenness is extrapolated by `N/k`. Measures estimate quality
+//! and traffic against the exact run.
+
+use crate::ExperimentReport;
+use bc_brandes::betweenness_f64;
+use bc_brandes::ranking::{kendall_tau, top_k_overlap};
+use bc_core::{run_distributed_bc, DistBcConfig, SourceSelection};
+use bc_graph::generators;
+
+/// Runs E11.
+pub fn run(quick: bool) -> ExperimentReport {
+    let n = if quick { 48 } else { 96 };
+    let g = generators::barabasi_albert(n, 3, 6);
+    let exact = betweenness_f64(&g);
+    let full = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+    let ks: &[usize] = if quick {
+        &[n / 8, n / 2]
+    } else {
+        &[n / 16, n / 8, n / 4, n / 2]
+    };
+    let mut rep = ExperimentReport::new(
+        "E11",
+        "extension: sampled sources — estimate error vs traffic saved",
+        &[
+            "k (sources)",
+            "traffic vs exact",
+            "rounds",
+            "mean rel err (top-10)",
+            "Kendall τ",
+            "top-10 overlap",
+        ],
+    );
+    // Exact top-10 nodes for quality scoring.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| exact[b].total_cmp(&exact[a]));
+    let top: Vec<usize> = order.iter().take(10).copied().collect();
+    let mut taus: Vec<f64> = Vec::new();
+    for &k in ks {
+        // Average over seeds to show the estimator is unbiased.
+        let seeds: u64 = if quick { 3 } else { 5 };
+        let mut mean = vec![0.0f64; n];
+        let mut traffic = 0u64;
+        let mut rounds = 0u64;
+        for seed in 0..seeds {
+            let out = run_distributed_bc(
+                &g,
+                DistBcConfig {
+                    sources: SourceSelection::Sample { k, seed },
+                    ..DistBcConfig::default()
+                },
+            )
+            .expect("runs");
+            assert!(out.metrics.congest_compliant());
+            traffic += out.metrics.total_bits / seeds;
+            rounds = out.rounds;
+            for (m, e) in mean.iter_mut().zip(&out.betweenness) {
+                *m += e / seeds as f64;
+            }
+        }
+        let err: f64 = top
+            .iter()
+            .map(|&v| (mean[v] - exact[v]).abs() / exact[v].max(1.0))
+            .sum::<f64>()
+            / top.len() as f64;
+        let tau = kendall_tau(&exact, &mean);
+        taus.push(tau);
+        let overlap = top_k_overlap(&exact, &mean, 10);
+        rep.push_row(vec![
+            k.to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * traffic as f64 / full.metrics.total_bits as f64
+            ),
+            rounds.to_string(),
+            format!("{err:.2}"),
+            format!("{tau:.2}"),
+            format!("{:.0}%", 100.0 * overlap),
+        ]);
+    }
+    assert!(
+        taus.windows(2).all(|w| w[1] >= w[0] - 0.1),
+        "rank quality must (weakly) improve with k: {taus:?}"
+    );
+    rep.note(format!(
+        "traffic scales ≈ k/N while the exact run used {} kbit; rank quality (Kendall τ, \
+         top-10 recovery) climbs with k — the sampling/exactness trade-off the paper's \
+         related work discusses (the paper's own algorithm is the k = N column: exact, \
+         deterministic)",
+        full.metrics.total_bits / 1000
+    ));
+    rep
+}

@@ -1,0 +1,54 @@
+//! E12 (extension) — weighted graphs via virtual-node subdivision, the
+//! paper's Section X future-work sketch. For positive integer weights the
+//! subdivision is exact; rounds scale with the subdivided size
+//! `N' = N + Σ(w − 1)`.
+
+use crate::ExperimentReport;
+use bc_brandes::weighted::betweenness_weighted_f64;
+use bc_core::{run_distributed_bc_weighted, DistBcConfig};
+use bc_graph::weighted::random_weighted;
+
+/// Runs E12.
+pub fn run(quick: bool) -> ExperimentReport {
+    let n = if quick { 16 } else { 32 };
+    let wmaxes: &[u32] = if quick { &[2, 4] } else { &[2, 4, 8, 16] };
+    let mut rep = ExperimentReport::new(
+        "E12",
+        "extension: weighted betweenness by virtual-node subdivision (Section X)",
+        &[
+            "n",
+            "max weight",
+            "simulated N'",
+            "rounds",
+            "max rel err vs Dijkstra-Brandes",
+            "compliant",
+        ],
+    );
+    for &wmax in wmaxes {
+        let wg = random_weighted(n, 0.15, wmax, 7);
+        let out = run_distributed_bc_weighted(&wg, DistBcConfig::default()).expect("runs");
+        let oracle = betweenness_weighted_f64(&wg);
+        let err = out
+            .betweenness
+            .iter()
+            .zip(&oracle)
+            .map(|(a, e)| (a - e).abs() / (1.0 + e))
+            .fold(0.0f64, f64::max);
+        rep.push_row(vec![
+            n.to_string(),
+            wmax.to_string(),
+            out.simulated_n.to_string(),
+            out.rounds.to_string(),
+            format!("{err:.2e}"),
+            out.metrics.congest_compliant().to_string(),
+        ]);
+        assert!(err < 0.05, "weighted reproduction error too large: {err}");
+    }
+    rep.note(
+        "exact (up to float rounding) for integer weights — stronger than the paper's \
+         sketched (1+ε)-approximation; cost is linear in the total edge weight, matching \
+         the subdivision intuition the conclusion attributes to Nanongkai [16]"
+            .to_string(),
+    );
+    rep
+}

@@ -1,0 +1,82 @@
+//! E13 (extension) — adaptive phase barriers: replacing the worst-case
+//! Θ(N) phase windows (which every node derives from N alone) with
+//! event-driven transitions — a subtree-done convergecast ends the tree
+//! build, the DFS token's return plus a 2·depth drain bound ends counting,
+//! and explicit StartReduce / AggStart floods carry the barrier rounds.
+//! Rounds become diameter-sensitive; correctness and CONGEST compliance
+//! are unchanged.
+
+use crate::ExperimentReport;
+use bc_brandes::betweenness_f64;
+use bc_core::{run_distributed_bc, DistBcConfig, Scheduling};
+use bc_graph::{algo, generators, Graph};
+
+/// Runs E13.
+pub fn run(quick: bool) -> ExperimentReport {
+    let n = if quick { 48 } else { 128 };
+    let graphs: Vec<(String, Graph)> = vec![
+        (
+            format!("ba-{n} (low D)"),
+            generators::barabasi_albert(n, 3, 2),
+        ),
+        (
+            format!("er-{n} (low D)"),
+            generators::erdos_renyi_connected(n, (8.0 / n as f64).min(0.5), 4),
+        ),
+        ("grid (mid D)".to_string(), generators::grid(n / 8, 8)),
+        (format!("path-{n} (D=N-1)"), generators::path(n)),
+    ];
+    let mut rep = ExperimentReport::new(
+        "E13",
+        "extension: adaptive (event-driven) phase barriers vs provisioned Θ(N) windows",
+        &[
+            "graph",
+            "D",
+            "provisioned rounds",
+            "adaptive rounds",
+            "saving",
+            "max |Δ BC|",
+            "compliant",
+        ],
+    );
+    for (name, g) in graphs {
+        let det = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        let ada = run_distributed_bc(
+            &g,
+            DistBcConfig {
+                scheduling: Scheduling::Adaptive,
+                ..DistBcConfig::default()
+            },
+        )
+        .expect("runs");
+        let exact = betweenness_f64(&g);
+        let err = ada
+            .betweenness
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs() / (1.0 + e))
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-2, "{name}: adaptive diverged");
+        assert!(ada.metrics.congest_compliant(), "{name}");
+        rep.push_row(vec![
+            name,
+            algo::diameter(&g).to_string(),
+            det.rounds.to_string(),
+            ada.rounds.to_string(),
+            format!(
+                "{:+.0}%",
+                100.0 * (1.0 - ada.rounds as f64 / det.rounds as f64)
+            ),
+            format!("{err:.1e}"),
+            ada.metrics.congest_compliant().to_string(),
+        ]);
+    }
+    rep.note(
+        "adaptive barriers cut the constant on low-diameter graphs (the windows no \
+         longer provision for D = N − 1) while staying correct and collision-free; \
+         on a path (D = N − 1) the detection overhead roughly cancels the gain — a \
+         step toward the paper's open problem of an O(D + N/log N)-round algorithm"
+            .to_string(),
+    );
+    rep
+}

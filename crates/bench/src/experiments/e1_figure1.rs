@@ -1,0 +1,76 @@
+//! E1 — Figure 1: the worked 5-node example. Regenerates the per-BFS-tree
+//! aggregation sending times `T_s(u) = T_s + D − d(s,u)` with the paper's
+//! wave start times `T = (0, 2, 4, 6, 8)`, checks collision-freeness
+//! (Lemma 4) and the worked values `δ_{v1·}(v2) = 3`, `C_B(v2) = 7/2`.
+
+use crate::ExperimentReport;
+use bc_brandes::{betweenness_exact, dependencies_from};
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::{algo, generators};
+use std::collections::HashMap;
+
+/// The paper's wave start times for the Figure 1 DFS order `v1..v5`:
+/// `T_next = T_prev + d(prev, next) + 1`.
+pub fn paper_wave_times() -> Vec<u64> {
+    let g = generators::paper_figure1();
+    let dist = algo::apsp(&g);
+    let mut ts = vec![0u64; 5];
+    for v in 1..5 {
+        ts[v] = ts[v - 1] + dist[v - 1][v] as u64 + 1;
+    }
+    ts
+}
+
+/// Runs E1.
+#[allow(clippy::needless_range_loop)] // indices mirror the paper's v1..v5 table
+pub fn run() -> ExperimentReport {
+    let g = generators::paper_figure1();
+    let d = algo::diameter(&g) as u64;
+    let dist = algo::apsp(&g);
+    let ts = paper_wave_times();
+
+    let mut rep = ExperimentReport::new(
+        "E1",
+        "Figure 1 — aggregation sending times on the worked example",
+        &[
+            "tree", "T_s", "T_s(v1)", "T_s(v2)", "T_s(v3)", "T_s(v4)", "T_s(v5)",
+        ],
+    );
+    let mut sends: HashMap<(usize, u64), u32> = HashMap::new();
+    for s in 0..5 {
+        let mut row = vec![format!("BFS(v{})", s + 1), ts[s].to_string()];
+        for u in 0..5 {
+            if u == s {
+                row.push("-".into());
+            } else {
+                let t = ts[s] + d - dist[s][u] as u64;
+                *sends.entry((u, t)).or_default() += 1;
+                row.push(t.to_string());
+            }
+        }
+        rep.push_row(row);
+    }
+    let collisions = sends.values().filter(|&&c| c > 1).count();
+    rep.note(format!(
+        "paper values reproduced: T=(0,2,4,6,8), D=3; e.g. T_v1(v4)=0, T_v2(v4)=3, \
+         T_v3(v4)=6, T_v5(v4)=10; Lemma 4 collisions: {collisions} (must be 0)"
+    ));
+    assert_eq!(collisions, 0, "Lemma 4 violated on Figure 1");
+
+    let dep = dependencies_from(&g, 0);
+    let exact = betweenness_exact(&g);
+    let out = run_distributed_bc(&g, DistBcConfig::default()).expect("figure 1 runs");
+    rep.note(format!(
+        "worked values: δ_v1·(v2) = {} (paper 3); ψ_v1(v3) = ψ_v1(v5) = {} (paper 1/2); \
+         exact C_B(v2) = {} (paper 7/2); distributed C_B(v2) = {} in {} rounds, compliant = {}",
+        dep[1],
+        dep[2],
+        exact[1],
+        out.betweenness[1],
+        out.rounds,
+        out.metrics.congest_compliant()
+    ));
+    assert_eq!(dep[1], 3.0);
+    assert!((out.betweenness[1] - 3.5).abs() < 1e-9);
+    rep
+}

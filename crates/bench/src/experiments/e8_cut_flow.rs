@@ -1,0 +1,54 @@
+//! E8 — Theorems 5–6 made concrete: the measured bit flow of the real
+//! distributed algorithm across the gadget's `(m+1)`-edge cut, next to the
+//! `Ω(n log n)` disjointness bound and the `Ω(N / log N)` round bound.
+
+use crate::ExperimentReport;
+use bc_lowerbound::cutflow::measure_bc_gadget;
+use bc_lowerbound::disjoint::{random_instance, universe_size};
+
+/// Runs E8.
+pub fn run(quick: bool) -> ExperimentReport {
+    let ns: &[usize] = if quick {
+        &[4, 8]
+    } else {
+        &[4, 6, 8, 12, 16, 24]
+    };
+    let mut rep = ExperimentReport::new(
+        "E8",
+        "Theorems 5–6 — bits across the gadget cut vs the n·log n bound",
+        &[
+            "instance n",
+            "N",
+            "cut edges",
+            "cut bits (measured)",
+            "n·log2 n (bound)",
+            "rounds (measured)",
+            "N/log2 N (bound)",
+            "rounds/bound",
+        ],
+    );
+    for &n in ns {
+        let inst = random_instance(n, universe_size(n), true, 41 + n as u64);
+        let (_, r) = measure_bc_gadget(&inst).expect("gadget runs");
+        rep.push_row(vec![
+            n.to_string(),
+            r.n.to_string(),
+            r.cut_edges.to_string(),
+            r.cut_bits.to_string(),
+            format!("{:.0}", r.disjointness_bits),
+            r.rounds.to_string(),
+            format!("{:.1}", r.round_lower_bound),
+            format!("{:.1}", r.rounds as f64 / r.round_lower_bound),
+        ]);
+        assert!(r.cut_bits as f64 >= r.disjointness_bits);
+        assert!(r.rounds as f64 >= r.round_lower_bound);
+    }
+    rep.note(
+        "the real algorithm always moves ≥ n·log n bits across the (m+1)-edge cut — \
+         consistent with the information bound any correct algorithm must obey; its \
+         round count sits a constant factor above N/log N, i.e. the O(N) upper bound \
+         and the Ω(D + N/log N) lower bound bracket it within O(log N) — \"nearly optimal\""
+            .to_string(),
+    );
+    rep
+}

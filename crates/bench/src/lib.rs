@@ -1,0 +1,50 @@
+//! Experiment harness for the reproduction: one module per experiment in
+//! `EXPERIMENTS.md` (E1–E10), each returning a structured
+//! [`ExperimentReport`] that the `repro` binary renders and the Criterion
+//! benches time.
+//!
+//! Every experiment is deterministic (seeded) so the tables in
+//! `EXPERIMENTS.md` regenerate bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::ExperimentReport;
+
+/// Runs an experiment by id (`"e1"`…`"e10"`), at reduced scale if `quick`.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, quick: bool) -> Vec<ExperimentReport> {
+    match id {
+        "e1" => vec![experiments::e1_figure1::run()],
+        "e2" => vec![experiments::e2_correctness::run(quick)],
+        "e3" => vec![experiments::e3_rounds::run(quick)],
+        "e4" => vec![experiments::e4_error_vs_l::run(quick)],
+        "e5" => vec![experiments::e5_compliance::run(quick)],
+        "e6" => vec![experiments::e6_diameter_gadget::run(quick)],
+        "e7" => vec![experiments::e7_bc_gadget::run(quick)],
+        "e8" => vec![experiments::e8_cut_flow::run(quick)],
+        "e9" => vec![experiments::e9_central_vs_dist::run(quick)],
+        "e10" => vec![
+            experiments::e10_ablation::run_scheduling(quick),
+            experiments::e10_ablation::run_rounding(quick),
+            experiments::e10_ablation::run_encoding(quick),
+        ],
+        "e11" => vec![experiments::e11_sampling::run(quick)],
+        "e12" => vec![experiments::e12_weighted::run(quick)],
+        "e13" => vec![experiments::e13_adaptive::run(quick)],
+        "e14" => vec![experiments::e14_apsp_pipeline::run(quick)],
+        other => panic!("unknown experiment id {other:?} (expected e1..e14)"),
+    }
+}
+
+/// All experiment ids in order (E1–E10 regenerate paper artifacts;
+/// E11–E14 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];

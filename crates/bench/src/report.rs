@@ -1,0 +1,107 @@
+//! Structured experiment output rendered as markdown tables (or JSON via
+//! serde, for downstream tooling).
+
+use serde::Serialize;
+use std::fmt;
+
+/// One experiment's result: a titled table plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id (`"E3"` etc.).
+    pub id: String,
+    /// Human title (what paper artifact it regenerates).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation notes (the "shape" claims being checked).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report with headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> ExperimentReport {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends an interpretation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}\n", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "| {} |", sep.join(" | "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = ExperimentReport::new("E0", "demo", &["n", "value"]);
+        r.push_row(vec!["10".into(), "1.5".into()]);
+        r.push_row(vec!["1000".into(), "2".into()]);
+        r.note("shape holds");
+        let s = r.to_string();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("|    n | value |"));
+        assert!(s.contains("| 1000 |     2 |"));
+        assert!(s.contains("> shape holds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = ExperimentReport::new("E0", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Smoke tests: every experiment runs at quick scale and its built-in
+//! shape assertions hold. This keeps the `repro` binary from rotting and
+//! re-checks each paper claim in CI.
+
+use bc_bench::{run_experiment, ALL_EXPERIMENTS};
+
+#[test]
+fn all_ids_are_wired() {
+    // Every id listed must dispatch (the panic path is a bug).
+    for id in ALL_EXPERIMENTS {
+        let reports = run_experiment(id, true);
+        assert!(!reports.is_empty(), "{id} produced no reports");
+        for r in &reports {
+            assert!(!r.rows.is_empty(), "{id} produced an empty table");
+            assert!(!r.headers.is_empty());
+            let rendered = r.to_string();
+            assert!(rendered.contains("##"), "{id} renders a heading");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment id")]
+fn unknown_id_panics() {
+    let _ = run_experiment("e99", true);
+}
+
+#[test]
+fn e1_reproduces_paper_schedule() {
+    let reports = run_experiment("e1", true);
+    let text = reports[0].to_string();
+    // The exact Figure 1 values.
+    assert!(text.contains("T=(0,2,4,6,8)"));
+    assert!(text.contains("C_B(v2) = 7/2"));
+    assert!(text.contains("collisions: 0"));
+}
+
+#[test]
+fn e3_slope_is_linear() {
+    let reports = run_experiment("e3", true);
+    let text = reports[0].to_string();
+    assert!(text.contains("rounds ≈"), "slope notes present");
+}
+
+#[test]
+fn e10_has_three_ablations() {
+    let reports = run_experiment("e10", true);
+    assert_eq!(reports.len(), 3);
+    assert_eq!(reports[0].id, "E10a");
+    assert_eq!(reports[1].id, "E10b");
+    assert_eq!(reports[2].id, "E10c");
+}

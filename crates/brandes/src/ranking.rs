@@ -1,0 +1,151 @@
+//! Rank-quality measures for comparing centrality vectors — used to judge
+//! the sampling approximations (experiment E11) the way the approximation
+//! literature does: by how well they preserve the *ranking*, not just the
+//! values.
+
+/// Kendall's τ-b rank correlation between two score vectors (1 = same
+/// order, −1 = reversed, ~0 = unrelated). Ties are handled via the τ-b
+/// normalization. `O(n²)` — fine for the experiment scales here.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 entries.
+///
+/// # Examples
+///
+/// ```
+/// use bc_brandes::ranking::kendall_tau;
+///
+/// assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+/// assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), -1.0);
+/// ```
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    assert!(a.len() >= 2, "need at least two items to rank");
+    let n = a.len();
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_a, mut ties_b) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let sa = if da.abs() < 1e-12 {
+                0
+            } else {
+                da.signum() as i64
+            };
+            let sb = if db.abs() < 1e-12 {
+                0
+            } else {
+                db.signum() as i64
+            };
+            match (sa, sb) {
+                (0, 0) => {}
+                (0, _) => ties_a += 1,
+                (_, 0) => ties_b += 1,
+                (x, y) if x == y => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        // One of the vectors is constant: ranking is undefined; report 0.
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+/// Fraction of the exact top-`k` recovered by the estimate's top-`k`
+/// (set overlap, order-insensitive) — the "did we find the hubs" measure.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `k` is 0 or exceeds the
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// use bc_brandes::ranking::top_k_overlap;
+///
+/// let exact = [9.0, 7.0, 1.0, 0.0];
+/// let est = [8.0, 9.5, 0.5, 2.0]; // top-2 = {1, 0} — same set
+/// assert_eq!(top_k_overlap(&exact, &est, 2), 1.0);
+/// assert_eq!(top_k_overlap(&exact, &est, 3), 2.0 / 3.0);
+/// ```
+pub fn top_k_overlap(exact: &[f64], estimate: &[f64], k: usize) -> f64 {
+    assert_eq!(exact.len(), estimate.len(), "vectors must match");
+    assert!(k >= 1 && k <= exact.len(), "k out of range");
+    let top = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
+        idx.truncate(k);
+        idx
+    };
+    let a = top(exact);
+    let b = top(estimate);
+    let hits = a.iter().filter(|v| b.contains(v)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_perfect_and_reversed() {
+        let a = [0.5, 2.0, 9.0, 4.0];
+        let rev: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+    }
+
+    #[test]
+    fn tau_partial() {
+        // One swap among 4 items: τ = (5 − 1) / 6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        let tau = kendall_tau(&a, &b);
+        assert!((tau - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_with_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        let tau = kendall_tau(&a, &b);
+        assert!(tau > 0.0 && tau < 1.0);
+        // Constant vector → undefined → 0.
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn tau_invariant_to_monotone_transform() {
+        let a = [0.1, 5.0, 2.0, 7.0, 3.3];
+        let squashed: Vec<f64> = a.iter().map(|v| f64::ln_1p(*v)).collect();
+        assert_eq!(kendall_tau(&a, &squashed), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn tau_length_mismatch() {
+        let _ = kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn overlap_basics() {
+        let exact = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(top_k_overlap(&exact, &exact, 3), 1.0);
+        let shuffled = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(top_k_overlap(&exact, &shuffled, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn overlap_bad_k() {
+        let _ = top_k_overlap(&[1.0], &[1.0], 2);
+    }
+}

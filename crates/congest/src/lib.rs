@@ -1,0 +1,380 @@
+//! Synchronous CONGEST-model network simulator.
+//!
+//! The paper's algorithms are analyzed in the classical synchronous
+//! CONGEST model (Peleg, *Distributed Computing: A Locality-Sensitive
+//! Approach*): nodes wake simultaneously, communicate on globally
+//! synchronized pulses, and may send at most one `O(log N)`-bit message per
+//! incident edge per round. Time complexity is the number of rounds.
+//!
+//! This crate simulates that model *exactly* and makes its constraints
+//! observable:
+//!
+//! * every message payload is a real bit string ([`Message`]) whose length
+//!   is charged against a `Θ(log N)` budget ([`Budget`]);
+//! * the engine counts messages per (edge, direction, round) so schedule
+//!   collisions (what the paper's Lemma 4 rules out) are detected, not
+//!   assumed;
+//! * executions report [`NetMetrics`] — rounds, bits, maximum message size,
+//!   bit flow across a declared [`EdgeCut`] (used by the lower-bound
+//!   experiments E8).
+//!
+//! Both a deterministic serial engine ([`Network::run`]) and a
+//! crossbeam-based parallel engine ([`Network::run_parallel`]) are
+//! provided; they produce identical results.
+//!
+//! # Example: BFS flooding in the CONGEST model
+//!
+//! ```
+//! use bc_congest::{Config, Message, Network, Protocol, RoundCtx};
+//! use bc_graph::generators;
+//! use bc_numeric::bits::BitWriter;
+//!
+//! /// Each node learns its distance from node 0 by flooding.
+//! struct Flood { dist: Option<u64>, announced: bool }
+//!
+//! impl Protocol for Flood {
+//!     fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+//!         if ctx.round() == 0 && ctx.id() == 0 {
+//!             self.dist = Some(0);
+//!         }
+//!         for (_, msg) in inbox {
+//!             let d = msg.payload().reader().read(32);
+//!             if self.dist.is_none() {
+//!                 self.dist = Some(d + 1);
+//!             }
+//!         }
+//!         if let (Some(d), false) = (self.dist, self.announced) {
+//!             self.announced = true;
+//!             let mut w = BitWriter::new();
+//!             w.push(d, 32);
+//!             ctx.broadcast(&Message::new(w.finish()));
+//!         }
+//!     }
+//!     fn is_halted(&self) -> bool { self.announced }
+//! }
+//!
+//! let g = generators::cycle(8);
+//! let mut net = Network::new(&g, Config::default(), |_, _| Flood { dist: None, announced: false });
+//! let report = net.run(100)?;
+//! // Radius 4: the last node announces in round 4; its messages are
+//! // consumed in round 5, and the engine observes quiescence after round 6.
+//! assert_eq!(report.rounds, 6);
+//! assert_eq!(net.node(4).dist, Some(4));
+//! assert!(net.metrics().congest_compliant());
+//! # Ok::<(), bc_congest::CongestError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynchronous;
+mod message;
+mod metrics;
+mod network;
+
+pub use message::Message;
+pub use metrics::{EdgeCut, NetMetrics};
+pub use network::{
+    Budget, Config, CongestError, Enforcement, Network, Protocol, RoundCtx, RunReport,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::{generators, Graph};
+    use bc_numeric::bits::BitWriter;
+
+    fn msg(v: u64, width: u32) -> Message {
+        let mut w = BitWriter::new();
+        w.push(v, width);
+        Message::new(w.finish())
+    }
+
+    /// Flood distances from node 0.
+    struct Flood {
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood {
+                dist: None,
+                announced: false,
+            }
+        }
+    }
+
+    impl Protocol for Flood {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+            if ctx.round() == 0 && ctx.id() == 0 {
+                self.dist = Some(0);
+            }
+            for (_, m) in inbox {
+                let d = m.payload().reader().read(32);
+                if self.dist.is_none() {
+                    self.dist = Some(d + 1);
+                }
+            }
+            if let (Some(d), false) = (self.dist, self.announced) {
+                self.announced = true;
+                ctx.broadcast(&msg(d, 32));
+            }
+        }
+
+        fn is_halted(&self) -> bool {
+            self.announced
+        }
+    }
+
+    /// A deliberately broken protocol that double-sends on port 0.
+    struct DoubleSender {
+        fired: bool,
+    }
+
+    impl Protocol for DoubleSender {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>, _inbox: &[(usize, Message)]) {
+            if !self.fired && ctx.id() == 0 {
+                ctx.send(0, msg(1, 8));
+                ctx.send(0, msg(2, 8));
+            }
+            self.fired = true;
+        }
+
+        fn is_halted(&self) -> bool {
+            self.fired
+        }
+    }
+
+    /// Sends one oversized message from node 0.
+    struct BigSender {
+        fired: bool,
+    }
+
+    impl Protocol for BigSender {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>, _inbox: &[(usize, Message)]) {
+            if !self.fired && ctx.id() == 0 {
+                let mut w = BitWriter::new();
+                for _ in 0..100 {
+                    w.push(u64::MAX, 64);
+                }
+                ctx.send(0, Message::new(w.finish()));
+            }
+            self.fired = true;
+        }
+
+        fn is_halted(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn flood_computes_distances_on_path() {
+        let g = generators::path(10);
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        let report = net.run(1000).unwrap();
+        for v in 0..10u32 {
+            assert_eq!(net.node(v).dist, Some(v as u64));
+        }
+        // The distance-9 node announces in round 9; its message is consumed
+        // in round 10; the engine observes quiescence entering round 11.
+        assert_eq!(report.rounds, 11);
+        assert!(net.metrics().congest_compliant());
+        assert_eq!(net.metrics().max_messages_per_edge_round, 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = generators::erdos_renyi_connected(60, 0.05, 9);
+        let mut serial = Network::new(&g, Config::default(), |_, _| Flood::new());
+        serial.run(10_000).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let mut par = Network::new(&g, Config::default(), |_, _| Flood::new());
+            par.run_parallel(10_000, threads).unwrap();
+            for v in g.nodes() {
+                assert_eq!(par.node(v).dist, serial.node(v).dist, "thread={threads}");
+            }
+            assert_eq!(par.metrics(), serial.metrics());
+        }
+    }
+
+    #[test]
+    fn collision_detected_strict() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Config::default(), |_, _| DoubleSender { fired: false });
+        let err = net.run(10).unwrap_err();
+        assert!(matches!(
+            err,
+            CongestError::Collision {
+                node: 0,
+                port: 0,
+                round: 0
+            }
+        ));
+        assert!(err.to_string().contains("collision"));
+    }
+
+    #[test]
+    fn collision_recorded_lenient() {
+        let g = generators::path(3);
+        let cfg = Config {
+            enforcement: Enforcement::Record,
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |_, _| DoubleSender { fired: false });
+        net.run(10).unwrap();
+        assert_eq!(net.metrics().collisions, 1);
+        assert_eq!(net.metrics().max_messages_per_edge_round, 2);
+        assert!(!net.metrics().congest_compliant());
+    }
+
+    #[test]
+    fn oversized_detected_strict() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Config::default(), |_, _| BigSender { fired: false });
+        let err = net.run(10).unwrap_err();
+        assert!(matches!(err, CongestError::Oversized { node: 0, .. }));
+        assert!(err.to_string().contains("oversized"));
+    }
+
+    #[test]
+    fn oversized_allowed_unlimited() {
+        let g = generators::path(2);
+        let cfg = Config {
+            budget: Budget::Unlimited,
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |_, _| BigSender { fired: false });
+        net.run(10).unwrap();
+        assert_eq!(net.metrics().oversized_messages, 0);
+        assert_eq!(net.metrics().max_message_bits, 6400);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        /// Never halts.
+        struct Chatter;
+        impl Protocol for Chatter {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>, _: &[(usize, Message)]) {
+                let m = msg(ctx.round() & 0xFF, 8);
+                ctx.broadcast(&m);
+            }
+            fn is_halted(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::cycle(4);
+        let mut net = Network::new(&g, Config::default(), |_, _| Chatter);
+        assert_eq!(net.run(5), Err(CongestError::RoundLimit { max_rounds: 5 }));
+        assert!(net.run(5).unwrap_err().to_string().contains("halt"));
+    }
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(Budget::Auto.resolve(1024), Some(8 * 10 + 64));
+        assert_eq!(Budget::Bits(100).resolve(7), Some(100));
+        assert_eq!(Budget::Unlimited.resolve(1000), None);
+    }
+
+    #[test]
+    fn cut_flow_accounting() {
+        // Path 0-1-2-3: cut between 1 and 2.
+        let g = generators::path(4);
+        let cfg = Config {
+            cut: Some(EdgeCut::new([(1, 2)])),
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |_, _| Flood::new());
+        net.run(100).unwrap();
+        // Exactly two messages cross the cut: flood 1→2 and 2's own
+        // broadcast back 2→1.
+        assert_eq!(net.metrics().cut_messages, 2);
+        assert_eq!(net.metrics().cut_bits, 64);
+    }
+
+    #[test]
+    fn ctx_topology_accessors() {
+        struct Probe {
+            checked: bool,
+        }
+        impl Protocol for Probe {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>, _: &[(usize, Message)]) {
+                if ctx.id() == 1 {
+                    assert_eq!(ctx.degree(), 2);
+                    assert_eq!(ctx.neighbor(0), 0);
+                    assert_eq!(ctx.neighbor(1), 2);
+                    assert_eq!(ctx.port_of(2), Some(1));
+                    assert_eq!(ctx.port_of(9), None);
+                    assert_eq!(ctx.n(), 3);
+                }
+                self.checked = true;
+            }
+            fn is_halted(&self) -> bool {
+                self.checked
+            }
+        }
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Config::default(), |_, _| Probe { checked: false });
+        net.run(10).unwrap();
+        assert!(net.node(1).checked);
+    }
+
+    #[test]
+    fn into_nodes_returns_states() {
+        let g = generators::path(4);
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        net.run(100).unwrap();
+        let nodes = net.into_nodes();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[3].dist, Some(3));
+    }
+
+    #[test]
+    fn isolated_node_graph_runs() {
+        // Nodes 1 and 2 are unreachable: they never announce, so the flood
+        // protocol cannot halt — the engine reports the round limit rather
+        // than spinning forever.
+        let g = Graph::from_edges(3, []).unwrap();
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        assert_eq!(
+            net.run(10),
+            Err(CongestError::RoundLimit { max_rounds: 10 })
+        );
+        assert_eq!(net.node(0).dist, Some(0));
+        assert_eq!(net.node(1).dist, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent port")]
+    fn send_on_bad_port_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>, _: &[(usize, Message)]) {
+                ctx.send(5, Message::default());
+            }
+            fn is_halted(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Config::default(), |_, _| Bad);
+        let _ = net.run(1);
+    }
+
+    #[test]
+    fn run_rounds_steps_exactly() {
+        let g = generators::path(5);
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        net.run_rounds(2).unwrap();
+        assert_eq!(net.metrics().rounds, 2);
+        assert_eq!(net.node(1).dist, Some(1));
+        assert_eq!(net.node(3).dist, None);
+    }
+
+    #[test]
+    fn network_debug_nonempty() {
+        let g = generators::path(2);
+        let net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        assert!(format!("{net:?}").contains("Network"));
+    }
+}

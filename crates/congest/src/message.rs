@@ -1,0 +1,70 @@
+//! Messages exchanged in the CONGEST model.
+
+use bc_numeric::bits::BitBuf;
+use std::fmt;
+
+/// A single CONGEST message: an opaque bit string whose length is charged
+/// against the per-edge-per-round budget (Section III-A of the paper limits
+/// messages to `O(log N)` bits).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    payload: BitBuf,
+}
+
+impl Message {
+    /// Wraps an encoded payload.
+    pub fn new(payload: BitBuf) -> Self {
+        Message { payload }
+    }
+
+    /// The payload bits.
+    pub fn payload(&self) -> &BitBuf {
+        &self.payload
+    }
+
+    /// Message size in bits — the quantity the CONGEST budget constrains.
+    pub fn bit_len(&self) -> usize {
+        self.payload.bit_len()
+    }
+}
+
+impl From<BitBuf> for Message {
+    fn from(payload: BitBuf) -> Self {
+        Message::new(payload)
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Message({} bits)", self.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_numeric::bits::BitWriter;
+
+    #[test]
+    fn wraps_payload() {
+        let mut w = BitWriter::new();
+        w.push(0b1011, 4);
+        let m = Message::new(w.finish());
+        assert_eq!(m.bit_len(), 4);
+        assert_eq!(m.payload().reader().read(4), 0b1011);
+        assert_eq!(format!("{m:?}"), "Message(4 bits)");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(Message::default().bit_len(), 0);
+    }
+
+    #[test]
+    fn from_bitbuf() {
+        let mut w = BitWriter::new();
+        w.push_bool(true);
+        let m: Message = w.finish().into();
+        assert_eq!(m.bit_len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Execution metrics: the quantities the paper's analysis talks about
+//! (rounds, bits per message, messages per edge per round) measured rather
+//! than asserted.
+
+use bc_graph::NodeId;
+use std::collections::HashSet;
+
+/// A set of undirected edges across which bit flow is measured, stored
+/// canonically as `(min, max)` pairs.
+///
+/// The lower-bound experiments (E8) declare the gadget's left/right cut
+/// here and compare the measured flow to the `Ω(n log n)` communication
+/// bound of Theorems 5–6.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCut {
+    edges: HashSet<(NodeId, NodeId)>,
+}
+
+impl EdgeCut {
+    /// Creates a cut from undirected edges (order of endpoints irrelevant).
+    pub fn new<I: IntoIterator<Item = (NodeId, NodeId)>>(edges: I) -> Self {
+        EdgeCut {
+            edges: edges
+                .into_iter()
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if `{u, v}` belongs to the cut.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Number of edges in the cut.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the cut is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Aggregate metrics for one simulated execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetMetrics {
+    /// Rounds executed (the paper's time-complexity measure).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total payload bits delivered.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Maximum number of messages sent over one directed edge in one round
+    /// (must be ≤ 1 in a CONGEST-compliant execution; Lemma 4).
+    pub max_messages_per_edge_round: u32,
+    /// Number of (directed edge, round) pairs that carried more than one
+    /// message — `0` iff the schedule is collision-free.
+    pub collisions: u64,
+    /// Messages whose size exceeded the configured budget.
+    pub oversized_messages: u64,
+    /// Bits that crossed the declared [`EdgeCut`] (0 if none declared).
+    pub cut_bits: u64,
+    /// Messages that crossed the declared [`EdgeCut`].
+    pub cut_messages: u64,
+    /// Messages sent in each round — the traffic timeline that makes the
+    /// protocol's phase structure visible (counting burst, control lull,
+    /// aggregation burst).
+    pub per_round_messages: Vec<u64>,
+}
+
+impl NetMetrics {
+    /// Folds another partial metrics record into this one (used by the
+    /// parallel engine to merge per-worker tallies).
+    pub fn merge(&mut self, other: &NetMetrics) {
+        self.total_messages += other.total_messages;
+        self.total_bits += other.total_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.max_messages_per_edge_round = self
+            .max_messages_per_edge_round
+            .max(other.max_messages_per_edge_round);
+        self.collisions += other.collisions;
+        self.oversized_messages += other.oversized_messages;
+        self.cut_bits += other.cut_bits;
+        self.cut_messages += other.cut_messages;
+        if self.per_round_messages.len() < other.per_round_messages.len() {
+            self.per_round_messages
+                .resize(other.per_round_messages.len(), 0);
+        }
+        for (a, b) in self
+            .per_round_messages
+            .iter_mut()
+            .zip(&other.per_round_messages)
+        {
+            *a += b;
+        }
+    }
+
+    /// Returns `true` if the execution satisfied the CONGEST constraints:
+    /// no collisions and no oversized messages.
+    pub fn congest_compliant(&self) -> bool {
+        self.collisions == 0 && self.oversized_messages == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_canonicalizes() {
+        let cut = EdgeCut::new([(3, 1), (1, 3), (2, 5)]);
+        assert_eq!(cut.len(), 2);
+        assert!(cut.contains(1, 3));
+        assert!(cut.contains(3, 1));
+        assert!(!cut.contains(1, 2));
+        assert!(!cut.is_empty());
+        assert!(EdgeCut::default().is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = NetMetrics {
+            rounds: 5,
+            total_messages: 10,
+            total_bits: 100,
+            max_message_bits: 8,
+            max_messages_per_edge_round: 1,
+            collisions: 0,
+            oversized_messages: 0,
+            cut_bits: 40,
+            cut_messages: 4,
+            per_round_messages: vec![4, 6],
+        };
+        let b = NetMetrics {
+            rounds: 0,
+            total_messages: 3,
+            total_bits: 60,
+            max_message_bits: 16,
+            max_messages_per_edge_round: 2,
+            collisions: 1,
+            oversized_messages: 1,
+            cut_bits: 20,
+            cut_messages: 2,
+            per_round_messages: vec![1, 1, 1],
+        };
+        a.merge(&b);
+        assert_eq!(a.total_messages, 13);
+        assert_eq!(a.total_bits, 160);
+        assert_eq!(a.max_message_bits, 16);
+        assert_eq!(a.max_messages_per_edge_round, 2);
+        assert_eq!(a.cut_bits, 60);
+        assert_eq!(a.per_round_messages, vec![5, 7, 1]);
+        assert!(!a.congest_compliant());
+    }
+
+    #[test]
+    fn compliance() {
+        assert!(NetMetrics::default().congest_compliant());
+    }
+}

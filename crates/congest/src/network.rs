@@ -1,0 +1,533 @@
+//! The synchronous CONGEST network engine.
+//!
+//! Executes a [`Protocol`] state machine at every node of a graph in
+//! globally synchronized rounds (Section III-A of the paper): messages sent
+//! in round `r` are delivered at the start of round `r + 1`; each node may
+//! send at most one message per incident edge per round; each message is
+//! charged its exact payload size in bits against an `O(log N)` budget.
+//!
+//! The engine does not merely *assume* the CONGEST constraints — it
+//! measures them ([`crate::NetMetrics`]) and, under
+//! [`Enforcement::Strict`], fails the execution on the first violation,
+//! which turns protocol bugs (schedule collisions, oversized encodings)
+//! into test failures.
+
+use crate::message::Message;
+use crate::metrics::{EdgeCut, NetMetrics};
+use bc_graph::{Graph, NodeId};
+use bc_numeric::bits::id_bits;
+use std::fmt;
+
+/// Per-message bit budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Budget {
+    /// `8·⌈log₂ N⌉ + 64` bits — a concrete `Θ(log N)` with room for the
+    /// protocol headers used in this workspace.
+    #[default]
+    Auto,
+    /// A fixed budget in bits.
+    Bits(usize),
+    /// No limit (sizes are still recorded).
+    Unlimited,
+}
+
+impl Budget {
+    /// Resolves the budget for an `n`-node network (`None` = unlimited).
+    pub fn resolve(self, n: usize) -> Option<usize> {
+        match self {
+            Budget::Auto => Some(8 * id_bits(n.max(2)) as usize + 64),
+            Budget::Bits(b) => Some(b),
+            Budget::Unlimited => None,
+        }
+    }
+}
+
+/// What to do when a CONGEST constraint is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Enforcement {
+    /// Abort the run with a [`CongestError`].
+    #[default]
+    Strict,
+    /// Record the violation in [`NetMetrics`] and keep going.
+    Record,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Per-message bit budget.
+    pub budget: Budget,
+    /// Violation handling.
+    pub enforcement: Enforcement,
+    /// Optional edge cut across which bit flow is measured.
+    pub cut: Option<EdgeCut>,
+}
+
+/// A CONGEST constraint violation (only surfaced under
+/// [`Enforcement::Strict`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A node staged two messages on the same incident edge in one round.
+    Collision {
+        /// Sending node.
+        node: NodeId,
+        /// Port (index into the node's adjacency list).
+        port: usize,
+        /// Round in which it happened.
+        round: u64,
+    },
+    /// A message exceeded the per-message bit budget.
+    Oversized {
+        /// Sending node.
+        node: NodeId,
+        /// The message's size in bits.
+        bits: usize,
+        /// The configured budget.
+        budget: usize,
+        /// Round in which it happened.
+        round: u64,
+    },
+    /// `run` hit its round limit before all nodes halted.
+    RoundLimit {
+        /// The limit that was hit.
+        max_rounds: u64,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::Collision { node, port, round } => write!(
+                f,
+                "collision: node {node} sent twice on port {port} in round {round}"
+            ),
+            CongestError::Oversized {
+                node,
+                bits,
+                budget,
+                round,
+            } => write!(
+                f,
+                "oversized message: node {node} sent {bits} bits (budget {budget}) in round {round}"
+            ),
+            CongestError::RoundLimit { max_rounds } => {
+                write!(f, "network did not halt within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+/// The per-node state machine executed by the engine.
+///
+/// Implementations receive one [`Protocol::round`] call per simulated round
+/// with the messages that arrived at the start of that round, and may stage
+/// outgoing messages through the [`RoundCtx`]. Local computation is free,
+/// matching the model ("every node can perform local computation in each
+/// round and it has no influence on the time complexity").
+pub trait Protocol {
+    /// Executes one synchronous round.
+    fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]);
+
+    /// Returns `true` once this node will neither send nor needs to receive
+    /// any further messages. The engine stops when every node is halted and
+    /// no messages are in flight.
+    fn is_halted(&self) -> bool;
+}
+
+/// Per-round, per-node execution context: identity, topology access, and
+/// the staging area for outgoing messages.
+#[derive(Debug)]
+pub struct RoundCtx<'a> {
+    id: NodeId,
+    round: u64,
+    graph: &'a Graph,
+    sends: Vec<(usize, Message)>,
+}
+
+impl<'a> RoundCtx<'a> {
+    pub(crate) fn new(id: NodeId, round: u64, graph: &'a Graph) -> Self {
+        RoundCtx {
+            id,
+            round,
+            graph,
+            sends: Vec::new(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current round number (starting at 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total number of nodes `N` (known to all nodes, as the paper assumes
+    /// for computing `O(log N)`-bit encodings and schedules).
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.id)
+    }
+
+    /// Identifier of the neighbor reached through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn neighbor(&self, port: usize) -> NodeId {
+        self.graph.neighbors(self.id)[port]
+    }
+
+    /// Port through which `neighbor` is reached, if adjacent.
+    pub fn port_of(&self, neighbor: NodeId) -> Option<usize> {
+        self.graph.neighbors(self.id).binary_search(&neighbor).ok()
+    }
+
+    /// Stages `msg` for delivery to the neighbor on `port` at the start of
+    /// the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn send(&mut self, port: usize, msg: Message) {
+        assert!(port < self.degree(), "send on nonexistent port {port}");
+        self.sends.push((port, msg));
+    }
+
+    /// Stages `msg` to every neighbor (a local broadcast, one message per
+    /// incident edge — permitted by CONGEST).
+    pub fn broadcast(&mut self, msg: &Message) {
+        for port in 0..self.degree() {
+            self.sends.push((port, msg.clone()));
+        }
+    }
+
+    /// Drains the staged sends (used by the asynchronous synchronizer,
+    /// which transports them itself).
+    pub(crate) fn take_sends(&mut self) -> Vec<(usize, Message)> {
+        std::mem::take(&mut self.sends)
+    }
+}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Rounds executed until quiescence.
+    pub rounds: u64,
+}
+
+/// A simulated synchronous network executing protocol `P` on every node.
+pub struct Network<P> {
+    graph: Graph,
+    config: Config,
+    budget_bits: Option<usize>,
+    nodes: Vec<P>,
+    inboxes: Vec<Vec<(usize, Message)>>,
+    metrics: NetMetrics,
+    round: u64,
+}
+
+impl<P> fmt::Debug for Network<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network(n={}, round={}, metrics={:?})",
+            self.graph.n(),
+            self.round,
+            self.metrics
+        )
+    }
+}
+
+impl<P: Protocol> Network<P> {
+    /// Builds a network over `graph` where node `v` runs
+    /// `factory(v, graph)`.
+    pub fn new<F>(graph: &Graph, config: Config, mut factory: F) -> Self
+    where
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let n = graph.n();
+        let nodes = (0..n as NodeId).map(|v| factory(v, graph)).collect();
+        Network {
+            budget_bits: config.budget.resolve(n),
+            graph: graph.clone(),
+            config,
+            nodes,
+            inboxes: vec![Vec::new(); n],
+            metrics: NetMetrics::default(),
+            round: 0,
+        }
+    }
+
+    /// The simulated graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Read access to a node's protocol state.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v as usize]
+    }
+
+    /// Consumes the network, returning all node states.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// Runs until every node reports halted and no messages are in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::RoundLimit`] if the protocol does not halt
+    /// within `max_rounds`, or a constraint violation under
+    /// [`Enforcement::Strict`].
+    pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, CongestError> {
+        while !self.quiescent() {
+            if self.round >= max_rounds {
+                return Err(CongestError::RoundLimit { max_rounds });
+            }
+            self.step()?;
+        }
+        Ok(RunReport { rounds: self.round })
+    }
+
+    /// Runs exactly `rounds` additional rounds (useful for protocols
+    /// observed mid-flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns a constraint violation under [`Enforcement::Strict`].
+    pub fn run_rounds(&mut self, rounds: u64) -> Result<RunReport, CongestError> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        Ok(RunReport { rounds: self.round })
+    }
+
+    fn quiescent(&self) -> bool {
+        self.inboxes.iter().all(|i| i.is_empty()) && self.nodes.iter().all(|p| p.is_halted())
+    }
+
+    /// Executes a single round serially.
+    fn step(&mut self) -> Result<(), CongestError> {
+        let n = self.graph.n();
+        let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
+        let mut first_error: Option<CongestError> = None;
+        self.metrics
+            .per_round_messages
+            .resize(self.round as usize + 1, 0);
+        for v in 0..n {
+            let inbox = std::mem::take(&mut self.inboxes[v]);
+            let mut ctx = RoundCtx::new(v as NodeId, self.round, &self.graph);
+            self.nodes[v].round(&mut ctx, &inbox);
+            let staged = ctx.sends;
+            account_sends(
+                v as NodeId,
+                self.round,
+                staged,
+                &self.graph,
+                self.budget_bits,
+                self.config.cut.as_ref(),
+                &mut self.metrics,
+                &mut next_inboxes,
+                &mut first_error,
+            );
+        }
+        if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
+            return Err(err.clone());
+        }
+        for inbox in &mut next_inboxes {
+            inbox.sort_unstable_by_key(|&(port, _)| port);
+        }
+        self.inboxes = next_inboxes;
+        self.round += 1;
+        self.metrics.rounds = self.round;
+        Ok(())
+    }
+}
+
+impl<P: Protocol + Send> Network<P> {
+    /// Runs like [`Network::run`] but executes each round's node steps on
+    /// `threads` worker threads. The result (node states, metrics, message
+    /// order) is identical to the serial engine: within a round node steps
+    /// are independent, and inboxes are canonically sorted by port.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel(
+        &mut self,
+        max_rounds: u64,
+        threads: usize,
+    ) -> Result<RunReport, CongestError> {
+        assert!(threads > 0, "need at least one worker thread");
+        while !self.quiescent() {
+            if self.round >= max_rounds {
+                return Err(CongestError::RoundLimit { max_rounds });
+            }
+            self.step_parallel(threads)?;
+        }
+        Ok(RunReport { rounds: self.round })
+    }
+
+    fn step_parallel(&mut self, threads: usize) -> Result<(), CongestError> {
+        let n = self.graph.n();
+        let chunk = n.div_ceil(threads).max(1);
+        let graph = &self.graph;
+        let round = self.round;
+        // Each worker returns (base_index, sends) where sends are
+        // (sender, staged messages).
+        type WorkerOut = Vec<(NodeId, Vec<(usize, Message)>)>;
+        let mut worker_outputs: Vec<WorkerOut> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut nodes_rest: &mut [P] = &mut self.nodes;
+            let mut inboxes_rest: &mut [Vec<(usize, Message)>] = &mut self.inboxes;
+            let mut base = 0u32;
+            while !nodes_rest.is_empty() {
+                let take = chunk.min(nodes_rest.len());
+                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
+                let (inbox_chunk, ir) = inboxes_rest.split_at_mut(take);
+                nodes_rest = nr;
+                inboxes_rest = ir;
+                let b = base;
+                handles.push(scope.spawn(move |_| {
+                    let mut out: WorkerOut = Vec::new();
+                    for (i, (node, inbox)) in nodes_chunk
+                        .iter_mut()
+                        .zip(inbox_chunk.iter_mut())
+                        .enumerate()
+                    {
+                        let v = b + i as u32;
+                        let taken = std::mem::take(inbox);
+                        let mut ctx = RoundCtx::new(v, round, graph);
+                        node.round(&mut ctx, &taken);
+                        if !ctx.sends.is_empty() {
+                            out.push((v, ctx.sends));
+                        }
+                    }
+                    out
+                }));
+                base += take as u32;
+            }
+            for h in handles {
+                worker_outputs.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
+        let mut first_error: Option<CongestError> = None;
+        self.metrics
+            .per_round_messages
+            .resize(self.round as usize + 1, 0);
+        for out in worker_outputs {
+            for (v, staged) in out {
+                account_sends(
+                    v,
+                    round,
+                    staged,
+                    &self.graph,
+                    self.budget_bits,
+                    self.config.cut.as_ref(),
+                    &mut self.metrics,
+                    &mut next_inboxes,
+                    &mut first_error,
+                );
+            }
+        }
+        if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
+            return Err(err.clone());
+        }
+        for inbox in &mut next_inboxes {
+            inbox.sort_unstable_by_key(|&(port, _)| port);
+        }
+        self.inboxes = next_inboxes;
+        self.round += 1;
+        self.metrics.rounds = self.round;
+        Ok(())
+    }
+}
+
+/// Validates and delivers one node's staged sends: collision detection,
+/// budget enforcement, metric accounting, cut-flow accounting, and
+/// enqueueing into the receivers' next-round inboxes.
+#[allow(clippy::too_many_arguments)]
+fn account_sends(
+    v: NodeId,
+    round: u64,
+    staged: Vec<(usize, Message)>,
+    graph: &Graph,
+    budget_bits: Option<usize>,
+    cut: Option<&EdgeCut>,
+    metrics: &mut NetMetrics,
+    next_inboxes: &mut [Vec<(usize, Message)>],
+    first_error: &mut Option<CongestError>,
+) {
+    // Collision detection: count messages per port.
+    let neighbors = graph.neighbors(v);
+    let mut port_counts: Vec<u8> = vec![0; neighbors.len()];
+    for (port, msg) in staged {
+        port_counts[port] = port_counts[port].saturating_add(1);
+        if port_counts[port] > 1 {
+            metrics.collisions += 1;
+            if first_error.is_none() {
+                *first_error = Some(CongestError::Collision {
+                    node: v,
+                    port,
+                    round,
+                });
+            }
+        }
+        metrics.max_messages_per_edge_round = metrics
+            .max_messages_per_edge_round
+            .max(port_counts[port] as u32);
+        let bits = msg.bit_len();
+        metrics.total_messages += 1;
+        metrics.per_round_messages[round as usize] += 1;
+        metrics.total_bits += bits as u64;
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        if let Some(budget) = budget_bits {
+            if bits > budget {
+                metrics.oversized_messages += 1;
+                if first_error.is_none() {
+                    *first_error = Some(CongestError::Oversized {
+                        node: v,
+                        bits,
+                        budget,
+                        round,
+                    });
+                }
+            }
+        }
+        let target = neighbors[port];
+        if let Some(cut) = cut {
+            if cut.contains(v, target) {
+                metrics.cut_bits += bits as u64;
+                metrics.cut_messages += 1;
+            }
+        }
+        let reverse_port = graph
+            .neighbors(target)
+            .binary_search(&v)
+            .expect("undirected graph: reverse edge exists");
+        next_inboxes[target as usize].push((reverse_port, msg));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the CONGEST engine with a reference flooding
+//! protocol: distances match a centralized oracle, the parallel engine is
+//! bit-identical to the serial one, and metric accounting is consistent.
+
+use bc_congest::{Config, EdgeCut, Message, Network, Protocol, RoundCtx};
+use bc_graph::{algo, Graph, GraphBuilder, NodeId};
+use bc_numeric::bits::BitWriter;
+use proptest::prelude::*;
+
+/// Distance flooding from node 0 (one 32-bit message per node).
+struct Flood {
+    dist: Option<u64>,
+    announced: bool,
+}
+
+impl Protocol for Flood {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+        if ctx.round() == 0 && ctx.id() == 0 {
+            self.dist = Some(0);
+        }
+        for (_, m) in inbox {
+            let d = m.payload().reader().read(32);
+            if self.dist.is_none() {
+                self.dist = Some(d + 1);
+            }
+        }
+        if let (Some(d), false) = (self.dist, self.announced) {
+            self.announced = true;
+            let mut w = BitWriter::new();
+            w.push(d, 32);
+            ctx.broadcast(&Message::new(w.finish()));
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.announced
+    }
+}
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n, any::<u64>(), 0usize..50).prop_map(|(n, seed, extra)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as NodeId {
+            b.add_edge(rng.gen_range(0..v), v).expect("valid");
+        }
+        for _ in 0..extra {
+            let (u, v) = (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId));
+            if u != v {
+                b.add_edge(u, v).expect("valid");
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flood_matches_bfs_oracle(g in arb_connected(50)) {
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(10_000).expect("flood halts on connected graphs");
+        let oracle = algo::bfs(&g, 0);
+        for v in g.nodes() {
+            prop_assert_eq!(net.node(v).dist, Some(oracle.dist[v as usize] as u64));
+        }
+        prop_assert!(net.metrics().congest_compliant());
+    }
+
+    #[test]
+    fn parallel_equals_serial(g in arb_connected(40), threads in 1usize..8) {
+        let mk = || Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        let mut serial = mk();
+        serial.run(10_000).expect("halts");
+        let mut par = mk();
+        par.run_parallel(10_000, threads).expect("halts");
+        for v in g.nodes() {
+            prop_assert_eq!(serial.node(v).dist, par.node(v).dist);
+        }
+        prop_assert_eq!(serial.metrics(), par.metrics());
+    }
+
+    #[test]
+    fn metric_accounting_consistent(g in arb_connected(40)) {
+        // Every node broadcasts exactly once: deg(v) messages of 32 bits.
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(10_000).expect("halts");
+        let m = net.metrics();
+        prop_assert_eq!(m.total_messages, 2 * g.m() as u64);
+        prop_assert_eq!(m.total_bits, 64 * g.m() as u64);
+        prop_assert_eq!(m.max_message_bits, 32);
+        prop_assert_eq!(m.max_messages_per_edge_round, 1);
+    }
+
+    #[test]
+    fn cut_flow_bounded_by_totals(g in arb_connected(40), pick in any::<u64>()) {
+        // Declare a pseudo-random subset of edges as the cut.
+        let edges: Vec<_> = g.edges().collect();
+        let cut_edges: Vec<_> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (pick >> (i % 64)) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        let expected_msgs: u64 = cut_edges.len() as u64 * 2; // both endpoints announce
+        let cfg = Config {
+            cut: Some(EdgeCut::new(cut_edges)),
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(10_000).expect("halts");
+        let m = net.metrics();
+        prop_assert!(m.cut_bits <= m.total_bits);
+        prop_assert_eq!(m.cut_messages, expected_msgs);
+        prop_assert_eq!(m.cut_bits, 32 * expected_msgs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synchronizer_is_transparent(
+        g in arb_connected(30),
+        max_delay in 1u64..15,
+        seed in any::<u64>(),
+    ) {
+        use bc_congest::asynchronous::{run_synchronized, AsyncConfig};
+        let mut sync = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        let rounds = sync.run(10_000).expect("halts").rounds;
+        let (nodes, report) = run_synchronized(
+            &g,
+            AsyncConfig { max_delay, seed },
+            rounds,
+            |_, _| Flood { dist: None, announced: false },
+        );
+        for v in g.nodes() {
+            prop_assert_eq!(nodes[v as usize].dist, sync.node(v).dist);
+        }
+        // Time dilation bounded by the synchronizer's constant factor:
+        // each pulse costs at most ~3 message latencies (payload, ack,
+        // safe), each ≤ max_delay, plus FIFO backpressure.
+        prop_assert!(report.virtual_time >= rounds);
+        prop_assert_eq!(report.pulses, rounds);
+    }
+}

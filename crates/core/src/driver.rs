@@ -1,0 +1,316 @@
+//! High-level entry points: configure, run, and harvest a distributed
+//! betweenness-centrality execution.
+
+use crate::node::{AlgoOptions, DistBcNode};
+use crate::sampling::SourceSelection;
+use crate::schedule::{PhaseSchedule, Scheduling};
+use bc_congest::{Budget, Config, CongestError, EdgeCut, Enforcement, NetMetrics, Network};
+use bc_graph::{algo, Graph};
+use bc_numeric::FpParams;
+use std::fmt;
+
+/// Configuration for [`run_distributed_bc`].
+#[derive(Debug, Clone, Default)]
+pub struct DistBcConfig {
+    /// Floating-point parameters; `None` selects the paper's
+    /// `L = Θ(log N)` via [`FpParams::for_graph_size`].
+    pub fp: Option<FpParams>,
+    /// Counting-phase scheduling (the paper's pipelined DFS or the
+    /// sequential baseline).
+    pub scheduling: Scheduling,
+    /// CONGEST constraint handling; [`Enforcement::Strict`] (default)
+    /// turns any collision or oversized message into an error.
+    pub enforcement: Enforcement,
+    /// Per-message bit budget (default: `Θ(log N)` auto).
+    pub budget: Budget,
+    /// Worker threads for the round engine; `0` or `1` runs serially.
+    pub threads: usize,
+    /// Optional edge cut across which bit flow is measured (experiment E8).
+    pub cut: Option<EdgeCut>,
+    /// Also compute stress centrality (Eq. 3) in the same pass — the
+    /// paper's footnote 3 extension. Aggregation messages carry one extra
+    /// `L + 16`-bit value (still `O(log N)`).
+    pub compute_stress: bool,
+    /// Which nodes act as BFS sources: all (the paper's exact algorithm)
+    /// or a deterministic sample of `k` (the related-work approximation;
+    /// results become `N/k`-scaled estimates).
+    pub sources: SourceSelection,
+    /// Which nodes count as shortest-path targets (`None` = all). The
+    /// weighted extension restricts both sources and targets to the
+    /// original nodes of the subdivision.
+    pub targets: Option<std::sync::Arc<[bool]>>,
+}
+
+/// Errors from [`run_distributed_bc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistBcError {
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// The graph is disconnected; the paper's algorithm (and betweenness
+    /// on shortest paths between all pairs) assumes a connected network.
+    Disconnected,
+    /// The simulated execution violated the CONGEST model or did not halt.
+    Congest(CongestError),
+}
+
+impl fmt::Display for DistBcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistBcError::EmptyGraph => write!(f, "graph has no nodes"),
+            DistBcError::Disconnected => write!(f, "graph is disconnected"),
+            DistBcError::Congest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistBcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistBcError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CongestError> for DistBcError {
+    fn from(e: CongestError) -> Self {
+        DistBcError::Congest(e)
+    }
+}
+
+/// Results of a distributed execution.
+#[derive(Debug, Clone)]
+pub struct DistBcResult {
+    /// Betweenness centrality of every node (paper convention: each
+    /// unordered pair counted once).
+    pub betweenness: Vec<f64>,
+    /// Closeness centrality (Eq. 1) — a free by-product: every node knows
+    /// all its distances after the counting phase.
+    pub closeness: Vec<f64>,
+    /// Graph centrality (Eq. 2), likewise free.
+    pub graph_centrality: Vec<f64>,
+    /// Network diameter as computed and broadcast by the protocol.
+    pub diameter: u32,
+    /// Total rounds until every node halted — the paper's complexity
+    /// measure (Theorem 3: `O(N)`).
+    pub rounds: u64,
+    /// The deterministic phase boundaries used.
+    pub schedule: PhaseSchedule,
+    /// Engine metrics: messages, bits, max message size, collisions (must
+    /// be 0), cut flow.
+    pub metrics: NetMetrics,
+    /// Stress centralities (Eq. 3) when [`DistBcConfig::compute_stress`]
+    /// was set.
+    pub stress: Option<Vec<f64>>,
+    /// Number of BFS sources used (`N` for the exact algorithm).
+    pub sample_size: usize,
+    /// `max_s T_s − min_s T_s`: the spread of wave start times, which
+    /// (plus `D`) is the aggregation phase's true length.
+    pub ts_spread: u64,
+    /// Round (relative to the counting start) at which the DFS token
+    /// returned to the root — the counting phase's true length.
+    pub counting_rounds_used: u64,
+    /// Floating-point parameters used on the wire.
+    pub fp: FpParams,
+}
+
+/// Runs the paper's distributed betweenness-centrality algorithm on `g`
+/// under the CONGEST simulator.
+///
+/// With [`SourceSelection::Sample`], the returned betweenness/closeness
+/// values are `N/k`-extrapolated estimates and `diameter` is the sampled
+/// horizon `max_{s ∈ S} ecc(s)` (a lower bound on the true diameter).
+///
+/// # Errors
+///
+/// * [`DistBcError::EmptyGraph`] / [`DistBcError::Disconnected`] for
+///   inputs outside the paper's model (connected networks);
+/// * [`DistBcError::Congest`] if the execution violates the CONGEST
+///   constraints under strict enforcement (a protocol bug) or exceeds its
+///   round bound.
+///
+/// # Examples
+///
+/// ```
+/// use bc_core::{run_distributed_bc, DistBcConfig};
+/// use bc_graph::generators;
+///
+/// // Figure 1 of the paper: C_B(v2) = 7/2.
+/// let g = generators::paper_figure1();
+/// let out = run_distributed_bc(&g, DistBcConfig::default())?;
+/// assert!((out.betweenness[1] - 3.5).abs() < 1e-6);
+/// assert_eq!(out.diameter, 3);
+/// assert!(out.metrics.congest_compliant());
+/// # Ok::<(), bc_core::DistBcError>(())
+/// ```
+pub fn run_distributed_bc(g: &Graph, config: DistBcConfig) -> Result<DistBcResult, DistBcError> {
+    let n = g.n();
+    if n == 0 {
+        return Err(DistBcError::EmptyGraph);
+    }
+    if !algo::is_connected(g) {
+        return Err(DistBcError::Disconnected);
+    }
+    let fp = config.fp.unwrap_or_else(|| FpParams::for_graph_size(n));
+    let sched = PhaseSchedule::new(n, config.scheduling);
+    let opts = AlgoOptions {
+        fp,
+        scheduling: config.scheduling,
+        compute_stress: config.compute_stress,
+        sources: config.sources.clone(),
+        targets: config.targets.clone(),
+    };
+    let engine_cfg = Config {
+        budget: config.budget,
+        enforcement: config.enforcement,
+        cut: config.cut.clone(),
+    };
+    let mut net = Network::new(g, engine_cfg, |v, _| DistBcNode::new(n, v, opts.clone()));
+    let max_rounds = sched.max_rounds();
+    let report = if config.threads > 1 {
+        net.run_parallel(max_rounds, config.threads)?
+    } else {
+        net.run(max_rounds)?
+    };
+    let metrics = net.metrics().clone();
+    let nodes = net.into_nodes();
+
+    let betweenness = nodes.iter().map(|nd| nd.betweenness()).collect();
+    let sample_size = nodes[0].source_count();
+    // With sampling, extrapolate the distance sum by N/k (the eccentricity
+    // view stays a max over the sample); explicit masks are restricted
+    // sums, not estimates.
+    let dist_scale = match config.sources {
+        SourceSelection::Sample { .. } => n as f64 / sample_size as f64,
+        _ => 1.0,
+    };
+    let mut closeness = Vec::with_capacity(n);
+    let mut graph_centrality = Vec::with_capacity(n);
+    for nd in &nodes {
+        let mut total = 0u64;
+        let mut ecc = 0u32;
+        for d in nd.distances().into_iter().flatten() {
+            total += d as u64;
+            ecc = ecc.max(d);
+        }
+        closeness.push(if total == 0 {
+            0.0
+        } else {
+            1.0 / (total as f64 * dist_scale)
+        });
+        graph_centrality.push(if ecc == 0 { 0.0 } else { 1.0 / ecc as f64 });
+    }
+    let stress = config
+        .compute_stress
+        .then(|| nodes.iter().map(|nd| nd.stress().unwrap_or(0.0)).collect());
+    let info = nodes[0].agg_info().expect("run completed");
+    let diameter = info.d;
+    let counting_rounds_used = nodes[0]
+        .dfs_done_round()
+        .map(|r| r.saturating_sub(sched.counting_start))
+        .unwrap_or(sched.reduce_start - sched.counting_start);
+    Ok(DistBcResult {
+        betweenness,
+        closeness,
+        graph_centrality,
+        diameter,
+        rounds: report.rounds,
+        schedule: sched,
+        metrics,
+        stress,
+        sample_size,
+        ts_spread: info.max_ts - info.min_ts,
+        counting_rounds_used,
+        fp,
+    })
+}
+
+/// Convenience wrapper returning only the closeness centralities computed
+/// distributively (Eq. 1 — the `O(N)`-round by-product the introduction
+/// mentions for APSP-based centralities).
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`].
+pub fn run_distributed_closeness(g: &Graph, config: DistBcConfig) -> Result<Vec<f64>, DistBcError> {
+    run_distributed_bc(g, config).map(|r| r.closeness)
+}
+
+/// Convenience wrapper returning the distributively computed diameter.
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`].
+pub fn run_distributed_diameter(g: &Graph, config: DistBcConfig) -> Result<u32, DistBcError> {
+    run_distributed_bc(g, config).map(|r| r.diameter)
+}
+
+/// Results of a weighted run (see [`run_distributed_bc_weighted`]),
+/// projected back to the original nodes.
+#[derive(Debug, Clone)]
+pub struct WeightedDistBcResult {
+    /// Weighted betweenness centrality of each original node.
+    pub betweenness: Vec<f64>,
+    /// Weighted closeness centrality of each original node.
+    pub closeness: Vec<f64>,
+    /// The weighted diameter (max weighted distance between original
+    /// nodes... realized over original sources; equals the classic
+    /// weighted diameter since virtual nodes lie on edges).
+    pub diameter: u32,
+    /// Nodes of the subdivided (simulated) network.
+    pub simulated_n: usize,
+    /// Rounds of the simulated execution: `O(Σ_e w(e) + N)`.
+    pub rounds: u64,
+    /// Engine metrics of the run.
+    pub metrics: NetMetrics,
+}
+
+/// The paper's future-work extension (Section X): weighted betweenness via
+/// virtual-node subdivision. Every weight-`w` edge becomes a path of `w`
+/// unit edges; the unweighted distributed algorithm runs on the result
+/// with sources and targets restricted to original nodes, which makes the
+/// computation *exact* for positive integer weights (not merely the
+/// `(1+ε)`-approximation the paper sketches).
+///
+/// Cost: the simulated network has `N' = N + Σ_e (w(e) − 1)` nodes, so the
+/// round count is `O(Σ_e w(e))` — worthwhile for small integer weights.
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`] (the subdivision of a connected weighted
+/// graph is connected, so only engine errors can occur in practice).
+///
+/// # Examples
+///
+/// ```
+/// use bc_core::{run_distributed_bc_weighted, DistBcConfig};
+/// use bc_graph::weighted::WeightedGraph;
+///
+/// // Weighted path 0 -2- 1 -3- 2: node 1 is between 0 and 2.
+/// let wg = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3)])?;
+/// let out = run_distributed_bc_weighted(&wg, DistBcConfig::default())?;
+/// assert!((out.betweenness[1] - 1.0).abs() < 1e-6);
+/// assert_eq!(out.diameter, 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_distributed_bc_weighted(
+    wg: &bc_graph::weighted::WeightedGraph,
+    config: DistBcConfig,
+) -> Result<WeightedDistBcResult, DistBcError> {
+    let sub = wg.subdivide();
+    let real: std::sync::Arc<[bool]> = sub.real.clone().into();
+    let cfg = DistBcConfig {
+        sources: SourceSelection::Explicit(real.clone()),
+        targets: Some(real),
+        ..config
+    };
+    let out = run_distributed_bc(&sub.graph, cfg)?;
+    Ok(WeightedDistBcResult {
+        betweenness: out.betweenness[..sub.original_n].to_vec(),
+        closeness: out.closeness[..sub.original_n].to_vec(),
+        diameter: out.diameter,
+        simulated_n: sub.graph.n(),
+        rounds: out.rounds,
+        metrics: out.metrics,
+    })
+}

@@ -1,0 +1,799 @@
+//! The per-node state machine of the distributed algorithm.
+//!
+//! One [`DistBcNode`] runs at every vertex and advances through the phases
+//! of [`crate::schedule::PhaseSchedule`]:
+//!
+//! * **Tree build** — synchronous BFS flooding from node 0; each node
+//!   learns its parent, children, and depth.
+//! * **Counting (Algorithm 2)** — a DFS token walks the tree. A node first
+//!   visited at round `r` waits one slot and broadcasts its BFS wave at
+//!   `T_s = r + 1`; waves from different sources are pipelined and, by the
+//!   triangle-inequality argument of Lemma 4 (and Holzer–Wattenhofer's
+//!   token-lags-behind-waves invariant), no two messages ever share a
+//!   directed edge in a round. Each node ends up with
+//!   `(T_s, d(s,v), σ̂_sv, P_s(v))` for every source `s` — the list `L_v`
+//!   of Algorithm 2 — with `σ̂` carried in the paper's `L`-bit floating
+//!   point (Section VI).
+//! * **Reduce / broadcast** — `(max T_s, D)` is convergecast to the root
+//!   and flooded back (Algorithm 2 line 22's diameter broadcast).
+//! * **Aggregation (Algorithm 3)** — node `u` sends
+//!   `1/σ̂_su + ψ̂_s(u)` to each predecessor in `P_s(u)` at round
+//!   `agg_start + (T_s − min T_s) + D − d(s,u)`, accumulating incoming
+//!   values into `ψ̂_s(u)` (Eq. 14). When it sends for source `s` it also
+//!   locally finalizes `δ̂_s·(u) = ψ̂_s(u) · σ̂_su` and adds it to its
+//!   betweenness accumulator (Algorithm 3 lines 16–18).
+//!
+//! Two extensions beyond the paper's pseudocode, both opt-in:
+//!
+//! * **Stress centrality** (the paper's footnote 3): aggregation messages
+//!   additionally carry `1 + ρ̂_s(u)` where
+//!   `ρ_s(v) = Σ_{w: v ∈ P_s(w)} (1 + ρ_s(w))`; then
+//!   `C_S`-dependency is `σ̂_sv · ρ̂_s(v)`. Same schedule, one message.
+//! * **Sampled sources** (the related-work approximation): only a
+//!   deterministic pseudo-random subset of `k` nodes launch waves, and
+//!   betweenness is extrapolated by `N/k`. Sampling is coordination-free —
+//!   every node recomputes the same sample locally.
+
+use crate::codec::{Codec, ProtocolMsg};
+use crate::sampling::{source_mask, SourceSelection};
+use crate::schedule::{PhaseSchedule, Scheduling};
+use bc_congest::{Message, Protocol, RoundCtx};
+use bc_numeric::{CeilFloat, FpParams};
+use std::collections::HashMap;
+
+/// First-contact wave messages for one source in one round:
+/// `(port, sender distance, σ̂)` per predecessor.
+type WaveBatch = Vec<(usize, u32, CeilFloat)>;
+
+/// The globally agreed aggregation parameters, fixed by the root's
+/// `AggStart` broadcast: a common base round plus the reduced
+/// `(min T_s, max T_s, D)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggInfo {
+    /// Common base round of the aggregation phase.
+    pub base: u64,
+    /// Global minimum wave start round.
+    pub min_ts: u64,
+    /// Global maximum wave start round.
+    pub max_ts: u64,
+    /// The diameter (with [`SourceSelection::All`]) or sampled horizon.
+    pub d: u32,
+}
+
+impl AggInfo {
+    /// Algorithm 3 line 3: the send round of a node at distance `dist`
+    /// from a source whose wave started at `ts`.
+    fn send_round(&self, ts: u64, dist: u32) -> u64 {
+        self.base + (ts - self.min_ts) + self.d as u64 - dist as u64
+    }
+
+    /// First round by which all aggregation messages are processed.
+    fn end_round(&self) -> u64 {
+        self.base + (self.max_ts - self.min_ts) + self.d as u64 + 2
+    }
+}
+
+/// Algorithm-level options shared by every node of a run (engine-level
+/// options live in [`crate::DistBcConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoOptions {
+    /// Floating-point parameters for σ/ψ values on the wire.
+    pub fp: FpParams,
+    /// Counting-phase scheduling discipline.
+    pub scheduling: Scheduling,
+    /// Also compute stress centrality (Eq. 3) in the same pass.
+    pub compute_stress: bool,
+    /// Which nodes act as BFS sources.
+    pub sources: SourceSelection,
+    /// Which nodes count as shortest-path *targets* (`None` = all): the
+    /// `1/σ` (resp. `1`) own-term of Eq. 14 is emitted only by targets.
+    /// The weighted extension restricts targets to original nodes.
+    pub targets: Option<std::sync::Arc<[bool]>>,
+}
+
+impl AlgoOptions {
+    /// The paper's configuration for an `n`-node network: `L = Θ(log N)`
+    /// ceiling floats, pipelined scheduling, all sources, no extensions.
+    pub fn for_graph_size(n: usize) -> Self {
+        AlgoOptions {
+            fp: FpParams::for_graph_size(n),
+            scheduling: Scheduling::DfsPipelined,
+            compute_stress: false,
+            sources: SourceSelection::All,
+            targets: None,
+        }
+    }
+}
+
+/// Everything node `v` learns about one source `s` during counting
+/// (the entry `(s, T_s, d(s,v), σ_sv, P_s(v))` of `L_v` in Algorithm 2).
+#[derive(Debug, Clone)]
+struct SourceRec {
+    /// Absolute round at which `s` broadcast its wave (`T_s`).
+    ts: u64,
+    /// `d(s, v)`.
+    dist: u32,
+    /// `σ̂_sv` (ceiling floating point).
+    sigma: CeilFloat,
+    /// Ports of the predecessors `P_s(v)`.
+    pred_ports: Vec<usize>,
+    /// Accumulated `ψ̂_s(v)` (Eq. 14), filled during aggregation.
+    psi: CeilFloat,
+    /// Accumulated `ρ̂_s(v)` (stress extension).
+    rho: CeilFloat,
+}
+
+/// Protocol state of one node.
+#[derive(Debug)]
+pub struct DistBcNode {
+    codec: Codec,
+    sched: PhaseSchedule,
+    opts: AlgoOptions,
+    /// Deterministic source indicator (same at every node).
+    is_source_self: bool,
+    /// Number of sources `|S|`.
+    source_count: usize,
+    /// This node's rank among sources (sequential-mode slot index).
+    source_rank: Option<u64>,
+    // Phase A.
+    tree_dist: Option<u32>,
+    parent_port: Option<usize>,
+    children_ports: Vec<usize>,
+    announce_round: Option<u64>,
+    // Adaptive phase-A termination detection.
+    children_done: usize,
+    subtree_done_sent: bool,
+    subtree_max_depth: u32,
+    /// Root only: global tree depth, once all subtrees reported.
+    tree_depth: Option<u32>,
+    /// Root only: the round to flood `StartReduce` (counting + drain over).
+    start_reduce_round: Option<u64>,
+    // Phase B.
+    sources: Vec<Option<SourceRec>>,
+    visited: bool,
+    wave_round: Option<u64>,
+    token_forward_round: Option<u64>,
+    next_child: usize,
+    dfs_done_round: Option<u64>,
+    // Phase C.
+    reduce_armed: bool,
+    reduce_sent: bool,
+    reduce_received: usize,
+    acc_min_ts: u64,
+    acc_max_ts: u64,
+    acc_max_d: u32,
+    agg_info: Option<AggInfo>,
+    agg_announced: bool,
+    agg_schedule: HashMap<u64, Vec<u32>>,
+    // Per-round staging: wave sends (at most one per port — Lemma 4) and
+    // an optional token move, merged at flush into `WaveWithToken` when
+    // they share an edge so the token travels at wave speed without
+    // collisions.
+    out_waves: Vec<(usize, u32, u32, CeilFloat)>,
+    out_token: Option<usize>,
+    // Results.
+    delta_sum: f64,
+    stress_sum: f64,
+    done: bool,
+}
+
+impl DistBcNode {
+    /// Creates the initial state for one node (id `me`) of an `n`-node
+    /// network.
+    pub fn new(n: usize, me: u32, opts: AlgoOptions) -> Self {
+        let mask = source_mask(&opts.sources, n);
+        let source_count = mask.iter().filter(|&&b| b).count();
+        let source_rank =
+            mask[me as usize].then(|| mask[..me as usize].iter().filter(|&&b| b).count() as u64);
+        DistBcNode {
+            codec: Codec::new(n, opts.fp),
+            sched: PhaseSchedule::new(n, opts.scheduling),
+            opts,
+            is_source_self: mask[me as usize],
+            source_count,
+            source_rank,
+            tree_dist: None,
+            parent_port: None,
+            children_ports: Vec::new(),
+            announce_round: None,
+            children_done: 0,
+            subtree_done_sent: false,
+            subtree_max_depth: 0,
+            tree_depth: None,
+            start_reduce_round: None,
+            sources: vec![None; n],
+            visited: false,
+            wave_round: None,
+            token_forward_round: None,
+            next_child: 0,
+            dfs_done_round: None,
+            reduce_armed: false,
+            reduce_sent: false,
+            reduce_received: 0,
+            acc_min_ts: u64::MAX,
+            acc_max_ts: 0,
+            acc_max_d: 0,
+            agg_info: None,
+            agg_announced: false,
+            agg_schedule: HashMap::new(),
+            out_waves: Vec::new(),
+            out_token: None,
+            delta_sum: 0.0,
+            stress_sum: 0.0,
+            done: false,
+        }
+    }
+
+    /// Extrapolation factor: `N / |S|` when sampling, 1 otherwise
+    /// (explicit masks are restricted sums, not estimates).
+    fn scale(&self) -> f64 {
+        match self.opts.sources {
+            SourceSelection::Sample { .. } => self.sources.len() as f64 / self.source_count as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether this node counts as a shortest-path target.
+    fn is_target(&self, me: u32) -> bool {
+        self.opts.targets.as_ref().is_none_or(|m| m[me as usize])
+    }
+
+    /// Betweenness centrality of this node (paper convention: unordered
+    /// pairs, i.e. the directed dependency sum halved). With sampled
+    /// sources this is the `N/k`-scaled estimate.
+    pub fn betweenness(&self) -> f64 {
+        self.delta_sum * self.scale() / 2.0
+    }
+
+    /// Stress centrality (Eq. 3) under the same conventions, if the run
+    /// computed it.
+    pub fn stress(&self) -> Option<f64> {
+        self.opts
+            .compute_stress
+            .then(|| self.stress_sum * self.scale() / 2.0)
+    }
+
+    /// `d(s, self)` for every source `s` (`None` for non-sources or, on
+    /// disconnected graphs, unreachable ones).
+    pub fn distances(&self) -> Vec<Option<u32>> {
+        self.sources
+            .iter()
+            .map(|r| r.as_ref().map(|r| r.dist))
+            .collect()
+    }
+
+    /// `σ̂_{s,self}` as learned during counting.
+    pub fn sigma_to(&self, s: u32) -> Option<CeilFloat> {
+        self.sources[s as usize].as_ref().map(|r| r.sigma)
+    }
+
+    /// Absolute wave start round `T_s` observed for source `s`.
+    pub fn ts_of(&self, s: u32) -> Option<u64> {
+        self.sources[s as usize].as_ref().map(|r| r.ts)
+    }
+
+    /// The globally agreed aggregation parameters, once broadcast.
+    pub fn agg_info(&self) -> Option<AggInfo> {
+        self.agg_info
+    }
+
+    /// Network diameter as broadcast by the root (exact with
+    /// [`SourceSelection::All`]; a lower bound under sampling).
+    pub fn diameter(&self) -> Option<u32> {
+        self.agg_info.map(|i| i.d)
+    }
+
+    /// Port of the tree parent (None for the root).
+    pub fn tree_parent(&self) -> Option<usize> {
+        self.parent_port
+    }
+
+    /// Number of BFS sources in this run.
+    pub fn source_count(&self) -> usize {
+        self.source_count
+    }
+
+    /// The round the DFS token returned to the root (root only): the
+    /// *actual* end of the counting phase, as opposed to the provisioned
+    /// window.
+    pub fn dfs_done_round(&self) -> Option<u64> {
+        self.dfs_done_round
+    }
+
+    fn send_pm(&self, ctx: &mut RoundCtx<'_>, port: usize, msg: &ProtocolMsg) {
+        ctx.send(port, self.codec.encode(msg));
+    }
+
+    /// Phase A: adopt a tree depth and announce it (flagging the parent).
+    fn announce_tree(&mut self, ctx: &mut RoundCtx<'_>, r: u64, dist: u32) {
+        self.tree_dist = Some(dist);
+        self.announce_round = Some(r);
+        self.subtree_max_depth = dist;
+        for port in 0..ctx.degree() {
+            let msg = ProtocolMsg::TreeAnnounce {
+                dist,
+                chooses_you: Some(port) == self.parent_port,
+            };
+            self.send_pm(ctx, port, &msg);
+        }
+    }
+
+    /// Adaptive phase-A termination: once this node's children are known
+    /// (exactly two rounds after its announce) and all have reported their
+    /// subtrees complete, report upward — or, at the root, record the tree
+    /// depth and launch the DFS immediately.
+    fn maybe_finish_tree(&mut self, ctx: &mut RoundCtx<'_>, r: u64) {
+        if self.opts.scheduling != Scheduling::Adaptive || self.subtree_done_sent {
+            return;
+        }
+        let Some(announced) = self.announce_round else {
+            return;
+        };
+        if r < announced + 2 || self.children_done < self.children_ports.len() {
+            return;
+        }
+        self.subtree_done_sent = true;
+        if let Some(p) = self.parent_port {
+            let msg = ProtocolMsg::SubtreeDone {
+                max_depth: self.subtree_max_depth,
+            };
+            self.send_pm(ctx, p, &msg);
+        } else {
+            // Root: phase A is globally complete; start counting now. The
+            // token departs riding the root's own wave.
+            self.tree_depth = Some(self.subtree_max_depth);
+            self.visited = true;
+            self.wave_round = Some(r + 1);
+            self.token_forward_round = Some(r + 1);
+        }
+    }
+
+    /// Arms the reduce convergecast: local (min, max) of wave start times
+    /// and the local max distance (all waves are complete by now).
+    fn arm_reduce(&mut self) {
+        if self.reduce_armed {
+            return;
+        }
+        self.reduce_armed = true;
+        for rec in self.sources.iter().flatten() {
+            self.acc_min_ts = self.acc_min_ts.min(rec.ts);
+            self.acc_max_ts = self.acc_max_ts.max(rec.ts);
+            self.acc_max_d = self.acc_max_d.max(rec.dist);
+        }
+    }
+
+    /// Phase B: broadcast this node's own BFS wave and register itself as a
+    /// source (Algorithm 2 lines 2–6).
+    fn start_own_wave(&mut self, ctx: &mut RoundCtx<'_>, r: u64) {
+        let one = CeilFloat::one(self.codec.fp);
+        self.sources[ctx.id() as usize] = Some(SourceRec {
+            ts: r,
+            dist: 0,
+            sigma: one,
+            pred_ports: Vec::new(),
+            psi: CeilFloat::zero(self.codec.fp),
+            rho: CeilFloat::zero(self.codec.fp),
+        });
+        for port in 0..ctx.degree() {
+            self.out_waves.push((port, ctx.id(), 0, one));
+        }
+    }
+
+    /// Phase B: move the DFS token onward — next unvisited child, else back
+    /// to the parent, else (at the root) the traversal is complete. The
+    /// move is staged; [`DistBcNode::flush_counting_sends`] merges it with
+    /// a same-edge wave if one is staged this round.
+    fn forward_token(&mut self, r: u64) {
+        debug_assert!(self.out_token.is_none(), "token moved twice in a round");
+        if self.next_child < self.children_ports.len() {
+            let port = self.children_ports[self.next_child];
+            self.next_child += 1;
+            self.out_token = Some(port);
+        } else if let Some(p) = self.parent_port {
+            self.out_token = Some(p);
+        } else {
+            self.dfs_done_round = Some(r);
+        }
+    }
+
+    /// Ships this round's staged counting-phase messages, merging the token
+    /// into a same-edge wave (`WaveWithToken`) when possible.
+    fn flush_counting_sends(&mut self, ctx: &mut RoundCtx<'_>) {
+        let token_port = self.out_token.take();
+        let mut token_merged = false;
+        for (port, source, sender_dist, sigma) in std::mem::take(&mut self.out_waves) {
+            let msg = if token_port == Some(port) {
+                token_merged = true;
+                ProtocolMsg::WaveWithToken {
+                    source,
+                    sender_dist,
+                    sigma,
+                }
+            } else {
+                ProtocolMsg::Wave {
+                    source,
+                    sender_dist,
+                    sigma,
+                }
+            };
+            self.send_pm(ctx, port, &msg);
+        }
+        if let (Some(port), false) = (token_port, token_merged) {
+            self.send_pm(ctx, port, &ProtocolMsg::Token);
+        }
+    }
+
+    /// Phase B: a batch of first-contact wave messages for source `s`
+    /// (all from predecessors, all in the same round — Lemma 4's timing).
+    fn absorb_wave(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        r: u64,
+        source: u32,
+        batch: &[(usize, u32, CeilFloat)],
+    ) {
+        debug_assert!(!batch.is_empty());
+        let dist = batch[0].1 + 1;
+        debug_assert!(
+            batch.iter().all(|&(_, d, _)| d + 1 == dist),
+            "mixed-distance wave batch"
+        );
+        let mut sigma = CeilFloat::zero(self.codec.fp);
+        let mut pred_ports = Vec::with_capacity(batch.len());
+        for &(port, _, s) in batch {
+            sigma += s;
+            pred_ports.push(port);
+        }
+        self.sources[source as usize] = Some(SourceRec {
+            ts: r - dist as u64,
+            dist,
+            sigma,
+            pred_ports,
+            psi: CeilFloat::zero(self.codec.fp),
+            rho: CeilFloat::zero(self.codec.fp),
+        });
+        let _ = ctx;
+        for port in 0..ctx.degree() {
+            self.out_waves.push((port, source, dist, sigma));
+        }
+    }
+
+    /// Phase C1: send the subtree extrema to the parent once armed and all
+    /// children reported; the root finalizes the global `AggInfo` instead.
+    fn maybe_finish_reduce(&mut self, ctx: &mut RoundCtx<'_>, r: u64) {
+        if self.reduce_sent
+            || !self.reduce_armed
+            || self.reduce_received < self.children_ports.len()
+        {
+            return;
+        }
+        self.reduce_sent = true;
+        if let Some(p) = self.parent_port {
+            let msg = ProtocolMsg::Reduce {
+                min_ts: self.acc_min_ts,
+                max_ts: self.acc_max_ts,
+                max_d: self.acc_max_d,
+            };
+            self.send_pm(ctx, p, &msg);
+        } else {
+            // Root: the reduced triple is global. The aggregation base is
+            // the deterministic window in provisioned modes; in adaptive
+            // mode, far enough ahead for the AggStart flood (depth + slack)
+            // to reach everyone first.
+            let base = match self.opts.scheduling {
+                Scheduling::Adaptive => {
+                    r + self.tree_depth.unwrap_or(self.sources.len() as u32) as u64 + 2
+                }
+                _ => self.sched.agg_start,
+            };
+            self.agg_info = Some(AggInfo {
+                base,
+                min_ts: self.acc_min_ts,
+                max_ts: self.acc_max_ts,
+                d: self.acc_max_d,
+            });
+        }
+    }
+
+    /// Phase C2/D setup: with the global [`AggInfo`] known, precompute this
+    /// node's aggregation send rounds (Algorithm 3 line 3).
+    fn build_agg_schedule(&mut self, my_id: u32) {
+        let info = self.agg_info.expect("agg info set");
+        for (s, rec) in self.sources.iter().enumerate() {
+            if s as u32 == my_id {
+                continue;
+            }
+            if let Some(rec) = rec {
+                let round = info.send_round(rec.ts, rec.dist);
+                self.agg_schedule.entry(round).or_default().push(s as u32);
+            }
+        }
+    }
+
+    /// Phase D: finalize source `s` (its ψ/ρ are complete), add its
+    /// dependency contributions, and ship the values to the predecessors.
+    fn aggregate_and_send(&mut self, ctx: &mut RoundCtx<'_>, s: u32) {
+        let zero = CeilFloat::zero(self.codec.fp);
+        let one = CeilFloat::one(self.codec.fp);
+        let is_target = self.is_target(ctx.id());
+        let rec = self.sources[s as usize]
+            .as_ref()
+            .expect("scheduled source exists");
+        // δ̂_s·(u) = ψ̂_s(u)·σ̂_su — ψ is complete at this round (all
+        // descendants sent one round earlier).
+        self.delta_sum += (rec.psi * rec.sigma).to_f64();
+        // The own-term of Eq. 14 (1/σ) is contributed only by targets:
+        // restricting it projects out virtual nodes in the weighted
+        // extension.
+        let own_psi = if is_target { rec.sigma.recip() } else { zero };
+        let psi_msg = own_psi + rec.psi;
+        let msg = if self.opts.compute_stress {
+            self.stress_sum += (rec.rho * rec.sigma).to_f64();
+            let own_rho = if is_target { one } else { zero };
+            ProtocolMsg::AggWithStress {
+                source: s,
+                psi: psi_msg,
+                rho: own_rho + rec.rho,
+            }
+        } else {
+            ProtocolMsg::Agg {
+                source: s,
+                value: psi_msg,
+            }
+        };
+        for port in self.sources[s as usize]
+            .as_ref()
+            .expect("source exists")
+            .pred_ports
+            .clone()
+        {
+            self.send_pm(ctx, port, &msg);
+        }
+    }
+
+    /// Extracts the (uniform) announced depth from this round's
+    /// tree-announce messages.
+    fn tree_dist_from_inbox(&self, inbox: &[(usize, Message)]) -> u32 {
+        for (_, raw) in inbox {
+            if let ProtocolMsg::TreeAnnounce { dist, .. } = self.codec.decode(raw) {
+                return dist + 1;
+            }
+        }
+        unreachable!("caller guarantees an announce is present")
+    }
+}
+
+impl Protocol for DistBcNode {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+        let r = ctx.round();
+        let my_id = ctx.id();
+
+        // ---- 1. Decode and dispatch the inbox. -------------------------
+        let mut new_waves: Vec<(u32, WaveBatch)> = Vec::new();
+        let mut token_arrived = false;
+        let mut got_agg_start: Option<AggInfo> = None;
+        let mut got_start_reduce = false;
+        let mut first_announce_batch: Vec<usize> = Vec::new();
+        for (port, raw) in inbox {
+            match self.codec.decode(raw) {
+                ProtocolMsg::TreeAnnounce {
+                    dist: _,
+                    chooses_you,
+                } => {
+                    if chooses_you {
+                        self.children_ports.push(*port);
+                    }
+                    if self.tree_dist.is_none() {
+                        first_announce_batch.push(*port);
+                    }
+                }
+                ProtocolMsg::Token => token_arrived = true,
+                decoded @ (ProtocolMsg::Wave {
+                    source,
+                    sender_dist,
+                    sigma,
+                }
+                | ProtocolMsg::WaveWithToken {
+                    source,
+                    sender_dist,
+                    sigma,
+                }) => {
+                    if matches!(decoded, ProtocolMsg::WaveWithToken { .. }) {
+                        token_arrived = true;
+                    }
+                    if self.sources[source as usize].is_none() {
+                        match new_waves.iter_mut().find(|(s, _)| *s == source) {
+                            Some((_, batch)) => batch.push((*port, sender_dist, sigma)),
+                            None => new_waves.push((source, vec![(*port, sender_dist, sigma)])),
+                        }
+                    }
+                }
+                ProtocolMsg::Reduce {
+                    min_ts,
+                    max_ts,
+                    max_d,
+                } => {
+                    self.reduce_received += 1;
+                    self.acc_min_ts = self.acc_min_ts.min(min_ts);
+                    self.acc_max_ts = self.acc_max_ts.max(max_ts);
+                    self.acc_max_d = self.acc_max_d.max(max_d);
+                }
+                ProtocolMsg::AggStart {
+                    base,
+                    min_ts,
+                    max_ts,
+                    d,
+                } => {
+                    got_agg_start = Some(AggInfo {
+                        base,
+                        min_ts,
+                        max_ts,
+                        d,
+                    });
+                }
+                ProtocolMsg::StartReduce => got_start_reduce = true,
+                ProtocolMsg::SubtreeDone { max_depth } => {
+                    self.children_done += 1;
+                    self.subtree_max_depth = self.subtree_max_depth.max(max_depth);
+                }
+                ProtocolMsg::Agg { source, value } => {
+                    if let Some(rec) = self.sources[source as usize].as_mut() {
+                        rec.psi += value;
+                    }
+                }
+                ProtocolMsg::AggWithStress { source, psi, rho } => {
+                    if let Some(rec) = self.sources[source as usize].as_mut() {
+                        rec.psi += psi;
+                        rec.rho += rho;
+                    }
+                }
+            }
+        }
+
+        // ---- 2. Phase A: tree build. ------------------------------------
+        if r == 0 && my_id == 0 {
+            self.announce_tree(ctx, r, 0);
+        } else if self.tree_dist.is_none() && !first_announce_batch.is_empty() {
+            // All announces in one round carry the same depth (synchronous
+            // BFS); adopt the lowest-port sender as parent.
+            self.parent_port = Some(first_announce_batch[0]);
+            let dist = self.tree_dist_from_inbox(inbox);
+            self.announce_tree(ctx, r, dist);
+        }
+        self.maybe_finish_tree(ctx, r);
+
+        // ---- 3. Phase B: counting. --------------------------------------
+        match self.opts.scheduling {
+            // Adaptive mode reuses the DFS pipeline; the root's virtual
+            // token arrival is produced by maybe_finish_tree instead of the
+            // provisioned window.
+            Scheduling::DfsPipelined | Scheduling::Adaptive => {
+                let virtual_root_arrival = self.opts.scheduling == Scheduling::DfsPipelined
+                    && r == self.sched.counting_start
+                    && my_id == 0
+                    && !self.visited;
+                if token_arrived || virtual_root_arrival {
+                    if self.visited {
+                        // Returning token: forward immediately (staged; it
+                        // merges with this round's wave rebroadcasts).
+                        self.forward_token(r);
+                    } else {
+                        self.visited = true;
+                        if self.is_source_self {
+                            // Wait one slot, then wave with the token
+                            // riding it — the paper's T_next = T_prev + d + 1
+                            // spacing.
+                            self.wave_round = Some(r + 1);
+                            self.token_forward_round = Some(r + 1);
+                        } else {
+                            // Sampled out: relay the token without delay.
+                            self.forward_token(r);
+                        }
+                    }
+                }
+            }
+            Scheduling::Sequential => {
+                if r >= self.sched.counting_start && self.wave_round.is_none() {
+                    if let Some(rank) = self.source_rank {
+                        self.wave_round = Some(self.sched.sequential_ts(rank));
+                    }
+                }
+            }
+        }
+        for (source, batch) in std::mem::take(&mut new_waves) {
+            self.absorb_wave(ctx, r, source, &batch);
+        }
+        if self.wave_round == Some(r) {
+            self.start_own_wave(ctx, r);
+        }
+        if self.token_forward_round == Some(r) {
+            self.token_forward_round = None;
+            self.forward_token(r);
+        }
+        self.flush_counting_sends(ctx);
+
+        // ---- 4. Phase C: reduce and broadcast. --------------------------
+        match self.opts.scheduling {
+            Scheduling::Adaptive => {
+                // Root: after the DFS token returned, wait out the wave
+                // drain bound (≤ D + 1 ≤ 2·depth + 1) then flood
+                // StartReduce.
+                if my_id == 0 && self.start_reduce_round.is_none() {
+                    if let (Some(done), Some(depth)) = (self.dfs_done_round, self.tree_depth) {
+                        self.start_reduce_round = Some(done + 2 * depth as u64 + 2);
+                    }
+                }
+                if self.start_reduce_round == Some(r) {
+                    for &port in &self.children_ports.clone() {
+                        self.send_pm(ctx, port, &ProtocolMsg::StartReduce);
+                    }
+                    self.arm_reduce();
+                }
+                if got_start_reduce {
+                    for &port in &self.children_ports.clone() {
+                        self.send_pm(ctx, port, &ProtocolMsg::StartReduce);
+                    }
+                    self.arm_reduce();
+                }
+            }
+            _ => {
+                if r == self.sched.reduce_start {
+                    self.arm_reduce();
+                }
+            }
+        }
+        if self.agg_info.is_none() {
+            self.maybe_finish_reduce(ctx, r);
+        }
+        let mut announce_agg = false;
+        match self.opts.scheduling {
+            Scheduling::Adaptive => {
+                // Root broadcasts as soon as its reduce completes.
+                if my_id == 0 && self.agg_info.is_some() && !self.agg_announced {
+                    announce_agg = true;
+                }
+            }
+            _ => {
+                if my_id == 0 && r == self.sched.broadcast_start {
+                    debug_assert!(self.agg_info.is_some(), "root reduce incomplete");
+                    announce_agg = true;
+                }
+            }
+        }
+        if let Some(info) = got_agg_start {
+            self.agg_info = Some(info);
+            announce_agg = true;
+        }
+        if announce_agg {
+            if let Some(info) = self.agg_info {
+                self.agg_announced = true;
+                let msg = ProtocolMsg::AggStart {
+                    base: info.base,
+                    min_ts: info.min_ts,
+                    max_ts: info.max_ts,
+                    d: info.d,
+                };
+                for &port in &self.children_ports.clone() {
+                    self.send_pm(ctx, port, &msg);
+                }
+                self.build_agg_schedule(my_id);
+            }
+        }
+
+        // ---- 5. Phase D: aggregation. -----------------------------------
+        if let Some(sources) = self.agg_schedule.remove(&r) {
+            for s in sources {
+                self.aggregate_and_send(ctx, s);
+            }
+        }
+        if let Some(info) = self.agg_info {
+            if r >= info.end_round() {
+                self.done = true;
+            }
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.done
+    }
+}

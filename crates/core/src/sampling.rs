@@ -1,0 +1,157 @@
+//! Source selection: exact (all `N` sources, the paper's algorithm) or a
+//! deterministic pseudo-random sample (the sampling-based approximation the
+//! paper's related work attributes to Holzer's thesis and, centrally, to
+//! Brandes–Pich).
+//!
+//! Sampling is coordination-free: every node knows `N` and the shared seed,
+//! so every node can recompute the *same* sample locally — membership is
+//! "the `k` smallest keyed hashes", which needs no messages to agree on.
+
+/// Which nodes act as BFS sources in the counting phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SourceSelection {
+    /// Every node is a source — the paper's exact algorithm.
+    #[default]
+    All,
+    /// The `k` nodes with smallest keyed hash are sources; betweenness is
+    /// estimated as `(N/k) · Σ_{s ∈ S} δ_s(v) / 2` (unbiased over the
+    /// random seed). Traffic shrinks by ≈ `k/N`.
+    Sample {
+        /// Number of sources (clamped to `1..=N`).
+        k: usize,
+        /// Shared seed; all nodes must use the same value.
+        seed: u64,
+    },
+    /// Exactly the marked nodes are sources (no extrapolation). Used by
+    /// the weighted extension, where only original (non-virtual) nodes
+    /// launch waves on the subdivided graph.
+    Explicit(std::sync::Arc<[bool]>),
+}
+
+/// SplitMix64 — a tiny, high-quality keyed hash every node can evaluate.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic source indicator for an `n`-node network: exactly the
+/// `k` nodes with the smallest `splitmix64(seed ⊕ id)` (ties by id).
+///
+/// ```
+/// use bc_core::{source_mask, SourceSelection};
+///
+/// let mask = source_mask(&SourceSelection::Sample { k: 3, seed: 1 }, 10);
+/// assert_eq!(mask.iter().filter(|&&b| b).count(), 3);
+/// // Coordination-free: every node recomputes the identical mask.
+/// assert_eq!(mask, source_mask(&SourceSelection::Sample { k: 3, seed: 1 }, 10));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn source_mask(selection: &SourceSelection, n: usize) -> Vec<bool> {
+    assert!(n > 0, "source mask for empty network");
+    match *selection {
+        SourceSelection::All => vec![true; n],
+        SourceSelection::Explicit(ref mask) => {
+            assert_eq!(mask.len(), n, "explicit source mask length mismatch");
+            assert!(
+                mask.iter().any(|&b| b),
+                "explicit source mask selects no sources"
+            );
+            mask.to_vec()
+        }
+        SourceSelection::Sample { k, seed } => {
+            let k = k.clamp(1, n);
+            let mut keyed: Vec<(u64, usize)> =
+                (0..n).map(|v| (splitmix64(seed ^ v as u64), v)).collect();
+            keyed.sort_unstable();
+            let mut mask = vec![false; n];
+            for &(_, v) in keyed.iter().take(k) {
+                mask[v] = true;
+            }
+            mask
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everyone() {
+        assert_eq!(source_mask(&SourceSelection::All, 5), vec![true; 5]);
+    }
+
+    #[test]
+    fn sample_is_exact_size_and_deterministic() {
+        let sel = SourceSelection::Sample { k: 7, seed: 42 };
+        let a = source_mask(&sel, 50);
+        assert_eq!(a.iter().filter(|&&b| b).count(), 7);
+        assert_eq!(a, source_mask(&sel, 50));
+        let b = source_mask(&SourceSelection::Sample { k: 7, seed: 43 }, 50);
+        assert_ne!(a, b, "different seeds differ w.h.p.");
+    }
+
+    #[test]
+    fn sample_clamps_k() {
+        let all = source_mask(&SourceSelection::Sample { k: 100, seed: 1 }, 6);
+        assert_eq!(all.iter().filter(|&&b| b).count(), 6);
+        let one = source_mask(&SourceSelection::Sample { k: 0, seed: 1 }, 6);
+        assert_eq!(one.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Over many seeds, each node is selected ≈ k/n of the time.
+        let (n, k, trials) = (20usize, 5usize, 400u64);
+        let mut counts = vec![0u32; n];
+        for seed in 0..trials {
+            for (v, &sel) in source_mask(&SourceSelection::Sample { k, seed }, n)
+                .iter()
+                .enumerate()
+            {
+                if sel {
+                    counts[v] += 1;
+                }
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.5 * expected,
+                "node {v}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_mask_passthrough() {
+        let mask: std::sync::Arc<[bool]> = vec![true, false, true].into();
+        let got = source_mask(&SourceSelection::Explicit(mask), 3);
+        assert_eq!(got, vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn explicit_mask_wrong_length_panics() {
+        let mask: std::sync::Arc<[bool]> = vec![true].into();
+        let _ = source_mask(&SourceSelection::Explicit(mask), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sources")]
+    fn explicit_mask_empty_panics() {
+        let mask: std::sync::Arc<[bool]> = vec![false, false].into();
+        let _ = source_mask(&SourceSelection::Explicit(mask), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_panics() {
+        let _ = source_mask(&SourceSelection::All, 0);
+    }
+}

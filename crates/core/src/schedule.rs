@@ -1,0 +1,211 @@
+//! Global round schedule of the distributed algorithm.
+//!
+//! Every node knows `N` (the paper's model gives nodes `O(log N)`-bit ids
+//! and the algorithms use `N`-dependent schedules), so all phase boundaries
+//! below are pure functions of `N` that every node computes locally — no
+//! extra synchronization messages are needed to switch phases.
+//!
+//! Phases:
+//!
+//! * **A — tree build** `[0, counting_start)`: BFS tree rooted at node 0
+//!   (the paper roots it at an arbitrary vertex).
+//! * **B — counting** (Algorithm 2) `[counting_start, reduce_start)`: a DFS
+//!   token walks the tree; each first visit launches one pipelined BFS
+//!   wave that computes `T_s`, `d(s,v)`, `σ_sv`, `P_s(v)` everywhere.
+//! * **C1 — reduce** `[reduce_start, broadcast_start)`: convergecast of
+//!   `(max T_s, D)` to the root (the paper's Algorithm 2 line 22).
+//! * **C2 — broadcast** `[broadcast_start, agg_start)`: the root floods
+//!   `(max T_s, D)` so every node can compute Algorithm 3's send times.
+//! * **D — aggregation** (Algorithm 3) `[agg_start, …)`: node `u` sends,
+//!   for each source `s`, at `agg_start + (T_s − min T_s) + D − d(s,u)` —
+//!   a uniform shift of the paper's `T_s(u) = T_s + D − d(s,u)`, which
+//!   preserves the collision-freeness argument of Lemma 4 (only
+//!   differences of send times appear in it).
+//!
+//! Every bound is `O(N)` for [`Scheduling::DfsPipelined`], giving the
+//! paper's `O(N)` total; the [`Scheduling::Sequential`] baseline provisions
+//! `Θ(N²)` counting rounds (one BFS at a time), which is exactly the
+//! ablation E10a measures.
+
+/// Counting-phase scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// The paper's Algorithm 2: DFS-token-driven pipelined BFS waves;
+    /// counting completes in `O(N)` rounds. Phase transitions use
+    /// worst-case windows every node derives from `N` alone.
+    #[default]
+    DfsPipelined,
+    /// Strawman baseline: sources run their BFS one at a time in fixed
+    /// `N + 2`-round slots; counting takes `Θ(N²)` rounds. Used by the
+    /// E10a ablation to show what the pipelining buys.
+    Sequential,
+    /// Event-driven extension: the same pipelined counting, but every
+    /// phase transition is detected (subtree-done convergecast ends the
+    /// tree build; the DFS token's return plus a `2·depth` drain bound
+    /// ends counting; explicit start-reduce / agg-start floods carry the
+    /// barrier rounds). Rounds become diameter-sensitive:
+    /// ≈ `4D + 3N + spread` instead of ≈ `12N`, a large constant win on
+    /// low-diameter graphs (experiment E13).
+    Adaptive,
+}
+
+/// The deterministic phase boundaries for an `n`-node run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// Number of nodes.
+    pub n: u64,
+    /// Scheduling discipline.
+    pub mode: Scheduling,
+    /// First round of the counting phase (phase A occupies `[0, this)`).
+    pub counting_start: u64,
+    /// First round of the reduce convergecast; all waves and the DFS token
+    /// are provably finished before this round.
+    pub reduce_start: u64,
+    /// Round in which the root broadcasts `(max T_s, D)`.
+    pub broadcast_start: u64,
+    /// Base round of the aggregation phase.
+    pub agg_start: u64,
+}
+
+impl PhaseSchedule {
+    /// Computes the schedule for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, mode: Scheduling) -> Self {
+        assert!(n > 0, "schedule for an empty network");
+        let n64 = n as u64;
+        // Phase A: announcements reach depth ≤ n−1 by round n−1; parent
+        // choices arrive one round later; +2 margin.
+        let counting_start = n64 + 2;
+        // Phase B window:
+        // DfsPipelined: each of the n first visits costs 2 rounds (arrive,
+        // wave with the token riding it) and each of the n−1 up-moves 1
+        // round ⇒ token done by counting_start + 3n; last wave drains in
+        // ≤ n more rounds; +8 margin.
+        // Sequential: n slots of (n + 2) rounds each, +8 margin.
+        let counting_window = match mode {
+            Scheduling::DfsPipelined | Scheduling::Adaptive => 4 * n64 + 8,
+            Scheduling::Sequential => n64 * (n64 + 2) + n64 + 8,
+        };
+        let reduce_start = counting_start + counting_window;
+        // Convergecast depth ≤ n; +2 margin.
+        let broadcast_start = reduce_start + n64 + 2;
+        // Downward flood depth ≤ n; +2 margin.
+        let agg_start = broadcast_start + n64 + 2;
+        PhaseSchedule {
+            n: n64,
+            mode,
+            counting_start,
+            reduce_start,
+            broadcast_start,
+            agg_start,
+        }
+    }
+
+    /// The wave start time of the *first* DFS visit (the root): it receives
+    /// the (virtual) token at `counting_start`, waits one slot, and
+    /// broadcasts at `counting_start + 1`. Also the minimum `T_s` in
+    /// sequential mode (source 0's slot).
+    pub fn min_ts(&self) -> u64 {
+        self.counting_start + 1
+    }
+
+    /// In sequential mode, the wave start round of source `s`.
+    pub fn sequential_ts(&self, s: u64) -> u64 {
+        self.min_ts() + s * (self.n + 2)
+    }
+
+    /// Aggregation send round for a node at distance `d` from source `s`
+    /// whose wave started at absolute round `ts` (Algorithm 3 line 3,
+    /// shifted to start at [`PhaseSchedule::agg_start`]).
+    pub fn agg_send_round(&self, ts: u64, diameter: u32, d: u32) -> u64 {
+        self.agg_start + (ts - self.min_ts()) + diameter as u64 - d as u64
+    }
+
+    /// First round by which the whole aggregation (and thus the algorithm)
+    /// is complete, given the globally reduced `max T_s` and diameter.
+    pub fn agg_end(&self, max_ts: u64, diameter: u32) -> u64 {
+        // Last send ≤ agg_start + (max_ts − min_ts) + D; +1 delivery, +1
+        // processing.
+        self.agg_start + (max_ts - self.min_ts()) + diameter as u64 + 2
+    }
+
+    /// Engine round cap: a loose upper bound on any run under this
+    /// schedule (adaptive runs on high-diameter graphs can exceed the
+    /// provisioned windows by a constant factor).
+    pub fn max_rounds(&self) -> u64 {
+        4 * (self.agg_start + (self.reduce_start - self.counting_start) + self.n) + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_monotone_and_linear() {
+        for n in [1usize, 2, 5, 100, 1000] {
+            let s = PhaseSchedule::new(n, Scheduling::DfsPipelined);
+            assert!(s.counting_start < s.reduce_start);
+            assert!(s.reduce_start < s.broadcast_start);
+            assert!(s.broadcast_start < s.agg_start);
+            // Linear in n: agg_start ≤ 9n + c.
+            assert!(s.agg_start <= 9 * n as u64 + 32, "n={n}: {}", s.agg_start);
+        }
+    }
+
+    #[test]
+    fn sequential_is_quadratic() {
+        let s = PhaseSchedule::new(100, Scheduling::Sequential);
+        assert!(s.reduce_start > 100 * 100);
+        let p = PhaseSchedule::new(100, Scheduling::DfsPipelined);
+        assert!(s.reduce_start > 10 * p.reduce_start);
+    }
+
+    #[test]
+    fn sequential_slots_disjoint_and_ordered() {
+        let s = PhaseSchedule::new(50, Scheduling::Sequential);
+        for src in 0..49u64 {
+            let a = s.sequential_ts(src);
+            let b = s.sequential_ts(src + 1);
+            // Next slot starts after the previous wave fully drained
+            // (≤ n − 1 rounds of propagation).
+            assert!(b > a + s.n - 1);
+        }
+        // Last wave drains before the reduce phase.
+        assert!(s.sequential_ts(49) + s.n < s.reduce_start);
+    }
+
+    #[test]
+    fn agg_send_round_matches_paper_formula() {
+        // Figure 1: T_{v1}(v4) = T_{v1} + D − d(v1,v4) = 0 + 3 − 3 = 0
+        // relative to the aggregation base and the first wave.
+        let s = PhaseSchedule::new(5, Scheduling::DfsPipelined);
+        let tv1 = s.min_ts(); // v1 is the first DFS visit
+        assert_eq!(s.agg_send_round(tv1, 3, 3), s.agg_start);
+        assert_eq!(s.agg_send_round(tv1, 3, 1), s.agg_start + 2);
+        // A later source shifts by its T_s offset.
+        assert_eq!(s.agg_send_round(tv1 + 2, 3, 2), s.agg_start + 3);
+    }
+
+    #[test]
+    fn agg_end_after_all_sends() {
+        let s = PhaseSchedule::new(10, Scheduling::DfsPipelined);
+        let max_ts = s.min_ts() + 30;
+        let d = 4;
+        // Any send (distance ≥ 1) is strictly before agg_end − 1.
+        for ts in [s.min_ts(), max_ts] {
+            for dist in 1..=d {
+                assert!(s.agg_send_round(ts, d, dist) + 1 < s.agg_end(max_ts, d) + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn zero_nodes_panics() {
+        let _ = PhaseSchedule::new(0, Scheduling::DfsPipelined);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests of the distributed protocol on random connected
+//! graphs: correctness vs Brandes, CONGEST compliance, engine determinism
+//! (serial == parallel), stress extension, sampling invariants, and the
+//! codec round-trip under random parameters.
+
+use bc_brandes::{betweenness_f64, stress_centrality};
+use bc_core::{run_distributed_bc, Codec, DistBcConfig, ProtocolMsg, Scheduling, SourceSelection};
+use bc_graph::{Graph, GraphBuilder, NodeId};
+use bc_numeric::{CeilFloat, FpParams, Rounding};
+use proptest::prelude::*;
+
+/// Random connected graph: a random recursive tree plus extra edges.
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..max_n, any::<u64>(), 0usize..40).prop_map(|(n, seed, extra)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as NodeId {
+            b.add_edge(rng.gen_range(0..v), v).expect("valid");
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u != v {
+                b.add_edge(u, v).expect("valid");
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_matches_brandes_and_is_compliant(g in arb_connected_graph(40)) {
+        let out = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        prop_assert!(out.metrics.congest_compliant());
+        prop_assert_eq!(out.metrics.max_messages_per_edge_round, 1);
+        let exact = betweenness_f64(&g);
+        for (v, (a, e)) in out.betweenness.iter().zip(&exact).enumerate() {
+            prop_assert!(
+                (a - e).abs() <= 1e-2 * (1.0 + e),
+                "node {}: {} vs {}", v, a, e
+            );
+        }
+        // Rounds stay linear with the schedule constant.
+        prop_assert!(out.rounds <= 16 * g.n() as u64 + 64);
+    }
+
+    #[test]
+    fn parallel_engine_is_deterministic(
+        g in arb_connected_graph(30),
+        threads in 2usize..6,
+        adaptive in any::<bool>(),
+    ) {
+        let scheduling = if adaptive { Scheduling::Adaptive } else { Scheduling::DfsPipelined };
+        let serial = run_distributed_bc(
+            &g,
+            DistBcConfig { scheduling, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        let par = run_distributed_bc(
+            &g,
+            DistBcConfig { threads, scheduling, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        prop_assert_eq!(&serial.betweenness, &par.betweenness);
+        prop_assert_eq!(serial.metrics, par.metrics);
+    }
+
+    #[test]
+    fn adaptive_matches_brandes(g in arb_connected_graph(30)) {
+        let out = run_distributed_bc(
+            &g,
+            DistBcConfig { scheduling: Scheduling::Adaptive, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        prop_assert!(out.metrics.congest_compliant());
+        let exact = betweenness_f64(&g);
+        for (v, (a, e)) in out.betweenness.iter().zip(&exact).enumerate() {
+            prop_assert!((a - e).abs() <= 1e-2 * (1.0 + e), "node {}", v);
+        }
+        prop_assert_eq!(out.diameter, bc_graph::algo::diameter(&g));
+    }
+
+    #[test]
+    fn stress_extension_matches_oracle(g in arb_connected_graph(26)) {
+        let out = run_distributed_bc(
+            &g,
+            DistBcConfig { compute_stress: true, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        let stress = out.stress.expect("requested");
+        let oracle = stress_centrality(&g);
+        for (v, (a, e)) in stress.iter().zip(&oracle).enumerate() {
+            prop_assert!(
+                (a - e).abs() <= 2e-2 * (1.0 + e),
+                "node {}: {} vs {}", v, a, e
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_always_exact(g in arb_connected_graph(30)) {
+        let out = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        prop_assert_eq!(out.diameter, bc_graph::algo::diameter(&g));
+    }
+
+    #[test]
+    fn sampling_stays_compliant_and_scales(
+        g in arb_connected_graph(30),
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let out = run_distributed_bc(
+            &g,
+            DistBcConfig {
+                sources: SourceSelection::Sample { k, seed },
+                ..DistBcConfig::default()
+            },
+        )
+        .expect("runs");
+        prop_assert!(out.metrics.congest_compliant());
+        prop_assert_eq!(out.sample_size, k.min(g.n()));
+        // With all sources the estimator reduces to the exact algorithm;
+        // with a sample, values are nonnegative and finite.
+        for &b in &out.betweenness {
+            prop_assert!(b.is_finite() && b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sequential_mode_matches_pipelined(g in arb_connected_graph(18)) {
+        let a = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        let b = run_distributed_bc(
+            &g,
+            DistBcConfig { scheduling: Scheduling::Sequential, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        for (x, y) in a.betweenness.iter().zip(&b.betweenness) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_random_messages(
+        n in 2usize..100_000,
+        l in 2u32..30,
+        source in any::<u32>(),
+        dist in any::<u32>(),
+        ts in any::<u64>(),
+        sigma_raw in 1u64..u64::MAX,
+    ) {
+        let fp = FpParams::new(l, Rounding::Ceil);
+        let c = Codec::new(n, fp);
+        let source = source % n as u32;
+        let dist = dist % n as u32;
+        let ts = ts % (1u64 << (c.ts_w - 1));
+        let sigma = CeilFloat::from_u64(sigma_raw, fp);
+        let msgs = [
+            ProtocolMsg::TreeAnnounce { dist, chooses_you: sigma_raw % 2 == 0 },
+            ProtocolMsg::Token,
+            ProtocolMsg::Wave { source, sender_dist: dist, sigma },
+            ProtocolMsg::Reduce { min_ts: ts / 2, max_ts: ts, max_d: dist },
+            ProtocolMsg::AggStart { base: ts, min_ts: ts / 2, max_ts: ts, d: dist },
+            ProtocolMsg::StartReduce,
+            ProtocolMsg::SubtreeDone { max_depth: dist },
+            ProtocolMsg::Agg { source, value: sigma.recip() },
+            ProtocolMsg::AggWithStress { source, psi: sigma.recip(), rho: sigma },
+        ];
+        for m in msgs {
+            let enc = c.encode(&m);
+            prop_assert!(enc.bit_len() <= c.max_message_bits());
+            prop_assert_eq!(c.decode(&enc), m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apsp_pipeline_matches_oracle(g in arb_connected_graph(40)) {
+        // The DFS-free pipelined APSP (related work [7]/[15]): distances,
+        // eccentricities and diameter must match the centralized oracle on
+        // every random graph, under strict CONGEST enforcement, in
+        // O(N + D) rounds.
+        let out = bc_core::apsp_pipeline::run_apsp_pipeline(&g).expect("runs");
+        prop_assert!(out.metrics.congest_compliant());
+        prop_assert_eq!(out.diameter, bc_graph::algo::diameter(&g));
+        let ecc = bc_graph::algo::eccentricities(&g);
+        for (mine, truth) in out.eccentricity.iter().zip(&ecc) {
+            prop_assert_eq!(mine, truth);
+        }
+        prop_assert!(out.rounds <= 4 * g.n() as u64 + out.diameter as u64 + 16);
+    }
+}

@@ -1,0 +1,159 @@
+//! Small classic social networks used throughout the centrality
+//! literature, embedded for reproducible experiments.
+//!
+//! These are the kinds of graphs the centrality indices of the paper's
+//! introduction were designed for (Wasserman & Faust, the paper's ref.\[2\]).
+
+use crate::{Graph, NodeId};
+
+/// Zachary's karate club (34 nodes, 78 edges) — the canonical social
+/// network benchmark. Node 0 is the instructor ("Mr. Hi"), node 33 the
+/// club president; both are the classic betweenness leaders.
+///
+/// Source: W. W. Zachary, *An information flow model for conflict and
+/// fission in small groups*, J. Anthropological Research 33 (1977).
+pub fn karate_club() -> Graph {
+    const EDGES: [(NodeId, NodeId); 78] = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
+    ];
+    Graph::from_edges(34, EDGES).expect("karate club edges are valid")
+}
+
+/// Padgett's Florentine families marriage network (15 families of the
+/// connected component, 20 edges). The Medici's famously dominant
+/// betweenness is the textbook motivation for the index.
+///
+/// Node order: Acciaiuoli, Albizzi, Barbadori, Bischeri, Castellani,
+/// Ginori, Guadagni, Lamberteschi, **Medici (8)**, Pazzi, Peruzzi, Ridolfi,
+/// Salviati, Strozzi, Tornabuoni.
+pub fn florentine_families() -> Graph {
+    const EDGES: [(NodeId, NodeId); 20] = [
+        (0, 8),   // Acciaiuoli–Medici
+        (1, 5),   // Albizzi–Ginori
+        (1, 6),   // Albizzi–Guadagni
+        (1, 8),   // Albizzi–Medici
+        (2, 4),   // Barbadori–Castellani
+        (2, 8),   // Barbadori–Medici
+        (3, 6),   // Bischeri–Guadagni
+        (3, 10),  // Bischeri–Peruzzi
+        (3, 13),  // Bischeri–Strozzi
+        (4, 10),  // Castellani–Peruzzi
+        (4, 13),  // Castellani–Strozzi
+        (6, 7),   // Guadagni–Lamberteschi
+        (6, 14),  // Guadagni–Tornabuoni
+        (8, 11),  // Medici–Ridolfi
+        (8, 12),  // Medici–Salviati
+        (8, 14),  // Medici–Tornabuoni
+        (9, 12),  // Pazzi–Salviati
+        (10, 13), // Peruzzi–Strozzi
+        (11, 13), // Ridolfi–Strozzi
+        (11, 14), // Ridolfi–Tornabuoni
+    ];
+    Graph::from_edges(15, EDGES).expect("florentine edges are valid")
+}
+
+/// Index of the Medici family in [`florentine_families`].
+pub const MEDICI: NodeId = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn karate_shape() {
+        let g = karate_club();
+        assert_eq!(g.n(), 34);
+        assert_eq!(g.m(), 78);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.degree(33), 17);
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn florentine_shape() {
+        let g = florentine_families();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 20);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.degree(MEDICI), 6);
+    }
+}

@@ -1,0 +1,575 @@
+//! Graph generators for workloads: deterministic families with known
+//! centralities/diameters (used to validate the algorithms) and random
+//! families (used for sweeps and property tests).
+//!
+//! All random generators are seeded and fully deterministic for a given
+//! seed, so every experiment in `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn build(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Graph {
+    Graph::from_edges(n, edges).expect("generator produced invalid edges")
+}
+
+/// Path graph `0 - 1 - … - (n-1)`; diameter `n-1`.
+///
+/// ```
+/// let g = bc_graph::generators::path(4);
+/// assert_eq!(g.m(), 3);
+/// assert!(g.has_edge(1, 2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path requires n >= 1");
+    build(n, (1..n as NodeId).map(|v| (v - 1, v)))
+}
+
+/// Cycle graph on `n >= 3` nodes; diameter `⌊n/2⌋`.
+///
+/// ```
+/// let g = bc_graph::generators::cycle(5);
+/// assert!(g.nodes().all(|v| g.degree(v) == 2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3");
+    build(n, (0..n as NodeId).map(|v| (v, (v + 1) % n as NodeId)))
+}
+
+/// Complete graph `K_n`; every node has betweenness 0.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v).expect("valid");
+        }
+    }
+    b.build()
+}
+
+/// Star: node 0 is the hub connected to `n-1` leaves. The hub's betweenness
+/// is `(n-1)(n-2)/2`; leaves have 0.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star requires n >= 1");
+    build(n, (1..n as NodeId).map(|v| (0, v)))
+}
+
+/// `rows × cols` grid; nodes are row-major.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid requires positive dimensions");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    build(rows * cols, edges)
+}
+
+/// `rows × cols` torus (grid with wraparound); requires both dims ≥ 3 to
+/// stay simple.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus requires dims >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
+            edges.push((id(r, c), id((r + 1) % rows, c)));
+        }
+    }
+    build(rows * cols, edges)
+}
+
+/// Complete `branching`-ary tree of the given `depth` (depth 0 = single
+/// root).
+///
+/// # Panics
+///
+/// Panics if `branching == 0`.
+pub fn balanced_tree(branching: usize, depth: usize) -> Graph {
+    assert!(branching > 0, "balanced_tree requires branching >= 1");
+    let mut edges = Vec::new();
+    let mut level: Vec<NodeId> = vec![0];
+    let mut next_id: NodeId = 1;
+    for _ in 0..depth {
+        let mut next_level = Vec::new();
+        for &p in &level {
+            for _ in 0..branching {
+                edges.push((p, next_id));
+                next_level.push(next_id);
+                next_id += 1;
+            }
+        }
+        level = next_level;
+    }
+    build(next_id as usize, edges)
+}
+
+/// `dim`-dimensional hypercube on `2^dim` nodes; diameter `dim`.
+///
+/// # Panics
+///
+/// Panics if `dim > 20` (guard against accidental huge graphs).
+pub fn hypercube(dim: usize) -> Graph {
+    assert!(dim <= 20, "hypercube dimension too large");
+    let n = 1usize << dim;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for b in 0..dim {
+            let w = v ^ (1 << b);
+            if v < w {
+                edges.push((v as NodeId, w as NodeId));
+            }
+        }
+    }
+    build(n, edges)
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `bridge` intermediate
+/// nodes. High-betweenness bridge; classic BC stress test.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "barbell requires cliques of size >= 2");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    let clique = |b: &mut GraphBuilder, base: usize| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge((base + u) as NodeId, (base + v) as NodeId)
+                    .expect("valid");
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, k + bridge);
+    // Path: node k-1 (in left clique) — k .. k+bridge-1 — k+bridge (right).
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..bridge {
+        let cur = (k + i) as NodeId;
+        b.add_edge(prev, cur).expect("valid");
+        prev = cur;
+    }
+    b.add_edge(prev, (k + bridge) as NodeId).expect("valid");
+    b.build()
+}
+
+/// Lollipop: `K_k` clique with a tail path of `tail` nodes.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 2, "lollipop requires a clique of size >= 2");
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u as NodeId, v as NodeId).expect("valid");
+        }
+    }
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..tail {
+        let cur = (k + i) as NodeId;
+        b.add_edge(prev, cur).expect("valid");
+        prev = cur;
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "caterpillar requires a non-empty spine");
+    let n = spine * (1 + legs);
+    let mut edges = Vec::new();
+    for s in 1..spine {
+        edges.push(((s - 1) as NodeId, s as NodeId));
+    }
+    let mut next = spine as NodeId;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((s as NodeId, next));
+            next += 1;
+        }
+    }
+    build(n, edges)
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair is an edge independently with
+/// probability `p`.
+///
+/// ```
+/// use bc_graph::generators::erdos_renyi;
+/// // Seeded: identical graphs for identical seeds.
+/// assert_eq!(erdos_renyi(30, 0.2, 7), erdos_renyi(30, 0.2, 7));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "erdos_renyi requires n >= 1");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected Erdős–Rényi: `G(n, p)` plus a random spanning-tree backbone,
+/// guaranteeing connectivity while keeping ER-like structure.
+///
+/// ```
+/// use bc_graph::{algo, generators};
+/// let g = generators::erdos_renyi_connected(40, 0.02, 1);
+/// assert!(algo::is_connected(&g));
+/// ```
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "erdos_renyi_connected requires n >= 1");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(parent, v).expect("valid");
+    }
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice where each node links to its
+/// `k/2` nearest neighbors on each side, each edge rewired with probability
+/// `beta`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k.is_multiple_of(2), "watts_strogatz requires even k");
+    assert!(k < n, "watts_strogatz requires k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let (mut a, mut c) = (u as NodeId, v as NodeId);
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint to a uniform non-self target.
+                for _ in 0..16 {
+                    let t = rng.gen_range(0..n) as NodeId;
+                    if t != a {
+                        c = t;
+                        break;
+                    }
+                }
+            }
+            if a != c {
+                if a > c {
+                    std::mem::swap(&mut a, &mut c);
+                }
+                b.add_edge(a, c).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes chosen
+/// degree-proportionally.
+///
+/// ```
+/// use bc_graph::generators::barabasi_albert;
+/// let g = barabasi_albert(50, 2, 3);
+/// // Hubs emerge: some node far exceeds the mean degree.
+/// assert!(g.max_degree() > 2 * (2 * g.m() / g.n()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m > 0, "barabasi_albert requires m >= 1");
+    assert!(n > m, "barabasi_albert requires n > m");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    // Seed clique on m+1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v).expect("valid");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(t, v as NodeId).expect("valid");
+            endpoints.push(t);
+            endpoints.push(v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree: node `v` attaches to a uniform node in
+/// `0..v`. Always connected, `n-1` edges.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "random_tree requires n >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(rng.gen_range(0..v), v).expect("valid");
+    }
+    b.build()
+}
+
+/// The 5-node worked example of the paper's Figure 1.
+///
+/// Edges: `v1–v2, v2–v3, v2–v5, v3–v4, v5–v4` with the paper's `v_i`
+/// mapped to node id `i-1`. Diameter 3; the paper computes `C_B(v2) = 7/2`.
+///
+/// ```
+/// let g = bc_graph::generators::paper_figure1();
+/// assert_eq!((g.n(), g.m()), (5, 5));
+/// ```
+pub fn paper_figure1() -> Graph {
+    build(5, [(0, 1), (1, 2), (1, 4), (2, 3), (4, 3)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_connected};
+
+    #[test]
+    fn path_properties() {
+        let g = path(7);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(diameter(&g), 6);
+        assert_eq!(path(1).m(), 0);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(8);
+        assert_eq!(g.m(), 8);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(diameter(&g), 4);
+        assert_eq!(diameter(&cycle(9)), 4);
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(diameter(&g), 1);
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.m(), 8);
+        assert_eq!(diameter(&g), 2);
+    }
+
+    #[test]
+    fn grid_and_torus() {
+        let g = grid(3, 5);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 3 * 4 + 5 * 2);
+        assert_eq!(diameter(&g), 2 + 4);
+        let t = torus(4, 4);
+        assert_eq!(t.n(), 16);
+        assert!(t.nodes().all(|v| t.degree(v) == 4));
+        assert_eq!(diameter(&t), 4);
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(is_connected(&g));
+        assert_eq!(balanced_tree(3, 0).n(), 1);
+    }
+
+    #[test]
+    fn hypercube_properties() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn barbell_properties() {
+        let g = barbell(4, 3);
+        assert_eq!(g.n(), 11);
+        assert!(is_connected(&g));
+        // Clique edges 2·C(4,2)=12, path edges 4.
+        assert_eq!(g.m(), 16);
+        assert_eq!(diameter(&g), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn lollipop_properties() {
+        let g = lollipop(5, 4);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 10 + 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_properties() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 11);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let a = erdos_renyi(30, 0.2, 42);
+        let b = erdos_renyi(30, 0.2, 42);
+        assert_eq!(a, b);
+        let c = erdos_renyi(30, 0.2, 43);
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+        assert_eq!(erdos_renyi(10, 0.0, 1).m(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_is_connected() {
+        for seed in 0..5 {
+            assert!(is_connected(&erdos_renyi_connected(50, 0.02, seed)));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(40, 4, 0.0, 7);
+        assert_eq!(g.m(), 80);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        let r = watts_strogatz(40, 4, 0.3, 7);
+        assert!(is_connected(&r) || r.n() == 40); // rewiring keeps it simple
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(100, 2, 11);
+        assert!(is_connected(&g));
+        // Seed clique C(3,2)=3 edges + 2 per additional node.
+        assert_eq!(g.m(), 3 + 2 * 97);
+        assert_eq!(g, barabasi_albert(100, 2, 11));
+    }
+
+    #[test]
+    fn random_tree_shape() {
+        let g = random_tree(64, 5);
+        assert_eq!(g.m(), 63);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn figure1_graph() {
+        let g = paper_figure1();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 5);
+        assert_eq!(diameter(&g), 3);
+        // v1's neighbors: only v2 (ids: 0 ↔ 1).
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn cycle_too_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn er_bad_probability() {
+        let _ = erdos_renyi(5, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn ws_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn ba_bad_params() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: optional comment lines starting with `#`, an optional header
+//! `n <N>` pinning the node count (needed to represent trailing isolated
+//! nodes), then one `u v` pair per line. Node ids are decimal `u32`.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::fmt;
+
+/// Default node-count limit for [`parse_edge_list`]: beyond this, building
+/// the CSR arrays from a (possibly hostile or corrupt) file would allocate
+/// gigabytes up front.
+pub const DEFAULT_NODE_LIMIT: usize = 1 << 27;
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// A line did not contain exactly two integer fields.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An integer field failed to parse as `u32`.
+    BadInteger {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The declared or inferred node count exceeds the limit — guards
+    /// against a corrupt or hostile file forcing a huge allocation.
+    TooLarge {
+        /// Declared/inferred node count.
+        n: usize,
+        /// The limit in force.
+        limit: usize,
+    },
+    /// The header or an edge violated graph constraints.
+    Graph(crate::GraphError),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::MalformedLine { line } => {
+                write!(f, "malformed edge on line {line} (expected `u v`)")
+            }
+            ParseGraphError::BadInteger { line } => {
+                write!(f, "invalid integer on line {line}")
+            }
+            ParseGraphError::TooLarge { n, limit } => {
+                write!(f, "graph declares {n} nodes, above the limit of {limit}")
+            }
+            ParseGraphError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+impl From<crate::GraphError> for ParseGraphError {
+    fn from(e: crate::GraphError) -> Self {
+        ParseGraphError::Graph(e)
+    }
+}
+
+/// Parses the edge-list format described in the module docs.
+///
+/// Without an `n` header the node count is `max id + 1` (or 0 for an empty
+/// input).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, bad integers, self-loops
+/// or out-of-range endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use bc_graph::io::parse_edge_list;
+///
+/// let g = parse_edge_list("# a triangle\n0 1\n1 2\n2 0\n")?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 3);
+/// # Ok::<(), bc_graph::io::ParseGraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    parse_edge_list_with_node_limit(text, DEFAULT_NODE_LIMIT)
+}
+
+/// Like [`parse_edge_list`] with an explicit node-count cap (errors with
+/// [`ParseGraphError::TooLarge`] above it).
+///
+/// # Errors
+///
+/// As [`parse_edge_list`].
+pub fn parse_edge_list_with_node_limit(text: &str, limit: usize) -> Result<Graph, ParseGraphError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let first = it.next().ok_or(ParseGraphError::MalformedLine { line })?;
+        if first == "n" {
+            let v = it.next().ok_or(ParseGraphError::MalformedLine { line })?;
+            if it.next().is_some() {
+                return Err(ParseGraphError::MalformedLine { line });
+            }
+            declared_n = Some(
+                v.parse::<usize>()
+                    .map_err(|_| ParseGraphError::BadInteger { line })?,
+            );
+            continue;
+        }
+        let second = it.next().ok_or(ParseGraphError::MalformedLine { line })?;
+        if it.next().is_some() {
+            return Err(ParseGraphError::MalformedLine { line });
+        }
+        let u: NodeId = first
+            .parse()
+            .map_err(|_| ParseGraphError::BadInteger { line })?;
+        let v: NodeId = second
+            .parse()
+            .map_err(|_| ParseGraphError::BadInteger { line })?;
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    if n > limit {
+        return Err(ParseGraphError::TooLarge { n, limit });
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Serializes a graph to the edge-list format (with an `n` header so
+/// isolated nodes round-trip).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut s = String::with_capacity(16 + 12 * g.m());
+    s.push_str(&format!("n {}\n", g.n()));
+    for (u, v) in g.edges() {
+        s.push_str(&format!("{u} {v}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::erdos_renyi(40, 0.15, 3);
+        let text = to_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_with_isolated_nodes() {
+        let g = Graph::from_edges(5, [(0, 1)]).unwrap();
+        let h = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(h.n(), 5);
+        assert_eq!(h.m(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_edge_list("\n# hi\n\n0 1\n# bye\n1 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+
+    #[test]
+    fn infers_n_without_header() {
+        let g = parse_edge_list("2 7\n").unwrap();
+        assert_eq!(g.n(), 8);
+    }
+
+    #[test]
+    fn malformed_lines() {
+        assert_eq!(
+            parse_edge_list("0 1 2\n"),
+            Err(ParseGraphError::MalformedLine { line: 1 })
+        );
+        assert_eq!(
+            parse_edge_list("0\n"),
+            Err(ParseGraphError::MalformedLine { line: 1 })
+        );
+        assert_eq!(
+            parse_edge_list("0 x\n"),
+            Err(ParseGraphError::BadInteger { line: 1 })
+        );
+        assert_eq!(
+            parse_edge_list("n\n"),
+            Err(ParseGraphError::MalformedLine { line: 1 })
+        );
+        assert_eq!(
+            parse_edge_list("n 3 4\n"),
+            Err(ParseGraphError::MalformedLine { line: 1 })
+        );
+    }
+
+    #[test]
+    fn node_limit_guards_allocation() {
+        // A single absurd id must not force a gigabyte allocation.
+        let err = parse_edge_list(
+            "0 4000000000
+",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseGraphError::TooLarge { .. }));
+        assert!(err.to_string().contains("limit"));
+        // Declared headers are guarded too, and the limit is adjustable.
+        assert!(matches!(
+            parse_edge_list(
+                "n 999999999
+"
+            ),
+            Err(ParseGraphError::TooLarge { .. })
+        ));
+        assert!(parse_edge_list_with_node_limit(
+            "0 100
+", 50
+        )
+        .is_err());
+        assert!(parse_edge_list_with_node_limit(
+            "0 100
+", 200
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        assert!(matches!(
+            parse_edge_list("n 2\n0 5\n"),
+            Err(ParseGraphError::Graph(_))
+        ));
+        assert!(matches!(
+            parse_edge_list("1 1\n"),
+            Err(ParseGraphError::Graph(crate::GraphError::SelfLoop {
+                node: 1
+            }))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseGraphError::MalformedLine { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ParseGraphError::BadInteger { line: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

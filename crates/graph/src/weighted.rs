@@ -1,0 +1,371 @@
+//! Weighted graphs and the virtual-node subdivision the paper's conclusion
+//! proposes for extending the algorithm beyond unweighted graphs
+//! ("the idea in ref.\[16\] which adds virtual nodes in the weighted edges might
+//! also work").
+//!
+//! For *integer* weights the subdivision is exact, not approximate:
+//! replacing an edge of weight `w` by a path of `w` unit edges preserves
+//! all shortest-path distances and multiplicities between original nodes,
+//! so any unweighted shortest-path machinery — including the paper's
+//! distributed algorithm, restricted to original nodes as sources and
+//! targets — computes weighted centralities on the subdivided graph.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// An undirected graph with positive integer edge weights, stored in CSR
+/// form like [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use bc_graph::weighted::WeightedGraph;
+///
+/// let wg = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3), (0, 2, 10)])?;
+/// assert_eq!(wg.n(), 3);
+/// let sp = wg.dijkstra(0);
+/// assert_eq!(sp.dist[2], 5); // 0→1→2 beats the weight-10 edge
+/// # Ok::<(), bc_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    weights: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Builds from a weighted edge list; duplicate edges keep the smallest
+    /// weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on self-loops or out-of-range endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<WeightedGraph, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, u32)>,
+    {
+        let mut list: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        {
+            // Reuse GraphBuilder's validation by dry-adding endpoints.
+            let mut check = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                assert!(w >= 1, "edge weights must be positive");
+                check.add_edge(u, v)?;
+                list.push((u.min(v), u.max(v), w));
+            }
+        }
+        list.sort_unstable();
+        // Duplicate edges: keep the minimum weight.
+        let mut dedup: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(list.len());
+        for (u, v, w) in list {
+            match dedup.last_mut() {
+                Some(&mut (lu, lv, ref mut lw)) if lu == u && lv == v => *lw = (*lw).min(w),
+                _ => dedup.push((u, v, w)),
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v, _) in &dedup {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; 2 * dedup.len()];
+        let mut weights = vec![0u32; 2 * dedup.len()];
+        for &(u, v, w) in &dedup {
+            neighbors[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            weights[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        Ok(WeightedGraph {
+            offsets,
+            neighbors,
+            weights,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The `(neighbor, weight)` list of `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        let r = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        self.neighbors[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
+    }
+
+    /// Iterates each undirected weighted edge once as `(u, v, w)`, `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Total weight of all edges (the subdivided graph's edge count).
+    pub fn total_weight(&self) -> u64 {
+        self.edges().map(|(_, _, w)| w as u64).sum()
+    }
+
+    /// Dijkstra from `source`: weighted distances, a settle order, and the
+    /// weighted predecessor sets (the weighted analog of Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    pub fn dijkstra(&self, source: NodeId) -> WeightedSp {
+        assert!((source as usize) < self.n(), "source out of range");
+        const INF: u64 = u64::MAX;
+        let n = self.n();
+        let mut dist = vec![INF; n];
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order = Vec::new();
+        let mut settled = vec![false; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(std::cmp::Reverse((0, source)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if settled[v as usize] {
+                continue;
+            }
+            settled[v as usize] = true;
+            order.push(v);
+            for (w, wt) in self.neighbors(v) {
+                let nd = d + wt as u64;
+                match nd.cmp(&dist[w as usize]) {
+                    std::cmp::Ordering::Less => {
+                        dist[w as usize] = nd;
+                        preds[w as usize] = vec![v];
+                        heap.push(std::cmp::Reverse((nd, w)));
+                    }
+                    std::cmp::Ordering::Equal => preds[w as usize].push(v),
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+        WeightedSp {
+            source,
+            dist,
+            order,
+            preds,
+        }
+    }
+
+    /// Subdivides every weight-`w` edge into a path of `w` unit edges.
+    /// Returns the unweighted graph and a mask marking the original
+    /// ("real") nodes `0..n`; virtual nodes occupy ids `n..`.
+    pub fn subdivide(&self) -> Subdivision {
+        let n = self.n();
+        let total = n + self.edges().map(|(_, _, w)| w as usize - 1).sum::<usize>();
+        let mut b = GraphBuilder::new(total);
+        let mut next = n as NodeId;
+        for (u, v, w) in self.edges() {
+            let mut prev = u;
+            for _ in 0..w - 1 {
+                b.add_edge(prev, next).expect("subdivision edge valid");
+                prev = next;
+                next += 1;
+            }
+            b.add_edge(prev, v).expect("subdivision edge valid");
+        }
+        let mut real = vec![false; total];
+        real[..n].fill(true);
+        Subdivision {
+            graph: b.build(),
+            real,
+            original_n: n,
+        }
+    }
+}
+
+impl fmt::Debug for WeightedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WeightedGraph(n={}, m={}, total_weight={})",
+            self.n(),
+            self.m(),
+            self.total_weight()
+        )
+    }
+}
+
+/// Weighted single-source shortest-path structure (from
+/// [`WeightedGraph::dijkstra`]).
+#[derive(Debug, Clone)]
+pub struct WeightedSp {
+    /// The source node.
+    pub source: NodeId,
+    /// Weighted distances (`u64::MAX` when unreachable).
+    pub dist: Vec<u64>,
+    /// Reachable nodes in non-decreasing distance order.
+    pub order: Vec<NodeId>,
+    /// Weighted predecessor sets.
+    pub preds: Vec<Vec<NodeId>>,
+}
+
+/// The result of [`WeightedGraph::subdivide`].
+#[derive(Debug, Clone)]
+pub struct Subdivision {
+    /// The unweighted subdivided graph (original ids preserved,
+    /// virtual nodes appended).
+    pub graph: Graph,
+    /// `real[v]` iff `v` is an original node.
+    pub real: Vec<bool>,
+    /// Number of original nodes.
+    pub original_n: usize,
+}
+
+/// A connected random weighted graph (ER backbone, uniform weights in
+/// `1..=max_weight`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_weight == 0`.
+pub fn random_weighted(n: usize, p: f64, max_weight: u32, seed: u64) -> WeightedGraph {
+    assert!(max_weight >= 1, "weights must be positive");
+    use rand::{Rng, SeedableRng};
+    let g = crate::generators::erdos_renyi_connected(n, p, seed);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x57E1_6875);
+    WeightedGraph::from_edges(
+        n,
+        g.edges()
+            .map(|(u, v)| (u, v, rng.gen_range(1..=max_weight))),
+    )
+    .expect("edges already validated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    fn triangle() -> WeightedGraph {
+        WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3), (0, 2, 10)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let wg = triangle();
+        assert_eq!(wg.n(), 3);
+        assert_eq!(wg.m(), 3);
+        assert_eq!(wg.total_weight(), 15);
+        let nb: Vec<_> = wg.neighbors(0).collect();
+        assert_eq!(nb, vec![(1, 2), (2, 10)]);
+        assert!(format!("{wg:?}").contains("total_weight=15"));
+    }
+
+    #[test]
+    fn duplicate_keeps_min_weight() {
+        let wg = WeightedGraph::from_edges(2, [(0, 1, 5), (1, 0, 3)]).unwrap();
+        assert_eq!(wg.edges().next(), Some((0, 1, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = WeightedGraph::from_edges(2, [(0, 1, 0)]);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(WeightedGraph::from_edges(2, [(1, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn dijkstra_shortest_routes() {
+        let sp = triangle().dijkstra(0);
+        assert_eq!(sp.dist, vec![0, 2, 5]);
+        assert_eq!(sp.preds[2], vec![1]);
+        assert_eq!(sp.order[0], 0);
+    }
+
+    #[test]
+    fn dijkstra_equal_paths() {
+        // 0-1 (1), 0-2 (1), 1-3 (1), 2-3 (1): two weight-2 paths to 3.
+        let wg =
+            WeightedGraph::from_edges(4, [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]).unwrap();
+        let sp = wg.dijkstra(0);
+        assert_eq!(sp.dist[3], 2);
+        assert_eq!(sp.preds[3], vec![1, 2]);
+    }
+
+    #[test]
+    fn subdivision_preserves_distances_and_counts() {
+        let wg = triangle();
+        let sub = wg.subdivide();
+        assert_eq!(sub.graph.n(), 3 + (1 + 2 + 9));
+        assert!(algo::is_connected(&sub.graph));
+        for s in 0..3u32 {
+            let wsp = wg.dijkstra(s);
+            let dag = algo::bfs(&sub.graph, s);
+            let sigma = algo::sigma_f64(&dag);
+            let wsigma = weighted_sigma(&wsp);
+            for t in 0..3usize {
+                assert_eq!(dag.dist[t] as u64, wsp.dist[t], "d({s},{t})");
+                assert_eq!(sigma[t], wsigma[t], "σ({s},{t})");
+            }
+        }
+    }
+
+    /// σ over a weighted SP structure.
+    fn weighted_sigma(sp: &WeightedSp) -> Vec<f64> {
+        let mut sigma = vec![0.0; sp.dist.len()];
+        sigma[sp.source as usize] = 1.0;
+        for &v in &sp.order {
+            if v == sp.source {
+                continue;
+            }
+            sigma[v as usize] = sp.preds[v as usize]
+                .iter()
+                .map(|&w| sigma[w as usize])
+                .sum();
+        }
+        sigma
+    }
+
+    #[test]
+    fn subdivision_real_mask() {
+        let sub = triangle().subdivide();
+        assert_eq!(sub.original_n, 3);
+        assert_eq!(sub.real.iter().filter(|&&b| b).count(), 3);
+        assert!(sub.real[0] && sub.real[2] && !sub.real[3]);
+    }
+
+    #[test]
+    fn unit_weights_subdivide_to_same_graph() {
+        let wg = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let sub = wg.subdivide();
+        assert_eq!(sub.graph.n(), 4);
+        assert_eq!(sub.graph.m(), 3);
+    }
+
+    #[test]
+    fn random_weighted_is_connected() {
+        for seed in 0..4 {
+            let wg = random_weighted(24, 0.1, 5, seed);
+            assert!(algo::is_connected(&wg.subdivide().graph));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The Figure 3 construction: a graph family where the betweenness of the
+//! designated nodes `F_i` is `1.5` iff `X_i` appears in Bob's family and
+//! `1` otherwise (Lemma 9) — so any algorithm computing betweenness to
+//! relative error `0.499` solves sparse set disjointness and must move
+//! `Ω(n log n)` bits across an `(m + 1)`-edge cut (Theorem 6).
+//!
+//! Wiring (from the construction and the requirements of the Lemma 9
+//! proof): `L_i — L'_i`; `S_j — L_i` for `i ∈ X_j`; `T_j — L'_i` for
+//! `i ∉ Y_j`; a pendant `F_j — S_j`; hubs `P — F_j`, `Q — T_j`, `P — Q`,
+//! `B — S_j`, `B — F_j`, `B — P`, `A — L_i`, `A — P`. The hub edges pin
+//! every shortest path that could cross `F_i`: only
+//! `(S_i, P)`, `(S_i, Q)` (each `δ = 1/2`) and, when `X_i = Y_j`,
+//! `(S_i, T_j)` (`δ = 1/2`) pass through `F_i`.
+
+use crate::disjoint::DisjointnessInstance;
+use bc_graph::{Graph, GraphBuilder, NodeId};
+
+/// The built gadget with its role map.
+#[derive(Debug, Clone)]
+pub struct BcGadget {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// The probe nodes `F_1..n` whose betweenness encodes the answer.
+    pub f: Vec<NodeId>,
+    /// Left set nodes `S_1..n`.
+    pub s: Vec<NodeId>,
+    /// Right set nodes `T_1..n`.
+    pub t: Vec<NodeId>,
+    /// Left universe nodes `L_1..m`.
+    pub l: Vec<NodeId>,
+    /// Right universe nodes `L'_1..m`.
+    pub l_prime: Vec<NodeId>,
+    /// Hub nodes.
+    pub a: NodeId,
+    /// Hub adjacent to the `S_j` and `F_j` and `P`.
+    pub b: NodeId,
+    /// Hub adjacent to the `F_j` and `Q`.
+    pub p: NodeId,
+    /// Hub adjacent to the `T_j`.
+    pub q: NodeId,
+    /// The `m + 1` cut edges (`L_i — L'_i` for all `i`, plus `P — Q`).
+    pub cut: Vec<(NodeId, NodeId)>,
+}
+
+/// Builds the Figure 3 gadget.
+///
+/// # Panics
+///
+/// Panics if the families disagree on `m` / `n` or are empty.
+pub fn bc_gadget(inst: &DisjointnessInstance) -> BcGadget {
+    assert_eq!(inst.x.m, inst.y.m, "mismatched universes");
+    assert_eq!(inst.x.len(), inst.y.len(), "mismatched family sizes");
+    assert!(!inst.x.is_empty(), "empty instance");
+    let m = inst.x.m as usize;
+    let n = inst.x.len();
+    let total = 2 * m + 3 * n + 4;
+    let mut next: NodeId = 0;
+    let mut alloc = |k: usize| -> Vec<NodeId> {
+        let v = (next..next + k as NodeId).collect();
+        next += k as NodeId;
+        v
+    };
+    let l = alloc(m);
+    let lp = alloc(m);
+    let s = alloc(n);
+    let f = alloc(n);
+    let t = alloc(n);
+    let hubs = alloc(4);
+    let (a, b, p, q) = (hubs[0], hubs[1], hubs[2], hubs[3]);
+    debug_assert_eq!(next as usize, total);
+
+    let mut builder = GraphBuilder::new(total);
+    let mut cut = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        builder.add_edge(l[i], lp[i]).expect("gadget edge");
+        cut.push((l[i], lp[i]));
+        builder.add_edge(a, l[i]).expect("gadget edge");
+    }
+    builder.add_edge(p, q).expect("gadget edge");
+    cut.push((p, q));
+    builder.add_edge(a, p).expect("gadget edge");
+    builder.add_edge(b, p).expect("gadget edge");
+    for j in 0..n {
+        builder.add_edge(s[j], f[j]).expect("gadget edge");
+        builder.add_edge(p, f[j]).expect("gadget edge");
+        builder.add_edge(q, t[j]).expect("gadget edge");
+        builder.add_edge(b, s[j]).expect("gadget edge");
+        builder.add_edge(b, f[j]).expect("gadget edge");
+        for i in 0..m {
+            if inst.x.sets[j] >> i & 1 == 1 {
+                builder.add_edge(l[i], s[j]).expect("gadget edge");
+            }
+            if inst.y.sets[j] >> i & 1 == 0 {
+                builder.add_edge(lp[i], t[j]).expect("gadget edge");
+            }
+        }
+    }
+    BcGadget {
+        graph: builder.build(),
+        f,
+        s,
+        t,
+        l,
+        l_prime: lp,
+        a,
+        b,
+        p,
+        q,
+        cut,
+    }
+}
+
+/// The two values Lemma 9 distinguishes.
+pub const BC_IF_ABSENT: f64 = 1.0;
+/// Betweenness of `F_i` when `X_i` appears in `Y`.
+pub const BC_IF_PRESENT: f64 = 1.5;
+
+/// Decides disjointness by reading the exact betweenness of the `F_i`
+/// probes (the Theorem 6 reduction run forward). Returns `true` iff the
+/// families intersect.
+pub fn decide_disjointness_via_betweenness(inst: &DisjointnessInstance) -> bool {
+    let gadget = bc_gadget(inst);
+    let cb = bc_brandes::betweenness_f64(&gadget.graph);
+    gadget
+        .f
+        .iter()
+        .any(|&fi| (cb[fi as usize] - BC_IF_PRESENT).abs() < 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::{random_instance, universe_size};
+    use bc_brandes::betweenness_f64;
+    use bc_graph::algo::{self, bfs};
+
+    #[test]
+    fn lemma9_dichotomy() {
+        for seed in 0..6 {
+            let inst = random_instance(5, universe_size(5), seed % 2 == 0, seed);
+            let g = bc_gadget(&inst);
+            let cb = betweenness_f64(&g.graph);
+            for (i, &fi) in g.f.iter().enumerate() {
+                let present = inst.y.sets.contains(&inst.x.sets[i]);
+                let expect = if present { BC_IF_PRESENT } else { BC_IF_ABSENT };
+                assert!(
+                    (cb[fi as usize] - expect).abs() < 1e-9,
+                    "seed {seed} F_{i}: got {} expected {expect}",
+                    cb[fi as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_distances_match_proof() {
+        // d(S_i, T_j) = 3 when X_i ≠ Y_j, 4 when X_i = Y_j.
+        let mut inst = random_instance(4, universe_size(4), false, 9);
+        inst.y.sets[2] = inst.x.sets[1];
+        inst.intersecting = true;
+        let g = bc_gadget(&inst);
+        for i in 0..4 {
+            let dag = bfs(&g.graph, g.s[i]);
+            for j in 0..4 {
+                let expect = if inst.x.sets[i] == inst.y.sets[j] {
+                    4
+                } else {
+                    3
+                };
+                assert_eq!(dag.dist[g.t[j] as usize], expect, "d(S_{i}, T_{j})");
+            }
+            // d(S_i, P) = 2 with exactly the two paths F_i / B.
+            assert_eq!(dag.dist[g.p as usize], 2);
+            assert_eq!(dag.dist[g.q as usize], 3);
+        }
+    }
+
+    #[test]
+    fn reduction_decides_disjointness() {
+        for seed in 0..8 {
+            let inst = random_instance(6, universe_size(6), seed % 2 == 1, seed);
+            assert_eq!(
+                decide_disjointness_via_betweenness(&inst),
+                inst.intersecting,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let inst = random_instance(5, universe_size(5), false, 3);
+        let g = bc_gadget(&inst);
+        assert_eq!(g.graph.n(), 2 * inst.x.m as usize + 3 * 5 + 4);
+        assert!(algo::is_connected(&g.graph));
+        assert_eq!(g.cut.len() as u32, inst.x.m + 1);
+        // The cut separates the sides.
+        let kept = g
+            .graph
+            .edges()
+            .filter(|&(u, v)| !g.cut.contains(&(u, v)) && !g.cut.contains(&(v, u)));
+        let pruned = Graph::from_edges(g.graph.n(), kept).unwrap();
+        let (comp, k) = algo::connected_components(&pruned);
+        assert!(k >= 2);
+        assert_ne!(comp[g.s[0] as usize], comp[g.t[0] as usize]);
+        assert_ne!(comp[g.p as usize], comp[g.q as usize]);
+    }
+
+    #[test]
+    fn gadget_diameter_is_constant() {
+        // The BC gadget is shallow — its diameter doesn't grow with n, so
+        // the Ω(N/log N) term dominates the lower bound on it.
+        for n in [4usize, 8, 16] {
+            let inst = random_instance(n, universe_size(n), false, 1);
+            let g = bc_gadget(&inst);
+            assert!(algo::diameter(&g.graph) <= 7, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The Figure 2 construction: a graph family on which deciding whether the
+//! diameter is `x` or `x + 2` solves sparse set disjointness, forcing
+//! `Ω(n log n)` bits across an `(m + 1)`-edge cut — hence
+//! `Ω(D + N/log N)` rounds (Theorem 5).
+
+use crate::disjoint::DisjointnessInstance;
+use bc_graph::{Graph, GraphBuilder, NodeId};
+
+/// The built gadget with its role map.
+#[derive(Debug, Clone)]
+pub struct DiameterGadget {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// The `x` parameter: the diameter is `x` (disjoint) or `x + 2`.
+    pub x: u32,
+    /// Left witnesses `S'_1..n` — the diameter is realized between some
+    /// `S'_i` and `T'_j`.
+    pub s_prime: Vec<NodeId>,
+    /// Right witnesses `T'_1..n`.
+    pub t_prime: Vec<NodeId>,
+    /// Left hub `A` and right hub `B`.
+    pub a: NodeId,
+    /// Right hub `B`.
+    pub b: NodeId,
+    /// The `m + 1` cut edges separating Alice's side from Bob's (the
+    /// middle edge of each `L_i ⇝ L'_i` path and of the `A ⇝ B` path).
+    pub cut: Vec<(NodeId, NodeId)>,
+}
+
+/// Builds the Figure 2 gadget for a disjointness instance.
+///
+/// # Panics
+///
+/// Panics if `x < 8` (the construction needs slack `x − 6 ≥ 2`) or the
+/// two families disagree on `m` / `n`.
+pub fn diameter_gadget(x: u32, inst: &DisjointnessInstance) -> DiameterGadget {
+    assert!(x >= 8, "the construction requires x >= 8");
+    assert_eq!(inst.x.m, inst.y.m, "mismatched universes");
+    assert_eq!(inst.x.len(), inst.y.len(), "mismatched family sizes");
+    let m = inst.x.m as usize;
+    let n = inst.x.len();
+    let path_internal = (x - 7) as usize; // x−6 edges ⇒ x−7 internal nodes
+    let total = 2 * m + m * path_internal + 2 + path_internal + 6 * n;
+    let mut next: NodeId = 0;
+    let mut alloc = |k: usize| -> Vec<NodeId> {
+        let v = (next..next + k as NodeId).collect();
+        next += k as NodeId;
+        v
+    };
+    let l = alloc(m);
+    let lp = alloc(m);
+    let a = alloc(1)[0];
+    let b = alloc(1)[0];
+    let s = alloc(n);
+    let s2 = alloc(n); // S''
+    let s1 = alloc(n); // S'
+    let t = alloc(n);
+    let t2 = alloc(n); // T''
+    let t1 = alloc(n); // T'
+    let mut builder = GraphBuilder::new(total);
+    let mut cut = Vec::with_capacity(m + 1);
+
+    // Adds a path of `x − 6` edges between `u` and `v`, returning its
+    // middle edge; internal node ids are taken from `next`.
+    let mut add_long_path =
+        |builder: &mut GraphBuilder, u: NodeId, v: NodeId| -> (NodeId, NodeId) {
+            let internals: Vec<NodeId> = (next..next + path_internal as NodeId).collect();
+            next += path_internal as NodeId;
+            let chain: Vec<NodeId> = std::iter::once(u)
+                .chain(internals.iter().copied())
+                .chain(std::iter::once(v))
+                .collect();
+            for w in chain.windows(2) {
+                builder.add_edge(w[0], w[1]).expect("gadget edge");
+            }
+            let mid = chain.len() / 2;
+            (chain[mid - 1], chain[mid])
+        };
+
+    for i in 0..m {
+        cut.push(add_long_path(&mut builder, l[i], lp[i]));
+    }
+    cut.push(add_long_path(&mut builder, a, b));
+    for i in 0..m {
+        builder.add_edge(a, l[i]).expect("gadget edge");
+        builder.add_edge(b, lp[i]).expect("gadget edge");
+    }
+    for j in 0..n {
+        builder.add_edge(s[j], s2[j]).expect("gadget edge");
+        builder.add_edge(s2[j], s1[j]).expect("gadget edge");
+        builder.add_edge(t[j], t2[j]).expect("gadget edge");
+        builder.add_edge(t2[j], t1[j]).expect("gadget edge");
+        for i in 0..m {
+            if inst.x.sets[j] >> i & 1 == 1 {
+                builder.add_edge(l[i], s[j]).expect("gadget edge");
+            }
+            if inst.y.sets[j] >> i & 1 == 0 {
+                builder.add_edge(lp[i], t[j]).expect("gadget edge");
+            }
+        }
+    }
+    debug_assert_eq!(next as usize, total);
+    DiameterGadget {
+        graph: builder.build(),
+        x,
+        s_prime: s1,
+        t_prime: t1,
+        a,
+        b,
+        cut,
+    }
+}
+
+/// Decides sparse set disjointness by building the gadget and computing its
+/// diameter — the reduction of Theorem 5 run forward. Returns `true` iff
+/// the families intersect (diameter `x + 2`).
+pub fn decide_disjointness_via_diameter(inst: &DisjointnessInstance) -> bool {
+    let gadget = diameter_gadget(8, inst);
+    bc_graph::algo::diameter(&gadget.graph) == gadget.x + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::{random_instance, universe_size, SetFamily};
+    use bc_graph::algo::{self, bfs};
+
+    fn small_instance(intersecting: bool) -> DisjointnessInstance {
+        random_instance(4, universe_size(4), intersecting, 42)
+    }
+
+    #[test]
+    fn lemma8_dichotomy() {
+        for seed in 0..5 {
+            for x in [8u32, 9, 11] {
+                let disjoint = random_instance(4, universe_size(4), false, seed);
+                let g = diameter_gadget(x, &disjoint);
+                assert_eq!(algo::diameter(&g.graph), x, "x={x} seed={seed} disjoint");
+                let planted = random_instance(4, universe_size(4), true, seed);
+                let g = diameter_gadget(x, &planted);
+                assert_eq!(algo::diameter(&g.graph), x + 2, "x={x} seed={seed} planted");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_pair_distance() {
+        // With an explicit X_i = Y_j match, d(S'_i, T'_j) must be x + 2,
+        // and x for non-matching pairs (Lemma 8, Eq. 22).
+        let m = universe_size(3);
+        let x = SetFamily {
+            m,
+            sets: crate::disjoint::random_family(3, m, 1).sets,
+        };
+        let mut y = crate::disjoint::random_family(3, m, 2);
+        y.sets[1] = x.sets[0]; // X_0 == Y_1
+        let inst = DisjointnessInstance {
+            intersecting: true,
+            x,
+            y,
+        };
+        let g = diameter_gadget(10, &inst);
+        let dag = bfs(&g.graph, g.s_prime[0]);
+        assert_eq!(dag.dist[g.t_prime[1] as usize], 12);
+        // Some non-matching pair is at distance exactly x.
+        let dag2 = bfs(&g.graph, g.s_prime[1]);
+        assert!(
+            (0..3).any(|j| dag2.dist[g.t_prime[j] as usize] == 10),
+            "some pair at distance x"
+        );
+    }
+
+    #[test]
+    fn hubs_have_bounded_eccentricity() {
+        // ecc(A) = ecc(B) = x − 2 per the Lemma 8 proof.
+        let g = diameter_gadget(9, &small_instance(true));
+        assert_eq!(bfs(&g.graph, g.a).eccentricity(), 7);
+        assert_eq!(bfs(&g.graph, g.b).eccentricity(), 7);
+    }
+
+    #[test]
+    fn gadget_is_connected_with_log_cut() {
+        let inst = small_instance(false);
+        let g = diameter_gadget(8, &inst);
+        assert!(algo::is_connected(&g.graph));
+        assert_eq!(g.cut.len() as u32, inst.x.m + 1);
+        // Removing the cut edges disconnects left from right.
+        let kept = g
+            .graph
+            .edges()
+            .filter(|&(u, v)| !g.cut.contains(&(u, v)) && !g.cut.contains(&(v, u)));
+        let pruned = Graph::from_edges(g.graph.n(), kept).unwrap();
+        let (comp, k) = algo::connected_components(&pruned);
+        assert!(k >= 2, "cut must separate");
+        assert_ne!(
+            comp[g.s_prime[0] as usize], comp[g.t_prime[0] as usize],
+            "S' and T' on opposite sides"
+        );
+    }
+
+    #[test]
+    fn reduction_decides_disjointness() {
+        for seed in 0..6 {
+            let inst = random_instance(5, universe_size(5), seed % 2 == 0, seed);
+            assert_eq!(
+                decide_disjointness_via_diameter(&inst),
+                inst.intersecting,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x >= 8")]
+    fn small_x_rejected() {
+        let _ = diameter_gadget(7, &small_instance(false));
+    }
+}

@@ -1,0 +1,227 @@
+//! Sparse set-disjointness instances (Section IX).
+//!
+//! The lower bounds reduce two-party sparse set disjointness
+//! (`DISJ`, Definition 2 / Theorem 4) to distributed diameter and
+//! betweenness computation. An instance is a pair of families
+//! `X = (X_1..X_n)`, `Y = (Y_1..Y_n)` of `m/2`-element subsets of
+//! `{0..m}`; the families "intersect" iff some `X_i = Y_j`. The paper
+//! picks `m = Θ(log n)` so that `C(m, m/2) ≥ n²` subsets exist, keeping
+//! the gadget cut at `m + 1 = O(log N)` edges.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of `n` distinct `m/2`-element subsets of `{0, …, m-1}`,
+/// each stored as a bitmask (requires `m ≤ 63`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetFamily {
+    /// Universe size `m` (even).
+    pub m: u32,
+    /// The subsets, as bitmasks over `0..m`.
+    pub sets: Vec<u64>,
+}
+
+impl SetFamily {
+    /// Number of subsets `n`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if the family has no subsets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Returns `true` if some subset of `self` equals some subset of
+    /// `other` — the (non-)disjointness predicate of Corollary 2.
+    pub fn intersects(&self, other: &SetFamily) -> bool {
+        self.sets.iter().any(|x| other.sets.iter().any(|y| x == y))
+    }
+}
+
+/// Binomial coefficient, saturating.
+fn binom(m: u64, k: u64) -> u64 {
+    let mut acc: u64 = 1;
+    for i in 0..k.min(m - k) {
+        acc = acc.saturating_mul(m - i) / (i + 1);
+        if acc > u64::MAX / 2 {
+            return u64::MAX;
+        }
+    }
+    acc
+}
+
+/// The smallest even `m ≤ 62` with `C(m, m/2) ≥ n²` (the paper's choice,
+/// which makes `m = Θ(log n)`).
+///
+/// # Panics
+///
+/// Panics if `n` is so large no `m ≤ 62` suffices (cannot happen for
+/// `n < 2^28`).
+pub fn universe_size(n: usize) -> u32 {
+    let target = (n as u64).saturating_mul(n as u64).max(2);
+    let mut m = 2;
+    while binom(m as u64, m as u64 / 2) < target {
+        m += 2;
+        assert!(m <= 62, "set-disjointness universe overflow for n={n}");
+    }
+    m
+}
+
+/// Samples a family of `n` *distinct* `m/2`-subsets of `{0..m}`.
+///
+/// # Panics
+///
+/// Panics if `m` is odd, `m > 62`, or fewer than `n` distinct subsets
+/// exist.
+pub fn random_family(n: usize, m: u32, seed: u64) -> SetFamily {
+    assert!(m.is_multiple_of(2), "universe size must be even");
+    assert!(m <= 62, "bitmask representation requires m <= 62");
+    assert!(
+        binom(m as u64, m as u64 / 2) >= n as u64,
+        "not enough distinct {}/2-subsets of {m} for n={n}",
+        m
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sets = Vec::with_capacity(n);
+    while sets.len() < n {
+        let mask = random_subset(&mut rng, m);
+        if !sets.contains(&mask) {
+            sets.push(mask);
+        }
+    }
+    SetFamily { m, sets }
+}
+
+fn random_subset(rng: &mut SmallRng, m: u32) -> u64 {
+    // Reservoir-style: pick m/2 positions out of m.
+    let mut mask = 0u64;
+    let mut needed = m / 2;
+    for pos in 0..m {
+        let remaining = m - pos;
+        if rng.gen_range(0..remaining) < needed {
+            mask |= 1 << pos;
+            needed -= 1;
+        }
+    }
+    mask
+}
+
+/// A disjointness instance: two families plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct DisjointnessInstance {
+    /// Alice's family `X`.
+    pub x: SetFamily,
+    /// Bob's family `Y`.
+    pub y: SetFamily,
+    /// Whether `X ∩ Y ≠ ∅` (some `X_i = Y_j`).
+    pub intersecting: bool,
+}
+
+/// Builds a random instance. With `plant_match`, one `Y_j` is overwritten
+/// by a random `X_i`, guaranteeing intersection; otherwise `Y` is resampled
+/// until the families are disjoint (overwhelmingly the first sample).
+pub fn random_instance(n: usize, m: u32, plant_match: bool, seed: u64) -> DisjointnessInstance {
+    let x = random_family(n, m, seed);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9));
+    if plant_match {
+        let mut y = random_family(n, m, seed.wrapping_add(1));
+        let xi = x.sets[rng.gen_range(0..n)];
+        let slot = rng.gen_range(0..n);
+        // Keep Y's subsets distinct: drop any existing copy of xi first.
+        if let Some(pos) = y.sets.iter().position(|&s| s == xi) {
+            y.sets.swap(pos, slot);
+        } else {
+            y.sets[slot] = xi;
+        }
+        DisjointnessInstance {
+            intersecting: true,
+            x,
+            y,
+        }
+    } else {
+        let mut salt = 1u64;
+        loop {
+            let y = random_family(n, m, seed.wrapping_add(salt));
+            if !x.intersects(&y) {
+                return DisjointnessInstance {
+                    intersecting: false,
+                    x,
+                    y,
+                };
+            }
+            salt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binom_values() {
+        assert_eq!(binom(4, 2), 6);
+        assert_eq!(binom(10, 5), 252);
+        assert_eq!(binom(6, 0), 1);
+    }
+
+    #[test]
+    fn universe_size_grows_logarithmically() {
+        assert_eq!(universe_size(1), 2);
+        // C(4,2)=6 ≥ 4: n=2 → m=4.
+        assert_eq!(universe_size(2), 4);
+        let m100 = universe_size(100); // needs C(m, m/2) ≥ 10^4
+        assert!(m100 <= 18, "m={m100}");
+        let m10k = universe_size(10_000);
+        assert!(m10k > m100 && m10k <= 30);
+    }
+
+    #[test]
+    fn random_family_valid() {
+        let f = random_family(20, 10, 7);
+        assert_eq!(f.len(), 20);
+        for &s in &f.sets {
+            assert_eq!(s.count_ones(), 5, "cardinality m/2");
+            assert!(s < 1 << 10, "within universe");
+        }
+        // Distinct.
+        let mut sorted = f.sets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        // Deterministic.
+        assert_eq!(f, random_family(20, 10, 7));
+    }
+
+    #[test]
+    fn instance_ground_truth() {
+        for seed in 0..10 {
+            let inst = random_instance(12, universe_size(12), false, seed);
+            assert!(!inst.intersecting);
+            assert!(!inst.x.intersects(&inst.y));
+            let inst = random_instance(12, universe_size(12), true, seed);
+            assert!(inst.intersecting);
+            assert!(inst.x.intersects(&inst.y));
+            // Families stay duplicate-free.
+            for f in [&inst.x, &inst.y] {
+                let mut s = f.sets.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), 12, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_universe_rejected() {
+        let _ = random_family(2, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough distinct")]
+    fn too_many_subsets_rejected() {
+        let _ = random_family(10, 2, 0); // C(2,1) = 2 < 10
+    }
+}

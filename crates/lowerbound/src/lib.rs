@@ -1,0 +1,40 @@
+//! The paper's lower-bound constructions (Section IX), built and measured.
+//!
+//! * [`diameter_gadget`] — Figure 2: a graph whose diameter is `x` or
+//!   `x + 2` according to a sparse set-disjointness instance (Lemma 8),
+//!   proving deciding the diameter needs `Ω(D + N/log N)` rounds
+//!   (Theorem 5).
+//! * [`bc_gadget`] — Figure 3: a graph where `C_B(F_i) ∈ {1, 1.5}` encodes
+//!   whether `X_i ∈ X ∩ Y` (Lemma 9), so betweenness to relative error
+//!   `0.499` also needs `Ω(D + N/log N)` rounds (Theorem 6) — the paper's
+//!   algorithm is therefore nearly optimal.
+//! * [`disjoint`] — instance generation with the paper's
+//!   `m = Θ(log n)` universe sizing (`C(m, m/2) ≥ n²`).
+//! * [`cutflow`] — runs the real distributed algorithm on the gadgets with
+//!   the `(m + 1)`-edge cut declared to the simulator, reporting measured
+//!   bit flow against the `n log n` information bound.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_lowerbound::disjoint::{random_instance, universe_size};
+//! use bc_lowerbound::{decide_disjointness_via_betweenness, decide_disjointness_via_diameter};
+//!
+//! let inst = random_instance(5, universe_size(5), true, 7);
+//! // Both reductions decide the (intersecting) instance correctly.
+//! assert!(decide_disjointness_via_diameter(&inst));
+//! assert!(decide_disjointness_via_betweenness(&inst));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bc_gadget;
+pub mod cutflow;
+mod diameter_gadget;
+pub mod disjoint;
+
+pub use bc_gadget::{
+    bc_gadget, decide_disjointness_via_betweenness, BcGadget, BC_IF_ABSENT, BC_IF_PRESENT,
+};
+pub use diameter_gadget::{decide_disjointness_via_diameter, diameter_gadget, DiameterGadget};

@@ -1,0 +1,89 @@
+//! Property-based tests of the lower-bound machinery: for random
+//! disjointness instances the Figure 2 and Figure 3 gadgets always realize
+//! their dichotomies, the cuts always separate, and the reductions always
+//! decide correctly.
+
+use bc_graph::algo;
+use bc_lowerbound::disjoint::{random_instance, universe_size, DisjointnessInstance};
+use bc_lowerbound::{
+    bc_gadget, decide_disjointness_via_betweenness, decide_disjointness_via_diameter,
+    diameter_gadget, BC_IF_ABSENT, BC_IF_PRESENT,
+};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = DisjointnessInstance> {
+    (2usize..7, any::<bool>(), any::<u64>())
+        .prop_map(|(n, planted, seed)| random_instance(n, universe_size(n), planted, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lemma8_always_holds(inst in arb_instance(), x in 8u32..14) {
+        let g = diameter_gadget(x, &inst);
+        let expected = if inst.intersecting { x + 2 } else { x };
+        prop_assert_eq!(algo::diameter(&g.graph), expected);
+        prop_assert!(algo::is_connected(&g.graph));
+    }
+
+    #[test]
+    fn lemma8_witnesses_at_extreme_distance(inst in arb_instance(), x in 8u32..12) {
+        // The diameter is always realized between some S'_i and T'_j.
+        let g = diameter_gadget(x, &inst);
+        let d = algo::diameter(&g.graph);
+        let mut best = 0;
+        for &s in &g.s_prime {
+            let dag = algo::bfs(&g.graph, s);
+            for &t in &g.t_prime {
+                best = best.max(dag.dist[t as usize]);
+            }
+        }
+        prop_assert_eq!(best, d);
+    }
+
+    #[test]
+    fn lemma9_always_holds(inst in arb_instance()) {
+        let g = bc_gadget(&inst);
+        let cb = bc_brandes::betweenness_f64(&g.graph);
+        for (i, &fi) in g.f.iter().enumerate() {
+            let present = inst.y.sets.contains(&inst.x.sets[i]);
+            let expect = if present { BC_IF_PRESENT } else { BC_IF_ABSENT };
+            prop_assert!(
+                (cb[fi as usize] - expect).abs() < 1e-9,
+                "F_{}: {} vs {}", i, cb[fi as usize], expect
+            );
+        }
+    }
+
+    #[test]
+    fn both_reductions_decide(inst in arb_instance()) {
+        prop_assert_eq!(decide_disjointness_via_diameter(&inst), inst.intersecting);
+        prop_assert_eq!(decide_disjointness_via_betweenness(&inst), inst.intersecting);
+    }
+
+    #[test]
+    fn cuts_separate_and_are_logarithmic(inst in arb_instance()) {
+        for (graph, cut) in [
+            {
+                let g = diameter_gadget(8, &inst);
+                (g.graph, g.cut)
+            },
+            {
+                let g = bc_gadget(&inst);
+                (g.graph, g.cut)
+            },
+        ] {
+            prop_assert_eq!(cut.len() as u32, inst.x.m + 1);
+            let kept = graph
+                .edges()
+                .filter(|&(u, v)| !cut.contains(&(u, v)) && !cut.contains(&(v, u)));
+            let pruned = bc_graph::Graph::from_edges(graph.n(), kept).unwrap();
+            let (_, k) = algo::connected_components(&pruned);
+            prop_assert!(k >= 2, "cut must disconnect the gadget");
+            // m + 1 = O(log N): the cut is (asymptotically) tiny; at these
+            // scales just check it is well below the node count.
+            prop_assert!(cut.len() < graph.n() / 2);
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! School-book arbitrary-precision unsigned integers.
+//!
+//! The paper (Section V, "Large Value Challenge") observes that the number of
+//! shortest paths `σ_st` can be as large as `O((N/D)^D)`, i.e. exponential in
+//! the network size, so exact path counts do not fit in any machine word.
+//! [`BigUint`] provides exact arithmetic for those counts so that the
+//! floating-point pipeline of Section VI can be validated against ground
+//! truth.
+//!
+//! The implementation is deliberately simple (schoolbook algorithms over
+//! 32-bit limbs); the numbers appearing in laptop-scale experiments are a few
+//! thousand bits at most, far below the regime where asymptotically faster
+//! multiplication would matter.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 32-bit limbs with no trailing zero limbs
+/// (the canonical representation of zero is an empty limb vector).
+///
+/// # Examples
+///
+/// ```
+/// use bc_numeric::BigUint;
+///
+/// let a = BigUint::from(10_u64).pow(30);
+/// let b = BigUint::from(7_u64);
+/// let (q, r) = a.div_rem(&b);
+/// assert_eq!(&q * &b + &r, a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    ///
+    /// ```
+    /// use bc_numeric::BigUint;
+    /// assert_eq!(BigUint::from(0_u64).bit_len(), 0);
+    /// assert_eq!(BigUint::from(1_u64).bit_len(), 1);
+    /// assert_eq!(BigUint::from(255_u64).bit_len(), 8);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 32 * (self.limbs.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian, bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v |= (l as u128) << (32 * i);
+        }
+        Some(v)
+    }
+
+    /// Lossy conversion to `f64` (may overflow to `f64::INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        // Take the top 64 bits and scale.
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.to_u64().map(|v| v as f64).unwrap_or_else(|| {
+                // bits <= 64 guarantees it fits in u64 via top-bits path below,
+                // but limbs.len() can be 3 when bits == 64..=96? No: bits<=64
+                // implies at most 2 limbs + possibly a zero top limb, which
+                // normalization removed.
+                unreachable!("normalized BigUint with <=64 bits fits u64")
+            });
+        }
+        let shift = bits - 64;
+        let top = self.shr_bits(shift).to_u64().expect("top 64 bits fit");
+        (top as f64) * (shift as f64).exp2()
+    }
+
+    /// Returns `self >> k` (new value).
+    pub fn shr_bits(&self, k: usize) -> BigUint {
+        let limb_shift = k / 32;
+        let bit_shift = (k % 32) as u32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Returns `self << k` (new value).
+    pub fn shl_bits(&self, k: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = k / 32;
+        let bit_shift = (k % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Adds `other` into `self`.
+    fn add_assign_ref(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let o = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let s = self.limbs[i] as u64 + o + carry;
+            self.limbs[i] = s as u32;
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned underflow).
+    fn sub_assign_ref(&mut self, other: &BigUint) {
+        assert!(
+            *self >= *other,
+            "BigUint subtraction underflow: {self} - {other}"
+        );
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let o = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = self.limbs[i] as i64 - o - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            self.limbs[i] = d as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Schoolbook multiplication.
+    fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + (a as u64) * (b as u64) + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Multiplies by a small scalar in place.
+    pub fn mul_small(&mut self, m: u32) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u64;
+        for l in &mut self.limbs {
+            let cur = (*l as u64) * (m as u64) + carry;
+            *l = cur as u32;
+            carry = cur >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Adds a small scalar in place.
+    pub fn add_small(&mut self, a: u32) {
+        let mut carry = a as u64;
+        let mut i = 0;
+        while carry != 0 {
+            if i == self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let cur = self.limbs[i] as u64 + carry;
+            self.limbs[i] = cur as u32;
+            carry = cur >> 32;
+            i += 1;
+        }
+    }
+
+    /// Divides by a small scalar in place, returning the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_small(&mut self, d: u32) -> u32 {
+        assert_ne!(d, 0, "division by zero");
+        let mut rem = 0u64;
+        for l in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *l as u64;
+            *l = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        self.normalize();
+        rem as u32
+    }
+
+    /// Long division: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Uses bit-by-bit restoring division, which is `O(bits · limbs)` — more
+    /// than fast enough for the magnitudes appearing in shortest-path counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if *self < *divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let mut q = self.clone();
+            let r = q.div_rem_small(divisor.limbs[0]);
+            return (q, BigUint::from(r as u64));
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut rem = self.clone();
+        let mut quot_bits = vec![false; shift + 1];
+        let mut d = divisor.shl_bits(shift);
+        for i in (0..=shift).rev() {
+            if rem >= d {
+                rem.sub_assign_ref(&d);
+                quot_bits[i] = true;
+            }
+            d = d.shr_bits(1);
+        }
+        let mut q = BigUint::zero();
+        let nlimbs = quot_bits.len().div_ceil(32);
+        q.limbs = vec![0; nlimbs];
+        for (i, &b) in quot_bits.iter().enumerate() {
+            if b {
+                q.limbs[i / 32] |= 1 << (i % 32);
+            }
+        }
+        q.normalize();
+        (q, rem)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    ///
+    /// ```
+    /// use bc_numeric::BigUint;
+    /// let g = BigUint::from(48_u64).gcd(&BigUint::from(18_u64));
+    /// assert_eq!(g, BigUint::from(6_u64));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a.shr_bits(az);
+        b = b.shr_bits(bz);
+        loop {
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Greater => {
+                    a.sub_assign_ref(&b);
+                    a = a.shr_bits(a.trailing_zeros());
+                }
+                Ordering::Less => {
+                    b.sub_assign_ref(&a);
+                    b = b.shr_bits(b.trailing_zeros());
+                }
+            }
+        }
+        a.shl_bits(common)
+    }
+
+    fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return 32 * i + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Raises the value to the power `e`.
+    pub fn pow(&self, mut e: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a
+    /// non-digit character.
+    pub fn from_decimal(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut v = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigUintError)?;
+            v.mul_small(10);
+            v.add_small(d);
+        }
+        Ok(v)
+    }
+
+    /// Formats as a decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut v = self.clone();
+        let mut chunks = Vec::new();
+        while !v.is_zero() {
+            chunks.push(v.div_rem_small(1_000_000_000));
+        }
+        let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        s
+    }
+}
+
+/// Error returned by [`BigUint::from_decimal`] for malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal digit in BigUint literal")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl std::str::FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_decimal(s)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let mut r = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        r.normalize();
+        r
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut r = BigUint {
+            limbs: vec![
+                v as u32,
+                (v >> 32) as u32,
+                (v >> 64) as u32,
+                (v >> 96) as u32,
+            ],
+        };
+        r.normalize();
+        r
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut r = self.clone();
+        r.add_assign_ref(rhs);
+        r
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Add<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: &BigUint) -> BigUint {
+        self.add_assign_ref(rhs);
+        self
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        let mut r = self.clone();
+        r.sub_assign_ref(rhs);
+        r
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: BigUint) -> BigUint {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl std::iter::Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> Self {
+        let mut acc = BigUint::zero();
+        for v in iter {
+            acc.add_assign_ref(&v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 42, u32::MAX as u64, u64::MAX, 1 << 33] {
+            assert_eq!(BigUint::from(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        for v in [0u128, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigUint::from(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        assert_eq!((&a + &b).to_u128(), Some(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn sub_basics() {
+        let a = BigUint::from(1_000_000_000_007u64);
+        let b = BigUint::from(7u64);
+        assert_eq!((&a - &b).to_u64(), Some(1_000_000_000_000));
+        assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::from(1u64) - &BigUint::from(2u64);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = BigUint::from(0xDEAD_BEEF_u64);
+        let b = BigUint::from(0xFEED_FACE_CAFE_u64);
+        assert_eq!(
+            (&a * &b).to_u128(),
+            Some(0xDEAD_BEEF_u128 * 0xFEED_FACE_CAFE_u128)
+        );
+    }
+
+    #[test]
+    fn pow_and_decimal() {
+        let v = BigUint::from(2u64).pow(100);
+        assert_eq!(v.to_decimal(), "1267650600228229401496703205376");
+        assert_eq!(BigUint::from_decimal(&v.to_decimal()).unwrap(), v);
+        assert_eq!(v.bit_len(), 101);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BigUint::from_decimal("").is_err());
+        assert!(BigUint::from_decimal("12a").is_err());
+        assert!("123".parse::<BigUint>().is_ok());
+    }
+
+    #[test]
+    fn div_rem_small_cases() {
+        let mut v = BigUint::from(1001u64);
+        assert_eq!(v.div_rem_small(10), 1);
+        assert_eq!(v.to_u64(), Some(100));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = BigUint::from(3u64).pow(80);
+        let b = BigUint::from(7u64).pow(20);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from(100u64);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::from(1u64).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_cases() {
+        let g = BigUint::from(2u64)
+            .pow(50)
+            .gcd(&BigUint::from(2u64).pow(30));
+        assert_eq!(g, BigUint::from(2u64).pow(30));
+        assert_eq!(
+            BigUint::from(17u64).gcd(&BigUint::from(13u64)),
+            BigUint::one()
+        );
+        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u64)).to_u64(), Some(5));
+        assert_eq!(BigUint::from(5u64).gcd(&BigUint::zero()).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BigUint::from(0b1011u64);
+        assert_eq!(v.shl_bits(100).shr_bits(100), v);
+        assert_eq!(v.shr_bits(2).to_u64(), Some(0b10));
+        assert_eq!(v.shr_bits(64).to_u64(), Some(0));
+        assert!(BigUint::zero().shl_bits(5).is_zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = BigUint::from(0b101u64);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(2));
+        assert!(!v.bit(64));
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let v = BigUint::from(2u64).pow(100);
+        let f = v.to_f64();
+        assert!((f / 2f64.powi(100) - 1.0).abs() < 1e-12);
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from(2u64).pow(65);
+        let b = BigUint::from(u64::MAX);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1..=10u64).map(BigUint::from).sum();
+        assert_eq!(total.to_u64(), Some(55));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", BigUint::zero()), "0");
+        assert!(format!("{:?}", BigUint::zero()).contains("BigUint"));
+    }
+}

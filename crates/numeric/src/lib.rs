@@ -1,0 +1,45 @@
+//! Numeric substrate for the distributed betweenness-centrality
+//! reproduction.
+//!
+//! This crate provides the three number systems the paper's pipeline needs:
+//!
+//! * [`CeilFloat`] — the compact `L`-bit-mantissa floating point of
+//!   Section VI, with the ceiling rounding whose one-step relative error is
+//!   bounded by Lemma 1 (`2^{-L+1}`) and whose end-to-end betweenness error
+//!   is bounded by Theorem 1 / Corollary 1 (`O(2^{-L}) = O(N^{-c})` for
+//!   `L = O(log N)`).
+//! * [`BigUint`] — exact arbitrary-precision shortest-path counts, which can
+//!   be exponential in `N` (Section V, "Large Value Challenge").
+//! * [`BigRational`] — exact rational arithmetic used to compute
+//!   ground-truth betweenness centralities against which the floating-point
+//!   pipeline is validated.
+//!
+//! plus [`bits`] — bit-exact payload packing so the CONGEST simulator can
+//! charge every message its true bit cost.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_numeric::{BigUint, CeilFloat, FpParams, Rounding};
+//!
+//! // σ counts overflow machine words quickly...
+//! let sigma = BigUint::from(3u64).pow(200);
+//! // ...but ship in L+16 bits with bounded relative error:
+//! let params = FpParams::new(16, Rounding::Ceil);
+//! let approx = CeilFloat::from_biguint(&sigma, params);
+//! let rel = approx.to_f64() / sigma.to_f64() - 1.0;
+//! assert!(rel >= -1e-12 && rel <= params.lemma1_bound());
+//! assert_eq!(params.encoded_bits(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod biguint;
+pub mod bits;
+mod ceilfloat;
+mod rational;
+
+pub use biguint::{BigUint, ParseBigUintError};
+pub use ceilfloat::{CeilFloat, FpParams, Rounding};
+pub use rational::BigRational;

@@ -1,0 +1,431 @@
+//! Exact rational arithmetic over [`BigUint`] magnitudes.
+//!
+//! Used to compute *exact* betweenness centralities (dependencies are sums of
+//! ratios of shortest-path counts, Eq. (7)–(9) of the paper) so that the
+//! floating-point error bound of Theorem 1 can be checked against ground
+//! truth rather than against `f64`, which itself rounds.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Sign of a [`BigRational`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// An exact rational number `sign · num / den`, always kept in lowest terms
+/// with a strictly positive denominator.
+///
+/// # Examples
+///
+/// ```
+/// use bc_numeric::BigRational;
+///
+/// let third = BigRational::from_ratio_u64(1, 3);
+/// let sum = &(&third + &third) + &third;
+/// assert_eq!(sum, BigRational::from_u64(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    sign: Sign,
+    num: BigUint,
+    den: BigUint,
+}
+
+impl BigRational {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigRational {
+            sign: Sign::Zero,
+            num: BigUint::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigRational::from_u64(1)
+    }
+
+    /// Builds from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        BigRational::from_biguint(BigUint::from(v))
+    }
+
+    /// Builds from a [`BigUint`].
+    pub fn from_biguint(v: BigUint) -> Self {
+        if v.is_zero() {
+            BigRational::zero()
+        } else {
+            BigRational {
+                sign: Sign::Positive,
+                num: v,
+                den: BigUint::one(),
+            }
+        }
+    }
+
+    /// Builds the ratio `num / den` of unsigned integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn from_ratio_u64(num: u64, den: u64) -> Self {
+        BigRational::from_ratio(BigUint::from(num), BigUint::from(den))
+    }
+
+    /// Builds the ratio `num / den` of [`BigUint`]s, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_ratio(num: BigUint, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let g = num.gcd(&den);
+        BigRational {
+            sign: Sign::Positive,
+            num: num.div_rem(&g).0,
+            den: den.div_rem(&g).0,
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Numerator magnitude (in lowest terms).
+    pub fn numer(&self) -> &BigUint {
+        &self.num
+    }
+
+    /// Denominator (in lowest terms, strictly positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational {
+            sign: self.sign,
+            num: self.den.clone(),
+            den: self.num.clone(),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigRational {
+        let mut r = self.clone();
+        if r.sign == Sign::Negative {
+            r.sign = Sign::Positive;
+        }
+        r
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let mag = ratio_to_f64(&self.num, &self.den);
+        match self.sign {
+            Sign::Negative => -mag,
+            Sign::Zero => 0.0,
+            Sign::Positive => mag,
+        }
+    }
+
+    /// Compares magnitudes via cross-multiplication (exact).
+    fn cmp_magnitude(&self, other: &BigRational) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+
+    fn add_signed(&self, other: &BigRational, flip_other: bool) -> BigRational {
+        let other_sign = if flip_other {
+            match other.sign {
+                Sign::Negative => Sign::Positive,
+                Sign::Zero => Sign::Zero,
+                Sign::Positive => Sign::Negative,
+            }
+        } else {
+            other.sign
+        };
+        if self.sign == Sign::Zero {
+            let mut r = other.clone();
+            r.sign = other_sign;
+            return r;
+        }
+        if other_sign == Sign::Zero {
+            return self.clone();
+        }
+        let a_num = &self.num * &other.den;
+        let b_num = &other.num * &self.den;
+        let den = &self.den * &other.den;
+        if self.sign == other_sign {
+            let mut r = BigRational::from_ratio(a_num + b_num, den);
+            r.sign = self.sign;
+            return r;
+        }
+        match a_num.cmp(&b_num) {
+            Ordering::Equal => BigRational::zero(),
+            Ordering::Greater => {
+                let mut r = BigRational::from_ratio(a_num - b_num, den);
+                r.sign = self.sign;
+                r
+            }
+            Ordering::Less => {
+                let mut r = BigRational::from_ratio(b_num - a_num, den);
+                r.sign = other_sign;
+                r
+            }
+        }
+    }
+}
+
+/// Converts `num/den` to `f64` with care for magnitudes beyond `f64` range:
+/// scales both operands down so the leading 64 bits survive.
+fn ratio_to_f64(num: &BigUint, den: &BigUint) -> f64 {
+    if num.is_zero() {
+        return 0.0;
+    }
+    let nb = num.bit_len() as i64;
+    let db = den.bit_len() as i64;
+    // Keep ~80 significant bits of each.
+    let nshift = (nb - 80).max(0) as usize;
+    let dshift = (db - 80).max(0) as usize;
+    let n = num.shr_bits(nshift).to_f64();
+    let d = den.shr_bits(dshift).to_f64();
+    (n / d) * ((nshift as f64) - (dshift as f64)).exp2()
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({self})")
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.cmp_magnitude(self),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.cmp_magnitude(other),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+    fn add(self, rhs: &BigRational) -> BigRational {
+        self.add_signed(rhs, false)
+    }
+}
+
+impl AddAssign<&BigRational> for BigRational {
+    fn add_assign(&mut self, rhs: &BigRational) {
+        *self = self.add_signed(rhs, false);
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self.add_signed(rhs, true)
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational::zero().add_signed(self, true)
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        if self.is_zero() || rhs.is_zero() {
+            return BigRational::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let mut r = BigRational::from_ratio(&self.num * &rhs.num, &self.den * &rhs.den);
+        r.sign = sign;
+        r
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+    // Division by multiplication with the reciprocal is the definition.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &BigRational) -> BigRational {
+        self * &rhs.recip()
+    }
+}
+
+impl std::iter::Sum for BigRational {
+    fn sum<I: Iterator<Item = BigRational>>(iter: I) -> Self {
+        let mut acc = BigRational::zero();
+        for v in iter {
+            acc += &v;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64, d: u64) -> BigRational {
+        BigRational::from_ratio_u64(n, d)
+    }
+
+    #[test]
+    fn construction_reduces() {
+        let v = r(6, 8);
+        assert_eq!(v.numer().to_u64(), Some(3));
+        assert_eq!(v.denom().to_u64(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = r(1, 3);
+        let b = r(1, 6);
+        let s = &a + &b;
+        assert_eq!(s, r(1, 2));
+        assert_eq!(&s - &b, a);
+        assert_eq!(&a - &a, BigRational::zero());
+    }
+
+    #[test]
+    fn negative_results() {
+        let a = r(1, 4);
+        let b = r(1, 2);
+        let d = &a - &b;
+        assert!(d.is_negative());
+        assert_eq!(d.abs(), r(1, 4));
+        assert_eq!(&d + &b, a);
+        assert_eq!(-&d, r(1, 4));
+    }
+
+    #[test]
+    fn mul_div() {
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 3), r(1, 2));
+        assert_eq!(&r(5, 7) * &BigRational::zero(), BigRational::zero());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = BigRational::zero().recip();
+    }
+
+    #[test]
+    fn ordering_cross_mul() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(7, 2) > r(10, 3));
+        let neg = &BigRational::zero() - &r(1, 2);
+        assert!(neg < BigRational::zero());
+        assert!(neg < r(1, 1000));
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((r(7, 2).to_f64() - 3.5).abs() < 1e-15);
+        assert_eq!(BigRational::zero().to_f64(), 0.0);
+        let neg = &BigRational::zero() - &r(3, 4);
+        assert!((neg.to_f64() + 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_f64_huge_ratio() {
+        // 2^300 / (2^300 + small) ~ 1.0; exercises the scaling path.
+        let big = BigUint::from(2u64).pow(300);
+        let mut big1 = big.clone();
+        big1.add_small(12345);
+        let v = BigRational::from_ratio(big, big1);
+        assert!((v.to_f64() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sum_of_unit_fractions() {
+        // 1/1 + 1/2 + ... + 1/10 = 7381/2520
+        let s: BigRational = (1..=10u64).map(|k| r(1, k)).sum();
+        assert_eq!(s, r(7381, 2520));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", r(3, 4)), "3/4");
+        assert_eq!(format!("{}", BigRational::from_u64(5)), "5");
+        assert_eq!(format!("{}", &BigRational::zero() - &r(1, 2)), "-1/2");
+        assert!(format!("{:?}", BigRational::zero()).contains("BigRational"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert!(BigRational::default().is_zero());
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs the paper's betweenness protocol on an *asynchronous* network.
+//!
+//! The paper's model (Section III-A) assumes globally synchronized rounds.
+//! Here the exact same protocol — not a line changed — runs over an
+//! event-driven network with randomized FIFO link delays, wrapped in the
+//! classic α-synchronizer (Peleg's book, the paper's reference [14]), and
+//! produces bit-identical centralities.
+//!
+//! Run with: `cargo run --release --example asynchronous_network`
+
+use distbc::congest::asynchronous::{run_synchronized, AsyncConfig};
+use distbc::core::{run_distributed_bc, AlgoOptions, DistBcConfig, DistBcNode};
+use distbc::graph::generators;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let g = generators::watts_strogatz(40, 4, 0.15, 3);
+    let (g, _) = distbc::graph::algo::largest_component(&g);
+    let n = g.n();
+    println!("small-world network: {} nodes, {} edges", n, g.m());
+
+    // Reference: the synchronous simulation.
+    let sync = run_distributed_bc(&g, DistBcConfig::default())?;
+    println!(
+        "synchronous engine: {} rounds, {} messages",
+        sync.rounds, sync.metrics.total_messages
+    );
+
+    // Asynchronous: random link delays up to 8 time units, α-synchronizer.
+    let opts = AlgoOptions::for_graph_size(n);
+    for max_delay in [2u64, 8, 32] {
+        let (nodes, report) = run_synchronized(
+            &g,
+            AsyncConfig { max_delay, seed: 7 },
+            sync.rounds + 1,
+            |v, _| DistBcNode::new(n, v, opts.clone()),
+        );
+        let max_diff = nodes
+            .iter()
+            .enumerate()
+            .map(|(v, node)| (node.betweenness() - sync.betweenness[v]).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "async (delay ≤ {max_delay:>2}): virtual time {:>6}, {} payload + {} control \
+             messages, max |Δ betweenness| = {max_diff}",
+            report.virtual_time, report.payload_messages, report.control_messages
+        );
+        assert_eq!(max_diff, 0.0, "synchronizer must be transparent");
+    }
+    println!("\nidentical results under every delay distribution — the α-synchronizer");
+    println!("removes the synchrony assumption at a constant-factor time cost.");
+    Ok(())
+}

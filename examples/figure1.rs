@@ -1,0 +1,95 @@
+//! Reproduces the paper's Figure 1 and the Section VII worked example: the
+//! per-BFS-tree message sending times of Algorithm 3 on the 5-node graph,
+//! the ψ/δ values, and `C_B(v2) = 7/2`.
+//!
+//! Run with: `cargo run --example figure1`
+
+use distbc::brandes::{betweenness_exact, dependencies_from};
+use distbc::core::{run_distributed_bc, DistBcConfig};
+use distbc::graph::{algo, generators};
+use std::collections::HashMap;
+use std::error::Error;
+
+#[allow(clippy::needless_range_loop)] // indices mirror the paper's v1..v5 tables
+fn main() -> Result<(), Box<dyn Error>> {
+    let g = generators::paper_figure1();
+    let n = g.n();
+    let d = algo::diameter(&g); // 3
+    println!("Figure 1 graph: v1–v2, v2–v3, v2–v5, v3–v4, v5–v4 (D = {d})\n");
+
+    // The paper's wave start times T_s: DFS preorder v1..v5 with
+    // T_next = T_prev + d(prev, next) + 1 (Algorithm 2 lines 3–5).
+    let order = [0u32, 1, 2, 3, 4];
+    let dist = algo::apsp(&g);
+    let mut ts = vec![0u64; n];
+    for w in order.windows(2) {
+        let (p, c) = (w[0] as usize, w[1] as usize);
+        ts[c] = ts[p] + dist[p][c] as u64 + 1;
+    }
+    println!("wave start times: {}", fmt_ts(&ts)); // 0 2 4 6 8 as in the paper
+
+    // Figure 1's tables: sending time of each node in each BFS tree,
+    // T_s(u) = T_s + D − d(s, u) (Algorithm 3 line 3).
+    for s in 0..n {
+        println!("\nBFS(v{}):  T_s = {}", s + 1, ts[s]);
+        for u in 0..n {
+            if u == s {
+                continue;
+            }
+            let t = ts[s] + d as u64 - dist[s][u] as u64;
+            println!(
+                "  v{} sends at T_v{}(v{}) = {} + {} - {} = {t}",
+                u + 1,
+                s + 1,
+                u + 1,
+                ts[s],
+                d,
+                dist[s][u]
+            );
+        }
+    }
+
+    // Lemma 4 check: no node ever sends two aggregation messages in the
+    // same round (over all sources).
+    let mut sends: HashMap<(usize, u64), u32> = HashMap::new();
+    for s in 0..n {
+        for u in 0..n {
+            if u != s {
+                *sends
+                    .entry((u, ts[s] + d as u64 - dist[s][u] as u64))
+                    .or_default() += 1;
+            }
+        }
+    }
+    let collisions = sends.values().filter(|&&c| c > 1).count();
+    println!("\nLemma 4 check: {collisions} colliding (node, round) pairs");
+    assert_eq!(collisions, 0);
+
+    // Section VII worked values: ψ_{v1}(v3) = ψ_{v1}(v5) = 1/2,
+    // δ_{v1·}(v2) = 3.
+    let dep = dependencies_from(&g, 0);
+    println!("\nδ_v1·(v2) = {} (paper: 3)", dep[1]);
+    println!("δ_v1·(v3) = {} = ψ·σ = 1/2 (paper: ψ_v1(v3) = 1/2)", dep[2]);
+    println!("δ_v1·(v5) = {} (paper: ψ_v1(v5) = 1/2)", dep[4]);
+
+    // C_B(v2) = 7/2 — exact rationals, and the actual distributed run.
+    let exact = betweenness_exact(&g);
+    println!("\nexact C_B(v2) = {} (paper: 7/2)", exact[1]);
+    let out = run_distributed_bc(&g, DistBcConfig::default())?;
+    println!(
+        "distributed C_B(v2) = {} in {} rounds (CONGEST compliant: {})",
+        out.betweenness[1],
+        out.rounds,
+        out.metrics.congest_compliant()
+    );
+    assert!((out.betweenness[1] - 3.5).abs() < 1e-9);
+    Ok(())
+}
+
+fn fmt_ts(ts: &[u64]) -> String {
+    ts.iter()
+        .enumerate()
+        .map(|(v, t)| format!("T_v{} = {t}", v + 1))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -1,0 +1,72 @@
+//! Domain scenario: a router network operator wants, in one distributed
+//! pass, (a) the traffic bottlenecks (betweenness), (b) the best
+//! coordinator placement (closeness), and (c) the network diameter — the
+//! paper's algorithm delivers all three, since the counting phase is a
+//! full APSP.
+//!
+//! The topology is a barbell: two dense server rooms joined by a thin
+//! corridor of backbone links — the classic worst case for bottleneck
+//! analysis.
+//!
+//! Run with: `cargo run --example router_bottlenecks`
+
+use distbc::core::{run_distributed_bc, DistBcConfig};
+use distbc::graph::generators;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let clique = 12; // routers per server room
+    let corridor = 5; // backbone hops between the rooms
+    let g = generators::barbell(clique, corridor);
+    println!(
+        "router network: {} routers, {} links (two {clique}-cliques, {corridor}-hop corridor)",
+        g.n(),
+        g.m()
+    );
+
+    let out = run_distributed_bc(&g, DistBcConfig::default())?;
+    println!(
+        "\none distributed pass: {} rounds, diameter = {}",
+        out.rounds, out.diameter
+    );
+
+    // (a) Bottlenecks: the corridor routers dominate betweenness.
+    let mut by_bc: Vec<usize> = (0..g.n()).collect();
+    by_bc.sort_by(|&a, &b| out.betweenness[b].total_cmp(&out.betweenness[a]));
+    println!("\ntop bottleneck routers (betweenness):");
+    for &v in by_bc.iter().take(corridor.min(5)) {
+        let role = if (clique..clique + corridor).contains(&v) {
+            "corridor"
+        } else {
+            "room"
+        };
+        println!("  router {v:>3} [{role:>8}]: {:.1}", out.betweenness[v]);
+    }
+    // Every corridor router outranks every room router.
+    let min_corridor = (clique..clique + corridor)
+        .map(|v| out.betweenness[v])
+        .fold(f64::INFINITY, f64::min);
+    let max_room = (0..clique)
+        .chain(clique + corridor..g.n())
+        .map(|v| out.betweenness[v])
+        .fold(0.0f64, f64::max);
+    assert!(min_corridor > max_room);
+
+    // (b) Coordinator placement: the corridor middle maximizes closeness.
+    let best = (0..g.n())
+        .max_by(|&a, &b| out.closeness[a].total_cmp(&out.closeness[b]))
+        .expect("non-empty");
+    println!(
+        "\nbest coordinator (max closeness): router {best} \
+         (closeness {:.5}, graph centrality {:.3})",
+        out.closeness[best], out.graph_centrality[best]
+    );
+    assert!((clique..clique + corridor).contains(&best));
+
+    // (c) The protocol is CONGEST-compliant — small messages only.
+    println!(
+        "\nmax message: {} bits (budget: Θ(log N)); collisions: {}",
+        out.metrics.max_message_bits, out.metrics.collisions
+    );
+    Ok(())
+}

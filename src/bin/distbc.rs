@@ -1,0 +1,485 @@
+//! `distbc` — command-line betweenness centrality via the distributed
+//! algorithm or the centralized baselines.
+//!
+//! ```text
+//! distbc info       --input graph.txt
+//! distbc centrality --input graph.txt [--algorithm distributed|brandes|exact|naive|sampled:K]
+//!                   [--stress] [--top K] [--csv] [--mantissa-bits L] [--sequential | --adaptive]
+//! distbc centrality --generate er:100:0.05:7
+//! distbc gadget     --kind diameter|bc --n 6 [--x 10] [--planted]
+//! ```
+//!
+//! Graph files use the edge-list format of `bc_graph::io` (optional
+//! `n <N>` header, one `u v` pair per line, `#` comments). Generator specs
+//! are `family:args`, e.g. `path:50`, `er:100:0.05:7` (n:p:seed),
+//! `ba:200:3:1` (n:m:seed), `grid:6:8`, `karate`, `florentine`.
+
+use distbc::brandes;
+use distbc::core::{run_distributed_bc, DistBcConfig, Scheduling, SourceSelection};
+use distbc::graph::{algo, datasets, generators, io, Graph};
+use distbc::lowerbound::disjoint::{random_instance, universe_size};
+use distbc::numeric::{FpParams, Rounding};
+use std::error::Error;
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Info {
+        source: GraphSource,
+    },
+    Centrality {
+        source: GraphSource,
+        algorithm: Algorithm,
+        stress: bool,
+        top: Option<usize>,
+        csv: bool,
+        mantissa_bits: Option<u32>,
+        scheduling: Scheduling,
+    },
+    Gadget {
+        kind: GadgetKind,
+        n: usize,
+        x: u32,
+        planted: bool,
+    },
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum GraphSource {
+    File(String),
+    Generate(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Algorithm {
+    Distributed,
+    Brandes,
+    Exact,
+    Naive,
+    Sampled(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GadgetKind {
+    Diameter,
+    Bc,
+}
+
+const USAGE: &str = "usage:
+  distbc info       --input FILE | --generate SPEC
+  distbc centrality --input FILE | --generate SPEC
+                    [--algorithm distributed|brandes|exact|naive|sampled:K]
+                    [--stress] [--top K] [--csv] [--mantissa-bits L]
+                    [--sequential | --adaptive]
+  distbc gadget     --kind diameter|bc --n N [--x X] [--planted]
+
+generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
+                 ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine";
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut source = None;
+    let mut algorithm = Algorithm::Distributed;
+    let mut stress = false;
+    let mut top = None;
+    let mut csv = false;
+    let mut mantissa_bits = None;
+    let mut scheduling = Scheduling::DfsPipelined;
+    let mut kind = None;
+    let mut n = None;
+    let mut x = 8u32;
+    let mut planted = false;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--input" => source = Some(GraphSource::File(value("--input")?)),
+            "--generate" => source = Some(GraphSource::Generate(value("--generate")?)),
+            "--algorithm" => {
+                let v = value("--algorithm")?;
+                algorithm = match v.as_str() {
+                    "distributed" => Algorithm::Distributed,
+                    "brandes" => Algorithm::Brandes,
+                    "exact" => Algorithm::Exact,
+                    "naive" => Algorithm::Naive,
+                    other => match other.strip_prefix("sampled:") {
+                        Some(k) => Algorithm::Sampled(
+                            k.parse().map_err(|_| format!("bad sample size {k:?}"))?,
+                        ),
+                        None => return Err(format!("unknown algorithm {other:?}")),
+                    },
+                };
+            }
+            "--stress" => stress = true,
+            "--csv" => csv = true,
+            "--sequential" => scheduling = Scheduling::Sequential,
+            "--adaptive" => scheduling = Scheduling::Adaptive,
+            "--planted" => planted = true,
+            "--top" => {
+                top = Some(
+                    value("--top")?
+                        .parse()
+                        .map_err(|_| "bad --top value".to_string())?,
+                )
+            }
+            "--mantissa-bits" => {
+                mantissa_bits = Some(
+                    value("--mantissa-bits")?
+                        .parse()
+                        .map_err(|_| "bad --mantissa-bits value".to_string())?,
+                )
+            }
+            "--kind" => {
+                kind = Some(match value("--kind")?.as_str() {
+                    "diameter" => GadgetKind::Diameter,
+                    "bc" => GadgetKind::Bc,
+                    other => return Err(format!("unknown gadget kind {other:?}")),
+                })
+            }
+            "--n" => {
+                n = Some(
+                    value("--n")?
+                        .parse()
+                        .map_err(|_| "bad --n value".to_string())?,
+                )
+            }
+            "--x" => {
+                x = value("--x")?
+                    .parse()
+                    .map_err(|_| "bad --x value".to_string())?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info {
+            source: source.ok_or("info needs --input or --generate")?,
+        }),
+        "centrality" => Ok(Command::Centrality {
+            source: source.ok_or("centrality needs --input or --generate")?,
+            algorithm,
+            stress,
+            top,
+            csv,
+            mantissa_bits,
+            scheduling,
+        }),
+        "gadget" => Ok(Command::Gadget {
+            kind: kind.ok_or("gadget needs --kind diameter|bc")?,
+            n: n.ok_or("gadget needs --n")?,
+            x,
+            planted,
+        }),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn generate(spec: &str) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("{spec:?}: missing argument {i}"))?
+            .parse()
+            .map_err(|_| format!("{spec:?}: bad integer argument {i}"))
+    };
+    let float = |i: usize| -> Result<f64, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("{spec:?}: missing argument {i}"))?
+            .parse()
+            .map_err(|_| format!("{spec:?}: bad float argument {i}"))
+    };
+    Ok(match parts[0] {
+        "path" => generators::path(num(1)?),
+        "cycle" => generators::cycle(num(1)?),
+        "star" => generators::star(num(1)?),
+        "complete" => generators::complete(num(1)?),
+        "grid" => generators::grid(num(1)?, num(2)?),
+        "er" => generators::erdos_renyi_connected(num(1)?, float(2)?, num(3)? as u64),
+        "ba" => generators::barabasi_albert(num(1)?, num(2)?, num(3)? as u64),
+        "ws" => {
+            let g = generators::watts_strogatz(num(1)?, num(2)?, float(3)?, num(4)? as u64);
+            algo::largest_component(&g).0
+        }
+        "tree" => generators::random_tree(num(1)?, num(2)? as u64),
+        "barbell" => generators::barbell(num(1)?, num(2)?),
+        "karate" => datasets::karate_club(),
+        "florentine" => datasets::florentine_families(),
+        other => return Err(format!("unknown generator family {other:?}")),
+    })
+}
+
+fn load(source: &GraphSource) -> Result<Graph, Box<dyn Error>> {
+    match source {
+        GraphSource::File(path) => {
+            let text = std::fs::read_to_string(path)?;
+            Ok(io::parse_edge_list(&text)?)
+        }
+        GraphSource::Generate(spec) => Ok(generate(spec)?),
+    }
+}
+
+fn cmd_info(source: &GraphSource) -> Result<(), Box<dyn Error>> {
+    let g = load(source)?;
+    let (_, components) = algo::connected_components(&g);
+    println!("nodes:      {}", g.n());
+    println!("edges:      {}", g.m());
+    println!("max degree: {}", g.max_degree());
+    println!("components: {components}");
+    if components == 1 && g.n() > 0 {
+        println!("diameter:   {}", algo::diameter(&g));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cmd_centrality(
+    source: &GraphSource,
+    algorithm: &Algorithm,
+    stress: bool,
+    top: Option<usize>,
+    csv: bool,
+    mantissa_bits: Option<u32>,
+    scheduling: Scheduling,
+) -> Result<(), Box<dyn Error>> {
+    let g = load(source)?;
+    let mut stress_vals: Option<Vec<f64>> = None;
+    let bc: Vec<f64> = match algorithm {
+        Algorithm::Brandes => brandes::betweenness_f64(&g),
+        Algorithm::Exact => brandes::betweenness_exact(&g)
+            .iter()
+            .map(|v| v.to_f64())
+            .collect(),
+        Algorithm::Naive => brandes::betweenness_naive(&g),
+        Algorithm::Distributed | Algorithm::Sampled(_) => {
+            let cfg = DistBcConfig {
+                fp: mantissa_bits.map(|l| FpParams::new(l, Rounding::Ceil)),
+                scheduling,
+                compute_stress: stress,
+                sources: match algorithm {
+                    Algorithm::Sampled(k) => SourceSelection::Sample { k: *k, seed: 0 },
+                    _ => SourceSelection::All,
+                },
+                ..DistBcConfig::default()
+            };
+            let out = run_distributed_bc(&g, cfg)?;
+            eprintln!(
+                "# distributed: {} rounds, {} messages, max {} bits/message, compliant={}",
+                out.rounds,
+                out.metrics.total_messages,
+                out.metrics.max_message_bits,
+                out.metrics.congest_compliant()
+            );
+            stress_vals = out.stress;
+            out.betweenness
+        }
+    };
+    if stress && stress_vals.is_none() {
+        stress_vals = Some(brandes::stress_centrality(&g));
+    }
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by(|&a, &b| bc[b].total_cmp(&bc[a]));
+    if let Some(k) = top {
+        order.truncate(k);
+    }
+    if csv {
+        println!("node,betweenness{}", if stress { ",stress" } else { "" });
+        for v in order {
+            match &stress_vals {
+                Some(s) if stress => println!("{v},{},{}", bc[v], s[v]),
+                _ => println!("{v},{}", bc[v]),
+            }
+        }
+    } else {
+        println!(
+            "{:>8} {:>16}{}",
+            "node",
+            "betweenness",
+            if stress { "          stress" } else { "" }
+        );
+        for v in order {
+            match &stress_vals {
+                Some(s) if stress => println!("{v:>8} {:>16.4} {:>15.4}", bc[v], s[v]),
+                _ => println!("{v:>8} {:>16.4}", bc[v]),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gadget(kind: GadgetKind, n: usize, x: u32, planted: bool) -> Result<(), Box<dyn Error>> {
+    let inst = random_instance(n, universe_size(n), planted, 1);
+    match kind {
+        GadgetKind::Diameter => {
+            let g = distbc::lowerbound::diameter_gadget(x, &inst);
+            println!(
+                "# Figure 2 gadget: n={n}, x={x}, planted={planted}; diameter = {} (expected {})",
+                algo::diameter(&g.graph),
+                if planted { x + 2 } else { x }
+            );
+            print!("{}", io::to_edge_list(&g.graph));
+        }
+        GadgetKind::Bc => {
+            let g = distbc::lowerbound::bc_gadget(&inst);
+            let cb = brandes::betweenness_f64(&g.graph);
+            println!("# Figure 3 gadget: n={n}, planted={planted}");
+            for (i, &fi) in g.f.iter().enumerate() {
+                println!("# C_B(F_{i}) = {}", cb[fi as usize]);
+            }
+            print!("{}", io::to_edge_list(&g.graph));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Info { source } => cmd_info(source),
+        Command::Centrality {
+            source,
+            algorithm,
+            stress,
+            top,
+            csv,
+            mantissa_bits,
+            scheduling,
+        } => cmd_centrality(
+            source,
+            algorithm,
+            *stress,
+            *top,
+            *csv,
+            *mantissa_bits,
+            *scheduling,
+        ),
+        Command::Gadget {
+            kind,
+            n,
+            x,
+            planted,
+        } => cmd_gadget(*kind, *n, *x, *planted),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            p(&["info", "--input", "g.txt"]).unwrap(),
+            Command::Info {
+                source: GraphSource::File("g.txt".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parses_centrality_with_options() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "er:50:0.1:3",
+            "--algorithm",
+            "sampled:10",
+            "--stress",
+            "--top",
+            "5",
+            "--csv",
+            "--mantissa-bits",
+            "20",
+            "--adaptive",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Centrality {
+                source: GraphSource::Generate("er:50:0.1:3".into()),
+                algorithm: Algorithm::Sampled(10),
+                stress: true,
+                top: Some(5),
+                csv: true,
+                mantissa_bits: Some(20),
+                scheduling: Scheduling::Adaptive,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_gadget() {
+        let c = p(&["gadget", "--kind", "bc", "--n", "6", "--planted"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Gadget {
+                kind: GadgetKind::Bc,
+                n: 6,
+                x: 8,
+                planted: true
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(p(&["centrality"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["centrality", "--generate", "x", "--algorithm", "magic"]).is_err());
+        assert!(p(&["info", "--input"]).is_err());
+        assert!(p(&["gadget", "--kind", "bc"]).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generator_specs() {
+        assert_eq!(generate("path:5").unwrap().n(), 5);
+        assert_eq!(generate("grid:3:4").unwrap().n(), 12);
+        assert_eq!(generate("karate").unwrap().n(), 34);
+        assert_eq!(generate("florentine").unwrap().n(), 15);
+        assert_eq!(generate("er:30:0.1:1").unwrap().n(), 30);
+        assert!(generate("er:30").is_err());
+        assert!(generate("nope:1").is_err());
+        assert!(generate("path:x").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! **distbc** — a reproduction of *Nearly Optimal Distributed Algorithm for
+//! Computing Betweenness Centrality* (Hua, Fan, Ai, Qian, Li, Shi, Jin;
+//! IEEE ICDCS 2016).
+//!
+//! The paper gives the first deterministic `O(N)`-round algorithm for
+//! computing the betweenness centrality of every node of an undirected,
+//! unweighted graph in the CONGEST model, plus a matching
+//! `Ω(D + N/log N)` lower bound. This workspace implements the whole
+//! stack from scratch:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`graph`] (`bc-graph`) | CSR graphs, generators, BFS/diameter, I/O |
+//! | [`congest`] (`bc-congest`) | bit-accounted synchronous CONGEST simulator |
+//! | [`numeric`] (`bc-numeric`) | the paper's `L`-bit ceiling floats, bignums, exact rationals |
+//! | [`brandes`] (`bc-brandes`) | centralized Brandes (f64 / exact / CeilFloat), naive `O(N³)`, other centralities, sampling approximations |
+//! | [`core`] (`bc-core`) | **the paper's algorithm**: pipelined counting + collision-free aggregation |
+//! | [`lowerbound`] (`bc-lowerbound`) | the Figure 2/3 gadgets and cut-flow measurements |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distbc::core::{run_distributed_bc, DistBcConfig};
+//! use distbc::brandes::betweenness_f64;
+//! use distbc::graph::generators;
+//!
+//! let g = generators::erdos_renyi_connected(50, 0.08, 42);
+//! let distributed = run_distributed_bc(&g, DistBcConfig::default())?;
+//! let centralized = betweenness_f64(&g);
+//! for (d, c) in distributed.betweenness.iter().zip(&centralized) {
+//!     assert!((d - c).abs() <= 1e-2 * (1.0 + c));
+//! }
+//! assert!(distributed.metrics.congest_compliant());
+//! # Ok::<(), distbc::core::DistBcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bc_brandes as brandes;
+pub use bc_congest as congest;
+pub use bc_core as core;
+pub use bc_graph as graph;
+pub use bc_lowerbound as lowerbound;
+pub use bc_numeric as numeric;
