@@ -47,10 +47,8 @@ fn main() {
     println!("_total: {:.1?}_", total.elapsed());
 }
 
-/// Tiny JSON encoder for the report shape (strings, arrays, one struct).
-/// `ExperimentReport` also derives `serde::Serialize` so downstream users
-/// can plug in any serde format; this encoder merely avoids pulling a JSON
-/// crate into this workspace for one flag.
+/// Tiny JSON encoder for the report shape (strings, arrays, one struct),
+/// avoiding any external JSON dependency for one flag.
 fn to_json(reports: &[ExperimentReport]) -> String {
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);

@@ -12,7 +12,7 @@
 pub mod experiments;
 pub mod report;
 
-pub use report::ExperimentReport;
+pub use report::{ExperimentReport, PHASE_HEADERS};
 
 /// Runs an experiment by id (`"e1"`…`"e10"`), at reduced scale if `quick`.
 ///
@@ -23,7 +23,10 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<ExperimentReport> {
     match id {
         "e1" => vec![experiments::e1_figure1::run()],
         "e2" => vec![experiments::e2_correctness::run(quick)],
-        "e3" => vec![experiments::e3_rounds::run(quick)],
+        "e3" => vec![
+            experiments::e3_rounds::run(quick),
+            experiments::e3_rounds::run_phases(quick),
+        ],
         "e4" => vec![experiments::e4_error_vs_l::run(quick)],
         "e5" => vec![experiments::e5_compliance::run(quick)],
         "e6" => vec![experiments::e6_diameter_gadget::run(quick)],

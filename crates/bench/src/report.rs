@@ -1,11 +1,23 @@
 //! Structured experiment output rendered as markdown tables (or JSON via
-//! serde, for downstream tooling).
+//! the `repro` binary's encoder, for downstream tooling).
 
-use serde::Serialize;
+use bc_congest::PhaseStat;
 use std::fmt;
 
+/// Headers for tables built with [`ExperimentReport::push_phase_stats`]:
+/// one row per protocol phase, labelled by the run they came from.
+pub const PHASE_HEADERS: [&str; 7] = [
+    "run",
+    "phase",
+    "rounds [start,end)",
+    "rounds",
+    "messages",
+    "bits",
+    "max msg bits",
+];
+
 /// One experiment's result: a titled table plus free-form notes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentReport {
     /// Experiment id (`"E3"` etc.).
     pub id: String,
@@ -48,6 +60,26 @@ impl ExperimentReport {
     /// Appends an interpretation note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Appends one row per phase of `stats`, labelling each with `run`.
+    /// The report must have been created with [`PHASE_HEADERS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report's header width differs from [`PHASE_HEADERS`].
+    pub fn push_phase_stats(&mut self, run: &str, stats: &[PhaseStat]) {
+        for p in stats {
+            self.push_row(vec![
+                run.to_string(),
+                p.name.clone(),
+                format!("{}..{}", p.start, p.end),
+                p.rounds.to_string(),
+                p.messages.to_string(),
+                p.bits.to_string(),
+                p.max_message_bits.to_string(),
+            ]);
+        }
     }
 }
 
@@ -103,5 +135,38 @@ mod tests {
     fn row_width_checked() {
         let mut r = ExperimentReport::new("E0", "demo", &["a", "b"]);
         r.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn phase_stats_render_one_row_per_phase() {
+        let mut r = ExperimentReport::new("E0", "phases", &PHASE_HEADERS);
+        r.push_phase_stats(
+            "er-32",
+            &[
+                PhaseStat {
+                    name: "A:tree".into(),
+                    start: 0,
+                    end: 10,
+                    rounds: 10,
+                    messages: 40,
+                    bits: 400,
+                    max_message_bits: 12,
+                },
+                PhaseStat {
+                    name: "B:counting".into(),
+                    start: 10,
+                    end: 50,
+                    rounds: 40,
+                    messages: 900,
+                    bits: 9000,
+                    max_message_bits: 30,
+                },
+            ],
+        );
+        let s = r.to_string();
+        assert_eq!(r.rows.len(), 2);
+        assert!(s.contains("A:tree"));
+        assert!(s.contains("10..50"));
+        assert!(s.contains("900"));
     }
 }

@@ -24,6 +24,7 @@
 
 use crate::message::Message;
 use crate::network::{Protocol, RoundCtx};
+use crate::trace::{TraceEvent, TraceSink};
 use bc_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +102,9 @@ struct Engine<'g, P> {
     pulse_limit: u64,
     payload_messages: u64,
     control_messages: u64,
+    sink: Option<Box<dyn TraceSink>>,
+    /// One past the highest pulse for which `RoundStart` was emitted.
+    rounds_announced: u64,
 }
 
 impl<P: Protocol> Engine<'_, P> {
@@ -138,12 +142,43 @@ impl<P: Protocol> Engine<'_, P> {
             Vec::new()
         };
         inbox.sort_by_key(|&(port, _)| port);
-        let mut ctx = RoundCtx::new(v, pulse, self.graph);
+        if pulse >= self.rounds_announced {
+            if let Some(s) = self.sink.as_deref_mut() {
+                // The first node to enter a pulse announces its round. Event
+                // order across nodes follows the asynchronous schedule, but
+                // every event carries its pulse number, so offline analysis
+                // is unaffected.
+                for round in self.rounds_announced..=pulse {
+                    s.event(&TraceEvent::RoundStart { round });
+                }
+            }
+            self.rounds_announced = pulse + 1;
+        }
+        let node = &mut self.nodes[v as usize];
+        let mut ctx = RoundCtx::new(v, pulse, self.graph, self.sink.is_some());
         node.inner.round(&mut ctx, &inbox);
+        let events = ctx.take_events();
+        if let Some(s) = self.sink.as_deref_mut() {
+            for detail in events {
+                s.event(&TraceEvent::Protocol {
+                    round: pulse,
+                    node: v,
+                    detail,
+                });
+            }
+        }
         let sends = ctx.take_sends();
-        node.acks_pending = sends.len();
-        node.announced_safe = false;
+        self.nodes[v as usize].acks_pending = sends.len();
+        self.nodes[v as usize].announced_safe = false;
         for (port, inner) in sends {
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.event(&TraceEvent::MessageSent {
+                    round: pulse,
+                    from: v,
+                    to: self.graph.neighbors(v)[port],
+                    bits: inner.bit_len(),
+                });
+            }
             self.send(v, port, SyncMsg::Payload { pulse, inner });
         }
         self.maybe_announce_safe(v);
@@ -232,8 +267,45 @@ pub fn run_synchronized<P, F>(
     graph: &Graph,
     cfg: AsyncConfig,
     pulses: u64,
-    mut factory: F,
+    factory: F,
 ) -> (Vec<P>, AsyncReport)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &Graph) -> P,
+{
+    let (nodes, report, _) = run_impl(graph, cfg, pulses, factory, None);
+    (nodes, report)
+}
+
+/// Like [`run_synchronized`], but emits [`TraceEvent`]s into `sink` as the
+/// synchronizer executes: one `RoundStart` when the first node enters each
+/// pulse, each node's protocol events and payload `MessageSent`s as its
+/// pulse executes. Event order across nodes follows the asynchronous
+/// schedule (not node-id order), but every event carries its pulse, so
+/// [`crate::trace::check`] applies unchanged. Returns the sink for
+/// flushing/draining.
+pub fn run_synchronized_traced<P, F>(
+    graph: &Graph,
+    cfg: AsyncConfig,
+    pulses: u64,
+    factory: F,
+    sink: Box<dyn TraceSink>,
+) -> (Vec<P>, AsyncReport, Box<dyn TraceSink>)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &Graph) -> P,
+{
+    let (nodes, report, sink) = run_impl(graph, cfg, pulses, factory, Some(sink));
+    (nodes, report, sink.expect("sink returned"))
+}
+
+fn run_impl<P, F>(
+    graph: &Graph,
+    cfg: AsyncConfig,
+    pulses: u64,
+    mut factory: F,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (Vec<P>, AsyncReport, Option<Box<dyn TraceSink>>)
 where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
@@ -263,6 +335,8 @@ where
         pulse_limit: pulses,
         payload_messages: 0,
         control_messages: 0,
+        sink,
+        rounds_announced: 0,
     };
     if pulses > 0 {
         for v in 0..graph.n() as NodeId {
@@ -278,7 +352,12 @@ where
         payload_messages: engine.payload_messages,
         control_messages: engine.control_messages,
     };
-    (engine.nodes.into_iter().map(|n| n.inner).collect(), report)
+    let sink = engine.sink.take();
+    (
+        engine.nodes.into_iter().map(|n| n.inner).collect(),
+        report,
+        sink,
+    )
 }
 
 #[cfg(test)]

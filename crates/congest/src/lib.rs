@@ -71,9 +71,10 @@ pub mod asynchronous;
 mod message;
 mod metrics;
 mod network;
+pub mod trace;
 
 pub use message::Message;
-pub use metrics::{EdgeCut, NetMetrics};
+pub use metrics::{EdgeCut, NetMetrics, PhaseStat};
 pub use network::{
     Budget, Config, CongestError, Enforcement, Network, Protocol, RoundCtx, RunReport,
 };
@@ -83,6 +84,7 @@ mod tests {
     use super::*;
     use bc_graph::{generators, Graph};
     use bc_numeric::bits::BitWriter;
+    use trace::TraceEvent;
 
     fn msg(v: u64, width: u32) -> Message {
         let mut w = BitWriter::new();
@@ -376,5 +378,120 @@ mod tests {
         let g = generators::path(2);
         let net = Network::new(&g, Config::default(), |_, _| Flood::new());
         assert!(format!("{net:?}").contains("Network"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_execution() {
+        let g = generators::erdos_renyi_connected(40, 0.08, 3);
+        let mut plain = Network::new(&g, Config::default(), |_, _| Flood::new());
+        let plain_rounds = plain.run(10_000).unwrap().rounds;
+        let mut traced = Network::new(&g, Config::default(), |_, _| Flood::new());
+        traced.set_trace_sink(Box::new(trace::RingSink::new(1 << 16)));
+        let traced_rounds = traced.run(10_000).unwrap().rounds;
+        assert_eq!(plain_rounds, traced_rounds);
+        assert_eq!(plain.metrics(), traced.metrics());
+        for v in g.nodes() {
+            assert_eq!(plain.node(v).dist, traced.node(v).dist);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_emit_identical_event_streams() {
+        let g = generators::erdos_renyi_connected(50, 0.07, 11);
+        let mut serial = Network::new(&g, Config::default(), |_, _| Flood::new());
+        serial.set_trace_sink(Box::new(trace::RingSink::new(1 << 20)));
+        serial.run(10_000).unwrap();
+        let serial_events = serial.take_trace_sink().unwrap().drain_events();
+        assert!(!serial_events.is_empty());
+        for threads in [2, 5] {
+            let mut par = Network::new(&g, Config::default(), |_, _| Flood::new());
+            par.set_trace_sink(Box::new(trace::RingSink::new(1 << 20)));
+            par.run_parallel(10_000, threads).unwrap();
+            let par_events = par.take_trace_sink().unwrap().drain_events();
+            assert_eq!(serial_events, par_events, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn traced_run_passes_offline_checks() {
+        let g = generators::erdos_renyi_connected(30, 0.1, 5);
+        let mut net = Network::new(&g, Config::default(), |_, _| Flood::new());
+        let mut events = vec![TraceEvent::Topology {
+            n: g.n(),
+            edges: g.edges().collect(),
+        }];
+        net.set_trace_sink(Box::new(trace::RingSink::new(1 << 20)));
+        net.run(10_000).unwrap();
+        events.extend(net.take_trace_sink().unwrap().drain_events());
+        let report = trace::check::check(&events);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.messages, net.metrics().total_messages);
+    }
+
+    #[test]
+    fn violations_are_traced() {
+        let g = generators::path(3);
+        let cfg = Config {
+            enforcement: Enforcement::Record,
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |_, _| DoubleSender { fired: false });
+        net.set_trace_sink(Box::new(trace::RingSink::new(1024)));
+        net.run(10).unwrap();
+        let events = net.take_trace_sink().unwrap().drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::ViolationDetected {
+                node: 0,
+                kind: trace::ViolationKind::Collision { port: 0 },
+                ..
+            }
+        )));
+        let report = trace::check::check(&events);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn synchronizer_trace_matches_on_content() {
+        use std::collections::BTreeSet;
+        let g = generators::erdos_renyi_connected(20, 0.15, 7);
+        let mut sync = Network::new(&g, Config::default(), |_, _| Flood::new());
+        sync.set_trace_sink(Box::new(trace::RingSink::new(1 << 20)));
+        let rounds = sync.run(10_000).unwrap().rounds;
+        let sync_events = sync.take_trace_sink().unwrap().drain_events();
+        let (_, _, mut sink) = asynchronous::run_synchronized_traced(
+            &g,
+            asynchronous::AsyncConfig::default(),
+            rounds,
+            |_, _| Flood::new(),
+            Box::new(trace::RingSink::new(1 << 20)),
+        );
+        let async_events = sink.drain_events();
+        // The synchronizer emits events in asynchronous schedule order;
+        // the multiset of message sends must match the synchronous run.
+        let key = |es: &[TraceEvent]| -> BTreeSet<(u64, u32, u32, usize)> {
+            es.iter()
+                .filter_map(|e| match *e {
+                    TraceEvent::MessageSent {
+                        round,
+                        from,
+                        to,
+                        bits,
+                    } => Some((round, from, to, bits)),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(key(&sync_events), key(&async_events));
+        assert_eq!(
+            sync_events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+                .count(),
+            async_events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+                .count()
+        );
     }
 }

@@ -70,12 +70,28 @@ pub struct NetMetrics {
     /// protocol's phase structure visible (counting burst, control lull,
     /// aggregation burst).
     pub per_round_messages: Vec<u64>,
+    /// Payload bits sent in each round (same timeline as
+    /// `per_round_messages`, weighted by message size).
+    pub per_round_bits: Vec<u64>,
+    /// Largest single message per round, in bits.
+    pub per_round_max_bits: Vec<u32>,
+    /// Message-size histogram in log₂ buckets: `message_size_hist[i]`
+    /// counts messages with `bits` in `[2^i, 2^(i+1))` (bucket 0 also
+    /// holds empty messages). The CONGEST budget claim is visible here as
+    /// an empty tail above `⌈log₂ budget⌉`.
+    pub message_size_hist: Vec<u64>,
 }
 
 impl NetMetrics {
     /// Folds another partial metrics record into this one (used by the
     /// parallel engine to merge per-worker tallies).
+    ///
+    /// Counters add; `rounds` takes the maximum, because partial records
+    /// describe disjoint node sets stepping through the *same* rounds — a
+    /// worker that saw 5 rounds and one that saw 5 rounds together still
+    /// executed 5 rounds, not 10.
     pub fn merge(&mut self, other: &NetMetrics) {
+        self.rounds = self.rounds.max(other.rounds);
         self.total_messages += other.total_messages;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
@@ -97,6 +113,77 @@ impl NetMetrics {
         {
             *a += b;
         }
+        if self.per_round_bits.len() < other.per_round_bits.len() {
+            self.per_round_bits.resize(other.per_round_bits.len(), 0);
+        }
+        for (a, b) in self.per_round_bits.iter_mut().zip(&other.per_round_bits) {
+            *a += b;
+        }
+        if self.per_round_max_bits.len() < other.per_round_max_bits.len() {
+            self.per_round_max_bits
+                .resize(other.per_round_max_bits.len(), 0);
+        }
+        for (a, b) in self
+            .per_round_max_bits
+            .iter_mut()
+            .zip(&other.per_round_max_bits)
+        {
+            *a = (*a).max(*b);
+        }
+        if self.message_size_hist.len() < other.message_size_hist.len() {
+            self.message_size_hist
+                .resize(other.message_size_hist.len(), 0);
+        }
+        for (a, b) in self
+            .message_size_hist
+            .iter_mut()
+            .zip(&other.message_size_hist)
+        {
+            *a += b;
+        }
+    }
+
+    /// Extends the per-round timelines to cover `round`, so silent rounds
+    /// appear as explicit zeros rather than missing entries.
+    pub(crate) fn begin_round(&mut self, round: u64) {
+        let len = round as usize + 1;
+        if self.per_round_messages.len() < len {
+            self.per_round_messages.resize(len, 0);
+        }
+        if self.per_round_bits.len() < len {
+            self.per_round_bits.resize(len, 0);
+        }
+        if self.per_round_max_bits.len() < len {
+            self.per_round_max_bits.resize(len, 0);
+        }
+    }
+
+    /// Records one message of `bits` payload bits sent in `round` into the
+    /// per-round timelines and the size histogram.
+    pub(crate) fn record_message(&mut self, round: u64, bits: usize) {
+        let r = round as usize;
+        if self.per_round_messages.len() <= r {
+            self.per_round_messages.resize(r + 1, 0);
+        }
+        if self.per_round_bits.len() <= r {
+            self.per_round_bits.resize(r + 1, 0);
+        }
+        if self.per_round_max_bits.len() <= r {
+            self.per_round_max_bits.resize(r + 1, 0);
+        }
+        self.per_round_messages[r] += 1;
+        self.per_round_bits[r] += bits as u64;
+        self.per_round_max_bits[r] = self.per_round_max_bits[r].max(bits as u32);
+        let bucket = Self::size_bucket(bits);
+        if self.message_size_hist.len() <= bucket {
+            self.message_size_hist.resize(bucket + 1, 0);
+        }
+        self.message_size_hist[bucket] += 1;
+    }
+
+    /// The log₂ histogram bucket for a message of `bits` bits.
+    pub fn size_bucket(bits: usize) -> usize {
+        (usize::BITS - 1 - bits.max(1).leading_zeros()) as usize
     }
 
     /// Returns `true` if the execution satisfied the CONGEST constraints:
@@ -104,6 +191,53 @@ impl NetMetrics {
     pub fn congest_compliant(&self) -> bool {
         self.collisions == 0 && self.oversized_messages == 0
     }
+
+    /// Summarizes the round window `[start, end)` from the per-round
+    /// timelines — the per-phase breakdown a driver produces by slicing at
+    /// its phase boundaries. Rounds beyond the recorded timeline count as
+    /// silent (zero traffic).
+    pub fn phase_window(&self, name: impl Into<String>, start: u64, end: u64) -> PhaseStat {
+        let (start, end) = (start.min(end), end);
+        let clip = |v: u64| (v as usize).min(self.per_round_messages.len());
+        let (lo, hi) = (clip(start), clip(end));
+        let bits_hi = (end as usize).min(self.per_round_bits.len());
+        let bits_lo = (start as usize).min(bits_hi);
+        let max_hi = (end as usize).min(self.per_round_max_bits.len());
+        let max_lo = (start as usize).min(max_hi);
+        PhaseStat {
+            name: name.into(),
+            start,
+            end,
+            rounds: end - start,
+            messages: self.per_round_messages[lo..hi].iter().sum(),
+            bits: self.per_round_bits[bits_lo..bits_hi].iter().sum(),
+            max_message_bits: self.per_round_max_bits[max_lo..max_hi]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0) as usize,
+        }
+    }
+}
+
+/// Traffic summary of one protocol phase (a contiguous round window),
+/// produced by [`NetMetrics::phase_window`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase label (`"A:tree"` etc. — chosen by the driver).
+    pub name: String,
+    /// First round of the window (inclusive).
+    pub start: u64,
+    /// One past the last round of the window.
+    pub end: u64,
+    /// Window length in rounds.
+    pub rounds: u64,
+    /// Messages sent within the window.
+    pub messages: u64,
+    /// Payload bits sent within the window.
+    pub bits: u64,
+    /// Largest single message within the window.
+    pub max_message_bits: usize,
 }
 
 #[cfg(test)]
@@ -134,9 +268,12 @@ mod tests {
             cut_bits: 40,
             cut_messages: 4,
             per_round_messages: vec![4, 6],
+            per_round_bits: vec![40, 60],
+            per_round_max_bits: vec![8, 8],
+            message_size_hist: vec![0, 0, 0, 10],
         };
         let b = NetMetrics {
-            rounds: 0,
+            rounds: 3,
             total_messages: 3,
             total_bits: 60,
             max_message_bits: 16,
@@ -146,15 +283,75 @@ mod tests {
             cut_bits: 20,
             cut_messages: 2,
             per_round_messages: vec![1, 1, 1],
+            per_round_bits: vec![20, 20, 20],
+            per_round_max_bits: vec![16, 4, 16],
+            message_size_hist: vec![0, 0, 0, 0, 3],
         };
         a.merge(&b);
+        // Workers share rounds: max, never a sum (5+3=8 would be wrong).
+        assert_eq!(a.rounds, 5);
         assert_eq!(a.total_messages, 13);
         assert_eq!(a.total_bits, 160);
         assert_eq!(a.max_message_bits, 16);
         assert_eq!(a.max_messages_per_edge_round, 2);
         assert_eq!(a.cut_bits, 60);
         assert_eq!(a.per_round_messages, vec![5, 7, 1]);
+        assert_eq!(a.per_round_bits, vec![60, 80, 20]);
+        assert_eq!(a.per_round_max_bits, vec![16, 8, 16]);
+        assert_eq!(a.message_size_hist, vec![0, 0, 0, 10, 3]);
         assert!(!a.congest_compliant());
+
+        // A merge into a fresh record preserves the partial's rounds.
+        let mut fresh = NetMetrics::default();
+        fresh.merge(&b);
+        assert_eq!(fresh.rounds, 3);
+    }
+
+    #[test]
+    fn record_message_builds_timelines() {
+        let mut m = NetMetrics::default();
+        m.record_message(0, 8);
+        m.record_message(2, 32);
+        m.record_message(2, 5);
+        assert_eq!(m.per_round_messages, vec![1, 0, 2]);
+        assert_eq!(m.per_round_bits, vec![8, 0, 37]);
+        assert_eq!(m.per_round_max_bits, vec![8, 0, 32]);
+        // Buckets: 8 → 3, 32 → 5, 5 → 2.
+        assert_eq!(m.message_size_hist, vec![0, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn size_buckets() {
+        assert_eq!(NetMetrics::size_bucket(0), 0);
+        assert_eq!(NetMetrics::size_bucket(1), 0);
+        assert_eq!(NetMetrics::size_bucket(2), 1);
+        assert_eq!(NetMetrics::size_bucket(3), 1);
+        assert_eq!(NetMetrics::size_bucket(4), 2);
+        assert_eq!(NetMetrics::size_bucket(64), 6);
+        assert_eq!(NetMetrics::size_bucket(65), 6);
+        assert_eq!(NetMetrics::size_bucket(128), 7);
+    }
+
+    #[test]
+    fn phase_window_slices_timelines() {
+        let m = NetMetrics {
+            per_round_messages: vec![2, 3, 5, 7, 11],
+            per_round_bits: vec![20, 30, 50, 70, 110],
+            per_round_max_bits: vec![10, 10, 25, 10, 40],
+            ..NetMetrics::default()
+        };
+        let p = m.phase_window("B:counting", 1, 4);
+        assert_eq!(p.rounds, 3);
+        assert_eq!(p.messages, 15);
+        assert_eq!(p.bits, 150);
+        assert_eq!(p.max_message_bits, 25);
+        // Windows reaching past the recorded timeline are silent, not a panic.
+        let tail = m.phase_window("D:agg", 4, 9);
+        assert_eq!(tail.rounds, 5);
+        assert_eq!(tail.messages, 11);
+        assert_eq!(tail.max_message_bits, 40);
+        let empty = m.phase_window("empty", 7, 7);
+        assert_eq!(empty.messages, 0);
     }
 
     #[test]

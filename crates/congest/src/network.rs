@@ -14,6 +14,7 @@
 
 use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
+use crate::trace::{ProtocolDetail, TraceEvent, TraceSink, ViolationKind};
 use bc_graph::{Graph, NodeId};
 use bc_numeric::bits::id_bits;
 use std::fmt;
@@ -144,15 +145,19 @@ pub struct RoundCtx<'a> {
     round: u64,
     graph: &'a Graph,
     sends: Vec<(usize, Message)>,
+    tracing: bool,
+    events: Vec<ProtocolDetail>,
 }
 
 impl<'a> RoundCtx<'a> {
-    pub(crate) fn new(id: NodeId, round: u64, graph: &'a Graph) -> Self {
+    pub(crate) fn new(id: NodeId, round: u64, graph: &'a Graph, tracing: bool) -> Self {
         RoundCtx {
             id,
             round,
             graph,
             sends: Vec::new(),
+            tracing,
+            events: Vec::new(),
         }
     }
 
@@ -215,6 +220,26 @@ impl<'a> RoundCtx<'a> {
     pub(crate) fn take_sends(&mut self) -> Vec<(usize, Message)> {
         std::mem::take(&mut self.sends)
     }
+
+    /// Returns `true` when a trace sink is attached to the engine, so
+    /// protocols can skip expensive event preparation entirely.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Stages a protocol-level trace event for this round. A no-op unless
+    /// the engine has a trace sink attached ([`RoundCtx::tracing`]), so
+    /// untraced runs pay only this branch.
+    pub fn trace(&mut self, detail: ProtocolDetail) {
+        if self.tracing {
+            self.events.push(detail);
+        }
+    }
+
+    /// Drains the staged trace events (engine-side).
+    pub(crate) fn take_events(&mut self) -> Vec<ProtocolDetail> {
+        std::mem::take(&mut self.events)
+    }
 }
 
 /// Outcome of a successful run.
@@ -233,6 +258,7 @@ pub struct Network<P> {
     inboxes: Vec<Vec<(usize, Message)>>,
     metrics: NetMetrics,
     round: u64,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<P> fmt::Debug for Network<P> {
@@ -264,7 +290,24 @@ impl<P: Protocol> Network<P> {
             inboxes: vec![Vec::new(); n],
             metrics: NetMetrics::default(),
             round: 0,
+            sink: None,
         }
+    }
+
+    /// Installs a trace sink; subsequent rounds emit
+    /// [`TraceEvent`]s into it. Returns the previously installed sink.
+    ///
+    /// Both engines produce the identical, deterministic event stream:
+    /// per round, one `RoundStart`, then each node's protocol events
+    /// followed by its `MessageSent`s, in node-id order (the parallel
+    /// engine merges worker buffers back into this order).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.sink.replace(sink)
+    }
+
+    /// Removes and returns the trace sink, stopping emission.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// The simulated graph.
@@ -324,19 +367,34 @@ impl<P: Protocol> Network<P> {
     /// Executes a single round serially.
     fn step(&mut self) -> Result<(), CongestError> {
         let n = self.graph.n();
+        let round = self.round;
         let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
         let mut first_error: Option<CongestError> = None;
-        self.metrics
-            .per_round_messages
-            .resize(self.round as usize + 1, 0);
+        self.metrics.begin_round(round);
+        // The sink leaves `self` for the loop so node stepping (which
+        // borrows nodes/graph/metrics) and event emission don't conflict.
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_deref_mut() {
+            s.event(&TraceEvent::RoundStart { round });
+        }
+        let tracing = sink.is_some();
         for v in 0..n {
             let inbox = std::mem::take(&mut self.inboxes[v]);
-            let mut ctx = RoundCtx::new(v as NodeId, self.round, &self.graph);
+            let mut ctx = RoundCtx::new(v as NodeId, round, &self.graph, tracing);
             self.nodes[v].round(&mut ctx, &inbox);
+            if let Some(s) = sink.as_deref_mut() {
+                for detail in ctx.take_events() {
+                    s.event(&TraceEvent::Protocol {
+                        round,
+                        node: v as NodeId,
+                        detail,
+                    });
+                }
+            }
             let staged = ctx.sends;
             account_sends(
                 v as NodeId,
-                self.round,
+                round,
                 staged,
                 &self.graph,
                 self.budget_bits,
@@ -344,8 +402,10 @@ impl<P: Protocol> Network<P> {
                 &mut self.metrics,
                 &mut next_inboxes,
                 &mut first_error,
+                sink.as_deref_mut(),
             );
         }
+        self.sink = sink;
         if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
             return Err(err.clone());
         }
@@ -392,9 +452,13 @@ impl<P: Protocol + Send> Network<P> {
         let chunk = n.div_ceil(threads).max(1);
         let graph = &self.graph;
         let round = self.round;
-        // Each worker returns (base_index, sends) where sends are
-        // (sender, staged messages).
-        type WorkerOut = Vec<(NodeId, Vec<(usize, Message)>)>;
+        let tracing = self.sink.is_some();
+        // Each worker returns (sender, staged messages, staged trace
+        // events). Workers are spawned over contiguous node-id chunks and
+        // joined in spawn order, so iterating the outputs replays nodes in
+        // id order — the merged event stream is identical to the serial
+        // engine's.
+        type WorkerOut = Vec<(NodeId, Vec<(usize, Message)>, Vec<ProtocolDetail>)>;
         let mut worker_outputs: Vec<WorkerOut> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -417,10 +481,11 @@ impl<P: Protocol + Send> Network<P> {
                     {
                         let v = b + i as u32;
                         let taken = std::mem::take(inbox);
-                        let mut ctx = RoundCtx::new(v, round, graph);
+                        let mut ctx = RoundCtx::new(v, round, graph, tracing);
                         node.round(&mut ctx, &taken);
-                        if !ctx.sends.is_empty() {
-                            out.push((v, ctx.sends));
+                        let events = ctx.take_events();
+                        if !ctx.sends.is_empty() || !events.is_empty() {
+                            out.push((v, ctx.sends, events));
                         }
                     }
                     out
@@ -435,11 +500,22 @@ impl<P: Protocol + Send> Network<P> {
 
         let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
         let mut first_error: Option<CongestError> = None;
-        self.metrics
-            .per_round_messages
-            .resize(self.round as usize + 1, 0);
+        self.metrics.begin_round(round);
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_deref_mut() {
+            s.event(&TraceEvent::RoundStart { round });
+        }
         for out in worker_outputs {
-            for (v, staged) in out {
+            for (v, staged, events) in out {
+                if let Some(s) = sink.as_deref_mut() {
+                    for detail in events {
+                        s.event(&TraceEvent::Protocol {
+                            round,
+                            node: v,
+                            detail,
+                        });
+                    }
+                }
                 account_sends(
                     v,
                     round,
@@ -450,9 +526,11 @@ impl<P: Protocol + Send> Network<P> {
                     &mut self.metrics,
                     &mut next_inboxes,
                     &mut first_error,
+                    sink.as_deref_mut(),
                 );
             }
         }
+        self.sink = sink;
         if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
             return Err(err.clone());
         }
@@ -470,7 +548,7 @@ impl<P: Protocol + Send> Network<P> {
 /// budget enforcement, metric accounting, cut-flow accounting, and
 /// enqueueing into the receivers' next-round inboxes.
 #[allow(clippy::too_many_arguments)]
-fn account_sends(
+fn account_sends<S: TraceSink + ?Sized>(
     v: NodeId,
     round: u64,
     staged: Vec<(usize, Message)>,
@@ -480,6 +558,7 @@ fn account_sends(
     metrics: &mut NetMetrics,
     next_inboxes: &mut [Vec<(usize, Message)>],
     first_error: &mut Option<CongestError>,
+    mut sink: Option<&mut S>,
 ) {
     // Collision detection: count messages per port.
     let neighbors = graph.neighbors(v);
@@ -495,15 +574,22 @@ fn account_sends(
                     round,
                 });
             }
+            if let Some(s) = sink.as_deref_mut() {
+                s.event(&TraceEvent::ViolationDetected {
+                    round,
+                    node: v,
+                    kind: ViolationKind::Collision { port },
+                });
+            }
         }
         metrics.max_messages_per_edge_round = metrics
             .max_messages_per_edge_round
             .max(port_counts[port] as u32);
         let bits = msg.bit_len();
         metrics.total_messages += 1;
-        metrics.per_round_messages[round as usize] += 1;
         metrics.total_bits += bits as u64;
         metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        metrics.record_message(round, bits);
         if let Some(budget) = budget_bits {
             if bits > budget {
                 metrics.oversized_messages += 1;
@@ -515,9 +601,24 @@ fn account_sends(
                         round,
                     });
                 }
+                if let Some(s) = sink.as_deref_mut() {
+                    s.event(&TraceEvent::ViolationDetected {
+                        round,
+                        node: v,
+                        kind: ViolationKind::Oversized { bits, budget },
+                    });
+                }
             }
         }
         let target = neighbors[port];
+        if let Some(s) = sink.as_deref_mut() {
+            s.event(&TraceEvent::MessageSent {
+                round,
+                from: v,
+                to: target,
+                bits,
+            });
+        }
         if let Some(cut) = cut {
             if cut.contains(v, target) {
                 metrics.cut_bits += bits as u64;

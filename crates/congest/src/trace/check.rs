@@ -1,0 +1,471 @@
+//! Offline re-validation of the paper's schedule invariants from a
+//! recorded trace.
+//!
+//! The correctness of Algorithm 2 rests on properties of the *schedule*,
+//! not just of the final numbers: every (edge, direction, round) slot
+//! carries at most one message (CONGEST), consecutive BFS waves respect
+//! Lemma 4's spacing `T_t ≥ T_s + d(s,t) + 1`, and each phase's events
+//! stay inside that phase's provisioned round window. [`check`] verifies
+//! all three from a [`TraceEvent`] stream alone — it recomputes distances
+//! from the embedded [`TraceEvent::Topology`], so a trace file is
+//! self-contained evidence that a run was schedule-correct.
+
+use super::{ProtocolDetail, TraceEvent, ViolationKind};
+use bc_graph::{algo, Graph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Result of [`check`]: counters plus human-readable findings for every
+/// violated invariant. An empty-findings report ([`CheckReport::ok`])
+/// certifies the trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Total events examined.
+    pub events: usize,
+    /// Distinct rounds seen (from `RoundStart`).
+    pub rounds: u64,
+    /// `MessageSent` events examined.
+    pub messages: u64,
+    /// (directed edge, round) slots that carried more than one message.
+    pub collision_findings: Vec<String>,
+    /// Violations the engine recorded online (`ViolationDetected`).
+    pub recorded_violations: u64,
+    /// Observed wave starts `(source, T_s)`, sorted by `T_s` — the DFS
+    /// preorder with its schedule, as actually executed.
+    pub wave_starts: Vec<(NodeId, u64)>,
+    /// Wave sources in `T_s` order (the recovered DFS preorder).
+    pub preorder: Vec<NodeId>,
+    /// Consecutive wave pairs violating Lemma 4.
+    pub wave_findings: Vec<String>,
+    /// Consecutive wave pairs whose spacing was verified.
+    pub waves_checked: usize,
+    /// The tightest Lemma-4-admissible schedule along the observed
+    /// preorder, as rounds relative to the first wave: `T'_0 = 0`,
+    /// `T'_i = T'_{i-1} + d(s_{i-1}, s_i) + 1`. Requires a topology event.
+    pub minimal_schedule: Option<Vec<u64>>,
+    /// Events outside their phase's provisioned window.
+    pub window_findings: Vec<String>,
+    /// Per-node phase transitions that ran backwards.
+    pub phase_findings: Vec<String>,
+}
+
+impl CheckReport {
+    /// Returns `true` when every checked invariant held.
+    pub fn ok(&self) -> bool {
+        self.collision_findings.is_empty()
+            && self.recorded_violations == 0
+            && self.wave_findings.is_empty()
+            && self.window_findings.is_empty()
+            && self.phase_findings.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events, {} rounds, {} messages",
+            self.events, self.rounds, self.messages
+        )?;
+        writeln!(
+            f,
+            "collision-freeness: {} ({} of {} edge-round slots violated)",
+            if self.collision_findings.is_empty() {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
+            self.collision_findings.len(),
+            self.messages,
+        )?;
+        if self.recorded_violations > 0 {
+            writeln!(
+                f,
+                "engine recorded {} violations online",
+                self.recorded_violations
+            )?;
+        }
+        if self.wave_starts.is_empty() {
+            writeln!(f, "wave spacing: no waves recorded")?;
+        } else {
+            writeln!(
+                f,
+                "wave spacing (Lemma 4): {} ({} consecutive pairs checked, {} waves)",
+                if self.wave_findings.is_empty() {
+                    "OK"
+                } else {
+                    "VIOLATED"
+                },
+                self.waves_checked,
+                self.wave_starts.len(),
+            )?;
+        }
+        writeln!(
+            f,
+            "phase windows: {}",
+            if self.window_findings.is_empty() && self.phase_findings.is_empty() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        )?;
+        for finding in self
+            .collision_findings
+            .iter()
+            .chain(&self.wave_findings)
+            .chain(&self.window_findings)
+            .chain(&self.phase_findings)
+        {
+            writeln!(f, "  - {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-validates the paper's invariants over a recorded event stream.
+pub fn check(events: &[TraceEvent]) -> CheckReport {
+    let mut report = CheckReport {
+        events: events.len(),
+        ..CheckReport::default()
+    };
+
+    let mut topology: Option<Graph> = None;
+    let mut schedule: Option<(u64, u64, u64, u64)> = None;
+    let mut slot_counts: HashMap<(NodeId, NodeId, u64), u32> = HashMap::new();
+    let mut phase_cursor: HashMap<NodeId, char> = HashMap::new();
+
+    for event in events {
+        match event {
+            TraceEvent::Topology { n, edges } => {
+                match Graph::from_edges(*n, edges.iter().copied()) {
+                    Ok(g) => topology = Some(g),
+                    Err(e) => report
+                        .window_findings
+                        .push(format!("unusable topology event: {e:?}")),
+                }
+            }
+            TraceEvent::Schedule {
+                counting_start,
+                reduce_start,
+                broadcast_start,
+                agg_start,
+            } => {
+                schedule = Some((*counting_start, *reduce_start, *broadcast_start, *agg_start));
+            }
+            TraceEvent::RoundStart { round } => {
+                report.rounds = report.rounds.max(round + 1);
+            }
+            TraceEvent::MessageSent {
+                round, from, to, ..
+            } => {
+                report.messages += 1;
+                let slot = slot_counts.entry((*from, *to, *round)).or_insert(0);
+                *slot += 1;
+                if *slot == 2 {
+                    report.collision_findings.push(format!(
+                        "edge {from}->{to} carried multiple messages in round {round}"
+                    ));
+                }
+            }
+            TraceEvent::ViolationDetected { round, node, kind } => {
+                report.recorded_violations += 1;
+                let what = match kind {
+                    ViolationKind::Collision { port } => {
+                        format!("collision on port {port}")
+                    }
+                    ViolationKind::Oversized { bits, budget } => {
+                        format!("oversized message ({bits} bits > budget {budget})")
+                    }
+                };
+                report
+                    .collision_findings
+                    .push(format!("engine: node {node} {what} in round {round}"));
+            }
+            TraceEvent::Protocol {
+                round,
+                node,
+                detail,
+            } => match detail {
+                ProtocolDetail::WaveStart { ts } => {
+                    report.wave_starts.push((*node, *ts));
+                    if let Some((counting_start, reduce_start, _, _)) = schedule {
+                        if *ts < counting_start || *ts >= reduce_start {
+                            report.window_findings.push(format!(
+                                "wave of source {node} started at T_s={ts}, outside \
+                                 counting window [{counting_start}, {reduce_start})"
+                            ));
+                        }
+                    }
+                }
+                ProtocolDetail::TokenReceive | ProtocolDetail::TokenSend { .. } => {
+                    if let Some((counting_start, reduce_start, _, _)) = schedule {
+                        if *round < counting_start || *round >= reduce_start {
+                            report.window_findings.push(format!(
+                                "DFS token activity at node {node} in round {round}, \
+                                 outside counting window [{counting_start}, {reduce_start})"
+                            ));
+                        }
+                    }
+                }
+                ProtocolDetail::AggSend { source } => {
+                    if let Some((_, _, _, agg_start)) = schedule {
+                        if *round < agg_start {
+                            report.window_findings.push(format!(
+                                "aggregation send for source {source} at node {node} in \
+                                 round {round}, before the aggregation phase ({agg_start})"
+                            ));
+                        }
+                    }
+                }
+                ProtocolDetail::PhaseEnter { phase } => {
+                    let prev = phase_cursor.entry(*node).or_insert('A');
+                    if *phase < *prev {
+                        report.phase_findings.push(format!(
+                            "node {node} entered phase {phase} in round {round} after \
+                             already reaching phase {prev}"
+                        ));
+                    } else {
+                        *prev = *phase;
+                    }
+                }
+            },
+        }
+    }
+
+    report.wave_starts.sort_by_key(|&(_, ts)| ts);
+    report.preorder = report.wave_starts.iter().map(|&(v, _)| v).collect();
+
+    // Lemma 4: consecutive waves s (at T_s) and t (at T_t) must satisfy
+    // T_t ≥ T_s + d(s,t) + 1, which is exactly what makes the pipelined
+    // wavefronts collision-free on every edge.
+    if let Some(g) = &topology {
+        let mut minimal = Vec::with_capacity(report.wave_starts.len());
+        for window in report.wave_starts.windows(2) {
+            let ((s, ts), (t, tt)) = (window[0], window[1]);
+            if (s as usize) >= g.n() || (t as usize) >= g.n() {
+                report
+                    .wave_findings
+                    .push(format!("wave source {s} or {t} outside topology"));
+                continue;
+            }
+            let dist = algo::bfs(g, s).dist[t as usize];
+            if dist == algo::UNREACHABLE {
+                report
+                    .wave_findings
+                    .push(format!("wave sources {s} and {t} are disconnected"));
+                continue;
+            }
+            report.waves_checked += 1;
+            let required = ts + dist as u64 + 1;
+            if tt < required {
+                report.wave_findings.push(format!(
+                    "Lemma 4 violated: wave {t} started at {tt} < {required} \
+                     (= T_{s}({ts}) + d({s},{t})({dist}) + 1)"
+                ));
+            }
+            if minimal.is_empty() {
+                minimal.push(0);
+            }
+            let prev = *minimal.last().expect("seeded above");
+            minimal.push(prev + dist as u64 + 1);
+        }
+        if report.wave_starts.len() == 1 {
+            minimal.push(0);
+        }
+        if !minimal.is_empty() {
+            report.minimal_schedule = Some(minimal);
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5_topology() -> TraceEvent {
+        // 0-1-2-3-4
+        TraceEvent::Topology {
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+        }
+    }
+
+    fn wave(node: NodeId, ts: u64) -> TraceEvent {
+        TraceEvent::Protocol {
+            round: ts,
+            node,
+            detail: ProtocolDetail::WaveStart { ts },
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let events = vec![
+            path5_topology(),
+            TraceEvent::RoundStart { round: 0 },
+            TraceEvent::MessageSent {
+                round: 0,
+                from: 0,
+                to: 1,
+                bits: 8,
+            },
+            TraceEvent::MessageSent {
+                round: 0,
+                from: 1,
+                to: 0,
+                bits: 8,
+            },
+            wave(0, 10),
+            wave(1, 12),
+            wave(2, 14),
+        ];
+        let report = check(&events);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.preorder, vec![0, 1, 2]);
+        assert_eq!(report.waves_checked, 2);
+        assert_eq!(report.minimal_schedule, Some(vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn detects_collision_from_messages_alone() {
+        let events = vec![
+            TraceEvent::MessageSent {
+                round: 3,
+                from: 0,
+                to: 1,
+                bits: 8,
+            },
+            TraceEvent::MessageSent {
+                round: 3,
+                from: 0,
+                to: 1,
+                bits: 8,
+            },
+        ];
+        let report = check(&events);
+        assert!(!report.ok());
+        assert_eq!(report.collision_findings.len(), 1);
+        // Opposite directions and different rounds are fine.
+        let ok = check(&[
+            TraceEvent::MessageSent {
+                round: 3,
+                from: 0,
+                to: 1,
+                bits: 8,
+            },
+            TraceEvent::MessageSent {
+                round: 3,
+                from: 1,
+                to: 0,
+                bits: 8,
+            },
+            TraceEvent::MessageSent {
+                round: 4,
+                from: 0,
+                to: 1,
+                bits: 8,
+            },
+        ]);
+        assert!(ok.ok(), "{ok}");
+    }
+
+    #[test]
+    fn detects_lemma4_violation() {
+        // d(0,4) = 4 on the path, so the second wave needs T ≥ 10 + 5.
+        let events = vec![path5_topology(), wave(0, 10), wave(4, 12)];
+        let report = check(&events);
+        assert!(!report.ok());
+        assert_eq!(report.wave_findings.len(), 1);
+        assert!(report.wave_findings[0].contains("Lemma 4"), "{report}");
+        // Exactly at the bound is admissible.
+        let tight = check(&[path5_topology(), wave(0, 10), wave(4, 15)]);
+        assert!(tight.ok(), "{tight}");
+    }
+
+    #[test]
+    fn wave_spacing_skipped_without_topology() {
+        let report = check(&[wave(0, 10), wave(4, 11)]);
+        assert!(report.ok());
+        assert_eq!(report.waves_checked, 0);
+        assert_eq!(report.minimal_schedule, None);
+    }
+
+    #[test]
+    fn window_containment() {
+        let sched = TraceEvent::Schedule {
+            counting_start: 10,
+            reduce_start: 20,
+            broadcast_start: 25,
+            agg_start: 30,
+        };
+        // Wave inside the window, aggregation after agg_start: fine.
+        let ok = check(&[
+            sched.clone(),
+            wave(0, 10),
+            TraceEvent::Protocol {
+                round: 31,
+                node: 2,
+                detail: ProtocolDetail::AggSend { source: 0 },
+            },
+        ]);
+        assert!(ok.ok(), "{ok}");
+        // Wave at reduce_start: too late.
+        let late = check(&[sched.clone(), wave(0, 20)]);
+        assert_eq!(late.window_findings.len(), 1);
+        // Aggregation before its phase: flagged.
+        let early = check(&[
+            sched.clone(),
+            TraceEvent::Protocol {
+                round: 29,
+                node: 2,
+                detail: ProtocolDetail::AggSend { source: 0 },
+            },
+        ]);
+        assert_eq!(early.window_findings.len(), 1);
+        // Token outside the counting window: flagged.
+        let stray = check(&[
+            sched,
+            TraceEvent::Protocol {
+                round: 3,
+                node: 1,
+                detail: ProtocolDetail::TokenSend { to: 2 },
+            },
+        ]);
+        assert_eq!(stray.window_findings.len(), 1);
+    }
+
+    #[test]
+    fn phase_regression_flagged() {
+        let fwd = |round, phase| TraceEvent::Protocol {
+            round,
+            node: 0,
+            detail: ProtocolDetail::PhaseEnter { phase },
+        };
+        assert!(check(&[fwd(0, 'A'), fwd(5, 'B'), fwd(9, 'D')]).ok());
+        let bad = check(&[fwd(0, 'B'), fwd(5, 'A')]);
+        assert_eq!(bad.phase_findings.len(), 1);
+    }
+
+    #[test]
+    fn recorded_violations_fail_the_check() {
+        let report = check(&[TraceEvent::ViolationDetected {
+            round: 2,
+            node: 1,
+            kind: ViolationKind::Oversized {
+                bits: 80,
+                budget: 64,
+            },
+        }]);
+        assert!(!report.ok());
+        assert_eq!(report.recorded_violations, 1);
+    }
+
+    #[test]
+    fn single_wave_has_zero_schedule() {
+        let report = check(&[path5_topology(), wave(2, 7)]);
+        assert!(report.ok());
+        assert_eq!(report.minimal_schedule, Some(vec![0]));
+    }
+}

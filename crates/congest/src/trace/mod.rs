@@ -1,0 +1,810 @@
+//! Event tracing for CONGEST executions.
+//!
+//! Every engine in this crate (serial, parallel, α-synchronizer) can emit a
+//! stream of [`TraceEvent`]s into a [`TraceSink`]: one `RoundStart` per
+//! round, one `MessageSent` per delivered message, a `ViolationDetected`
+//! for every CONGEST-constraint breach, and protocol-level events
+//! ([`ProtocolDetail`]) that the node state machines stage through
+//! [`crate::RoundCtx::trace`].
+//!
+//! Tracing is strictly opt-in: a network without a sink skips all event
+//! construction (the per-node flag short-circuits [`crate::RoundCtx::trace`]
+//! before its argument is stored), so the untraced hot path does no extra
+//! work beyond one branch per message.
+//!
+//! Three sinks are provided: [`NoopSink`] (drop everything), [`RingSink`]
+//! (last-`k` events in memory, for tests and post-mortem inspection), and
+//! [`JsonlSink`] (one JSON object per line, the on-disk format consumed by
+//! `distbc check-trace` and [`check`]). The [`check`] submodule re-validates
+//! the paper's schedule invariants offline from a recorded stream.
+
+pub mod check;
+
+use bc_graph::NodeId;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Protocol-level observation staged by a node through
+/// [`crate::RoundCtx::trace`]. These carry the quantities the paper's
+/// schedule analysis is about: which phase a node is in, where the DFS
+/// token travels, when each source's BFS wave starts (`T_s`), and when
+/// aggregation values are forwarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolDetail {
+    /// The node entered a protocol phase (`'A'` tree construction, `'B'`
+    /// counting, `'C'` reduce/broadcast, `'D'` aggregation).
+    PhaseEnter {
+        /// Phase letter, `'A'..='D'`.
+        phase: char,
+    },
+    /// The node received the DFS token (Algorithm 2 line "v obtains the
+    /// token").
+    TokenReceive,
+    /// The node forwarded the DFS token.
+    TokenSend {
+        /// Token recipient.
+        to: NodeId,
+    },
+    /// The node started its own BFS wave; `ts` is the wave's start round
+    /// `T_s` — the quantity Lemma 4 constrains.
+    WaveStart {
+        /// Absolute start round of this source's wave.
+        ts: u64,
+    },
+    /// The node sent its aggregated pair-dependency contribution for
+    /// `source` upward along that source's BFS tree (Algorithm 3).
+    AggSend {
+        /// The wave source whose aggregation tree the value ascends.
+        source: NodeId,
+    },
+}
+
+/// One event in a recorded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The simulated topology, emitted once at the head of a trace so the
+    /// offline analyzer can recompute distances without the original input.
+    Topology {
+        /// Number of nodes.
+        n: usize,
+        /// Undirected edge list.
+        edges: Vec<(NodeId, NodeId)>,
+    },
+    /// The provisioned phase schedule (absolute round boundaries), emitted
+    /// by drivers that precompute one. Absent for adaptive executions.
+    Schedule {
+        /// First round of the counting phase (B).
+        counting_start: u64,
+        /// First round of the reduce sub-phase (C1).
+        reduce_start: u64,
+        /// First round of the broadcast sub-phase (C2).
+        broadcast_start: u64,
+        /// First round of the aggregation phase (D).
+        agg_start: u64,
+    },
+    /// A synchronous round (or synchronizer pulse) began.
+    RoundStart {
+        /// Round number, starting at 0.
+        round: u64,
+    },
+    /// A message was accepted for delivery.
+    MessageSent {
+        /// Round in which it was staged.
+        round: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload size in bits.
+        bits: usize,
+    },
+    /// A CONGEST constraint was violated (also counted in
+    /// [`crate::NetMetrics`]).
+    ViolationDetected {
+        /// Round of the violation.
+        round: u64,
+        /// Offending node.
+        node: NodeId,
+        /// What went wrong.
+        kind: ViolationKind,
+    },
+    /// A protocol-level observation from one node.
+    Protocol {
+        /// Round in which the node observed it.
+        round: u64,
+        /// Observing node.
+        node: NodeId,
+        /// The observation.
+        detail: ProtocolDetail,
+    },
+}
+
+/// The kinds of CONGEST violations a trace can record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two messages staged on one incident edge in one round.
+    Collision {
+        /// Port (adjacency index) that carried both messages.
+        port: usize,
+    },
+    /// A message exceeded the per-message bit budget.
+    Oversized {
+        /// Actual size in bits.
+        bits: usize,
+        /// Configured budget in bits.
+        budget: usize,
+    },
+}
+
+/// Receiver of trace events.
+///
+/// Implementations must tolerate high event rates; the engines call
+/// [`TraceSink::event`] synchronously on the simulation thread (worker
+/// buffers from the parallel engine are merged into node order first, so
+/// sinks always observe the same deterministic stream the serial engine
+/// produces).
+pub trait TraceSink {
+    /// Records one event.
+    fn event(&mut self, event: &TraceEvent);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Removes and returns all retained events, for sinks that keep them
+    /// in memory (default: none retained).
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// A sink that discards every event.
+///
+/// Useful as an explicit "tracing plumbing on, recording off" default: the
+/// engines still skip event construction entirely when *no* sink is
+/// installed, so prefer not installing one when overhead matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn event(&mut self, _: &TraceEvent) {}
+}
+
+/// An in-memory sink retaining the most recent `capacity` events.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// A sink writing one JSON object per event to a file (JSONL), the durable
+/// format `distbc --trace` produces and `distbc check-trace` consumes.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write = BufWriter<File>> {
+    out: W,
+    line: String,
+    events: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::from_writer(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer (used by tests with `Vec<u8>`).
+    pub fn from_writer(out: W) -> Self {
+        JsonlSink {
+            out,
+            line: String::new(),
+            events: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Unwraps the inner writer (flushes the caller's responsibility).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        self.line.clear();
+        encode_event(event, &mut self.line);
+        self.line.push('\n');
+        // I/O errors inside the simulation loop are not actionable by the
+        // protocol; surface them at flush() instead of unwinding mid-round.
+        let _ = self.out.write_all(self.line.as_bytes());
+        self.events += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Encodes one event as a single-line JSON object.
+pub fn encode_event(event: &TraceEvent, out: &mut String) {
+    match event {
+        TraceEvent::Topology { n, edges } => {
+            let _ = write!(out, "{{\"ev\":\"topology\",\"n\":{n},\"edges\":[");
+            for (i, (u, v)) in edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{u},{v}]");
+            }
+            out.push_str("]}");
+        }
+        TraceEvent::Schedule {
+            counting_start,
+            reduce_start,
+            broadcast_start,
+            agg_start,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"schedule\",\"counting_start\":{counting_start},\
+                 \"reduce_start\":{reduce_start},\"broadcast_start\":{broadcast_start},\
+                 \"agg_start\":{agg_start}}}"
+            );
+        }
+        TraceEvent::RoundStart { round } => {
+            let _ = write!(out, "{{\"ev\":\"round_start\",\"round\":{round}}}");
+        }
+        TraceEvent::MessageSent {
+            round,
+            from,
+            to,
+            bits,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"message_sent\",\"round\":{round},\"from\":{from},\
+                 \"to\":{to},\"bits\":{bits}}}"
+            );
+        }
+        TraceEvent::ViolationDetected { round, node, kind } => match kind {
+            ViolationKind::Collision { port } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"violation\",\"round\":{round},\"node\":{node},\
+                     \"kind\":\"collision\",\"port\":{port}}}"
+                );
+            }
+            ViolationKind::Oversized { bits, budget } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"violation\",\"round\":{round},\"node\":{node},\
+                     \"kind\":\"oversized\",\"bits\":{bits},\"budget\":{budget}}}"
+                );
+            }
+        },
+        TraceEvent::Protocol {
+            round,
+            node,
+            detail,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"protocol\",\"round\":{round},\"node\":{node}"
+            );
+            match detail {
+                ProtocolDetail::PhaseEnter { phase } => {
+                    let _ = write!(out, ",\"detail\":\"phase_enter\",\"phase\":\"{phase}\"");
+                }
+                ProtocolDetail::TokenReceive => {
+                    out.push_str(",\"detail\":\"token_receive\"");
+                }
+                ProtocolDetail::TokenSend { to } => {
+                    let _ = write!(out, ",\"detail\":\"token_send\",\"to\":{to}");
+                }
+                ProtocolDetail::WaveStart { ts } => {
+                    let _ = write!(out, ",\"detail\":\"wave_start\",\"ts\":{ts}");
+                }
+                ProtocolDetail::AggSend { source } => {
+                    let _ = write!(out, ",\"detail\":\"agg_send\",\"source\":{source}");
+                }
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Reads a JSONL trace file back into events.
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and a boxed
+/// [`TraceParseError`] for malformed lines.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_event(&line).map_err(|message| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                TraceParseError {
+                    line: i + 1,
+                    message,
+                },
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Parses one encoded event line.
+///
+/// # Errors
+///
+/// Returns a description of the first syntactic or semantic problem.
+pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
+    let obj = json::parse_object(line)?;
+    let ev = obj.str_field("ev")?;
+    match ev {
+        "topology" => Ok(TraceEvent::Topology {
+            n: obj.u64_field("n")? as usize,
+            edges: obj.edge_list_field("edges")?,
+        }),
+        "schedule" => Ok(TraceEvent::Schedule {
+            counting_start: obj.u64_field("counting_start")?,
+            reduce_start: obj.u64_field("reduce_start")?,
+            broadcast_start: obj.u64_field("broadcast_start")?,
+            agg_start: obj.u64_field("agg_start")?,
+        }),
+        "round_start" => Ok(TraceEvent::RoundStart {
+            round: obj.u64_field("round")?,
+        }),
+        "message_sent" => Ok(TraceEvent::MessageSent {
+            round: obj.u64_field("round")?,
+            from: obj.u64_field("from")? as NodeId,
+            to: obj.u64_field("to")? as NodeId,
+            bits: obj.u64_field("bits")? as usize,
+        }),
+        "violation" => {
+            let kind = match obj.str_field("kind")? {
+                "collision" => ViolationKind::Collision {
+                    port: obj.u64_field("port")? as usize,
+                },
+                "oversized" => ViolationKind::Oversized {
+                    bits: obj.u64_field("bits")? as usize,
+                    budget: obj.u64_field("budget")? as usize,
+                },
+                other => return Err(format!("unknown violation kind {other:?}")),
+            };
+            Ok(TraceEvent::ViolationDetected {
+                round: obj.u64_field("round")?,
+                node: obj.u64_field("node")? as NodeId,
+                kind,
+            })
+        }
+        "protocol" => {
+            let detail = match obj.str_field("detail")? {
+                "phase_enter" => {
+                    let phase = obj.str_field("phase")?;
+                    let mut chars = phase.chars();
+                    match (chars.next(), chars.next()) {
+                        (Some(c), None) => ProtocolDetail::PhaseEnter { phase: c },
+                        _ => return Err(format!("bad phase {phase:?}")),
+                    }
+                }
+                "token_receive" => ProtocolDetail::TokenReceive,
+                "token_send" => ProtocolDetail::TokenSend {
+                    to: obj.u64_field("to")? as NodeId,
+                },
+                "wave_start" => ProtocolDetail::WaveStart {
+                    ts: obj.u64_field("ts")?,
+                },
+                "agg_send" => ProtocolDetail::AggSend {
+                    source: obj.u64_field("source")? as NodeId,
+                },
+                other => return Err(format!("unknown protocol detail {other:?}")),
+            };
+            Ok(TraceEvent::Protocol {
+                round: obj.u64_field("round")?,
+                node: obj.u64_field("node")? as NodeId,
+                detail,
+            })
+        }
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Minimal JSON-object reader covering the trace format: flat objects with
+/// unsigned-integer, string, and `[[u,v],...]` array values. Deliberately
+/// not a general JSON parser — unknown shapes are rejected loudly.
+mod json {
+    /// A parsed flat object.
+    pub struct Object<'a> {
+        fields: Vec<(&'a str, Value<'a>)>,
+    }
+
+    pub enum Value<'a> {
+        Num(u64),
+        Str(&'a str),
+        Pairs(Vec<(u64, u64)>),
+    }
+
+    impl<'a> Object<'a> {
+        fn get(&self, key: &str) -> Result<&Value<'a>, String> {
+            self.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        }
+
+        pub fn u64_field(&self, key: &str) -> Result<u64, String> {
+            match self.get(key)? {
+                Value::Num(n) => Ok(*n),
+                _ => Err(format!("field {key:?} is not a number")),
+            }
+        }
+
+        pub fn str_field(&self, key: &str) -> Result<&'a str, String> {
+            match self.get(key)? {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("field {key:?} is not a string")),
+            }
+        }
+
+        pub fn edge_list_field(&self, key: &str) -> Result<Vec<(u32, u32)>, String> {
+            match self.get(key)? {
+                Value::Pairs(p) => p
+                    .iter()
+                    .map(|&(u, v)| {
+                        let u = u32::try_from(u).map_err(|_| "edge id overflow".to_string())?;
+                        let v = u32::try_from(v).map_err(|_| "edge id overflow".to_string())?;
+                        Ok((u, v))
+                    })
+                    .collect(),
+                _ => Err(format!("field {key:?} is not an edge list")),
+            }
+        }
+    }
+
+    struct Cursor<'a> {
+        s: &'a str,
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        fn skip_ws(&mut self) {
+            while self.s[self.pos..].starts_with([' ', '\t']) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            if self.s[self.pos..].starts_with(c) {
+                self.pos += c.len_utf8();
+                Ok(())
+            } else {
+                Err(format!("expected {c:?} at byte {}", self.pos))
+            }
+        }
+
+        fn peek(&mut self) -> Option<char> {
+            self.skip_ws();
+            self.s[self.pos..].chars().next()
+        }
+
+        fn string(&mut self) -> Result<&'a str, String> {
+            self.eat('"')?;
+            let start = self.pos;
+            // Trace strings are identifiers / single letters; escapes are
+            // never produced by the encoder and thus rejected here.
+            while let Some(c) = self.s[self.pos..].chars().next() {
+                if c == '\\' {
+                    return Err("escape sequences unsupported".into());
+                }
+                if c == '"' {
+                    let out = &self.s[start..self.pos];
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                self.pos += c.len_utf8();
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(&mut self) -> Result<u64, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.s[self.pos..].starts_with(|c: char| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            self.s[start..self.pos]
+                .parse()
+                .map_err(|_| format!("expected number at byte {start}"))
+        }
+
+        fn pair_array(&mut self) -> Result<Vec<(u64, u64)>, String> {
+            self.eat('[')?;
+            let mut out = Vec::new();
+            if self.peek() == Some(']') {
+                self.eat(']')?;
+                return Ok(out);
+            }
+            loop {
+                self.eat('[')?;
+                let u = self.number()?;
+                self.eat(',')?;
+                let v = self.number()?;
+                self.eat(']')?;
+                out.push((u, v));
+                match self.peek() {
+                    Some(',') => self.eat(',')?,
+                    Some(']') => {
+                        self.eat(']')?;
+                        return Ok(out);
+                    }
+                    _ => return Err("malformed edge array".into()),
+                }
+            }
+        }
+    }
+
+    /// Parses a one-line flat object.
+    pub fn parse_object(line: &str) -> Result<Object<'_>, String> {
+        let mut c = Cursor {
+            s: line.trim_end(),
+            pos: 0,
+        };
+        c.eat('{')?;
+        let mut fields = Vec::new();
+        if c.peek() == Some('}') {
+            c.eat('}')?;
+            return Ok(Object { fields });
+        }
+        loop {
+            let key = c.string()?;
+            c.eat(':')?;
+            let value = match c.peek() {
+                Some('"') => Value::Str(c.string()?),
+                Some('[') => Value::Pairs(c.pair_array()?),
+                Some(d) if d.is_ascii_digit() => Value::Num(c.number()?),
+                other => return Err(format!("unexpected value start {other:?}")),
+            };
+            fields.push((key, value));
+            match c.peek() {
+                Some(',') => c.eat(',')?,
+                Some('}') => {
+                    c.eat('}')?;
+                    if c.peek().is_some() {
+                        return Err("trailing content after object".into());
+                    }
+                    return Ok(Object { fields });
+                }
+                _ => return Err("malformed object".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Topology {
+                n: 3,
+                edges: vec![(0, 1), (1, 2)],
+            },
+            TraceEvent::Schedule {
+                counting_start: 5,
+                reduce_start: 20,
+                broadcast_start: 24,
+                agg_start: 28,
+            },
+            TraceEvent::RoundStart { round: 0 },
+            TraceEvent::MessageSent {
+                round: 0,
+                from: 0,
+                to: 1,
+                bits: 32,
+            },
+            TraceEvent::ViolationDetected {
+                round: 1,
+                node: 2,
+                kind: ViolationKind::Collision { port: 0 },
+            },
+            TraceEvent::ViolationDetected {
+                round: 1,
+                node: 2,
+                kind: ViolationKind::Oversized {
+                    bits: 99,
+                    budget: 64,
+                },
+            },
+            TraceEvent::Protocol {
+                round: 2,
+                node: 1,
+                detail: ProtocolDetail::PhaseEnter { phase: 'B' },
+            },
+            TraceEvent::Protocol {
+                round: 2,
+                node: 1,
+                detail: ProtocolDetail::TokenReceive,
+            },
+            TraceEvent::Protocol {
+                round: 3,
+                node: 1,
+                detail: ProtocolDetail::TokenSend { to: 2 },
+            },
+            TraceEvent::Protocol {
+                round: 3,
+                node: 1,
+                detail: ProtocolDetail::WaveStart { ts: 6 },
+            },
+            TraceEvent::Protocol {
+                round: 9,
+                node: 2,
+                detail: ProtocolDetail::AggSend { source: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_every_variant() {
+        for event in sample_events() {
+            let mut line = String::new();
+            encode_event(&event, &mut line);
+            let back = parse_event(&line).expect(&line);
+            assert_eq!(back, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::from_writer(Vec::new());
+        for event in sample_events() {
+            sink.event(&event);
+        }
+        assert_eq!(sink.events_written(), sample_events().len() as u64);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed: Vec<TraceEvent> = text.lines().map(|l| parse_event(l).expect(l)).collect();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut ring = RingSink::new(3);
+        for round in 0..10 {
+            ring.event(&TraceEvent::RoundStart { round });
+        }
+        assert_eq!(ring.dropped(), 7);
+        let kept = ring.drain_events();
+        assert_eq!(
+            kept,
+            vec![
+                TraceEvent::RoundStart { round: 7 },
+                TraceEvent::RoundStart { round: 8 },
+                TraceEvent::RoundStart { round: 9 },
+            ]
+        );
+        assert!(ring.drain_events().is_empty());
+    }
+
+    #[test]
+    fn noop_sink_retains_nothing() {
+        let mut sink = NoopSink;
+        sink.event(&TraceEvent::RoundStart { round: 1 });
+        assert!(sink.drain_events().is_empty());
+        assert!(sink.flush().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"ev\":\"nope\"}",
+            "{\"ev\":\"round_start\"}",
+            "{\"ev\":\"round_start\",\"round\":\"x\"}",
+            "{\"ev\":\"round_start\",\"round\":3}garbage",
+            "{\"ev\":\"violation\",\"round\":1,\"node\":0,\"kind\":\"weird\"}",
+            "{\"ev\":\"protocol\",\"round\":1,\"node\":0,\"detail\":\"phase_enter\",\"phase\":\"XY\"}",
+        ] {
+            assert!(parse_event(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("distbc-trace-test-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for event in sample_events() {
+                sink.event(&event);
+            }
+            sink.flush().unwrap();
+        }
+        let back = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, sample_events());
+    }
+}

@@ -4,7 +4,10 @@
 use crate::node::{AlgoOptions, DistBcNode};
 use crate::sampling::SourceSelection;
 use crate::schedule::{PhaseSchedule, Scheduling};
-use bc_congest::{Budget, Config, CongestError, EdgeCut, Enforcement, NetMetrics, Network};
+use bc_congest::trace::{TraceEvent, TraceSink};
+use bc_congest::{
+    Budget, Config, CongestError, EdgeCut, Enforcement, NetMetrics, Network, PhaseStat,
+};
 use bc_graph::{algo, Graph};
 use bc_numeric::FpParams;
 use std::fmt;
@@ -112,6 +115,12 @@ pub struct DistBcResult {
     pub counting_rounds_used: u64,
     /// Floating-point parameters used on the wire.
     pub fp: FpParams,
+    /// Per-phase traffic breakdown (A tree build, B counting, C
+    /// reduce/broadcast, D aggregation), sliced from the engine's
+    /// per-round timelines at the provisioned phase boundaries. Empty for
+    /// [`Scheduling::Adaptive`], whose boundaries are data-dependent and
+    /// not provisioned up front.
+    pub phase_stats: Vec<PhaseStat>,
 }
 
 /// Runs the paper's distributed betweenness-centrality algorithm on `g`
@@ -144,6 +153,38 @@ pub struct DistBcResult {
 /// # Ok::<(), bc_core::DistBcError>(())
 /// ```
 pub fn run_distributed_bc(g: &Graph, config: DistBcConfig) -> Result<DistBcResult, DistBcError> {
+    run_impl(g, config, None).map(|(result, _)| result)
+}
+
+/// Runs [`run_distributed_bc`] with a trace sink attached to the engine.
+///
+/// Before the first round the driver records the context an offline
+/// analyzer needs: a [`TraceEvent::Topology`] with the full edge list and,
+/// for the provisioned scheduling modes, a [`TraceEvent::Schedule`] with
+/// the phase boundaries ([`Scheduling::Adaptive`] discovers its boundaries
+/// at run time, so no schedule is recorded and
+/// [`bc_congest::trace::check`] skips the window checks). The sink is
+/// returned for flushing or draining; the recorded stream satisfies the
+/// invariants validated by [`bc_congest::trace::check::check`].
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`]. On error the sink is dropped (a file
+/// sink will have written the events up to the failure).
+pub fn run_distributed_bc_traced(
+    g: &Graph,
+    config: DistBcConfig,
+    sink: Box<dyn TraceSink>,
+) -> Result<(DistBcResult, Box<dyn TraceSink>), DistBcError> {
+    let (result, sink) = run_impl(g, config, Some(sink))?;
+    Ok((result, sink.expect("sink returned")))
+}
+
+fn run_impl(
+    g: &Graph,
+    config: DistBcConfig,
+    mut sink: Option<Box<dyn TraceSink>>,
+) -> Result<(DistBcResult, Option<Box<dyn TraceSink>>), DistBcError> {
     let n = g.n();
     if n == 0 {
         return Err(DistBcError::EmptyGraph);
@@ -166,12 +207,30 @@ pub fn run_distributed_bc(g: &Graph, config: DistBcConfig) -> Result<DistBcResul
         cut: config.cut.clone(),
     };
     let mut net = Network::new(g, engine_cfg, |v, _| DistBcNode::new(n, v, opts.clone()));
+    if let Some(s) = sink.as_deref_mut() {
+        s.event(&TraceEvent::Topology {
+            n,
+            edges: g.edges().collect(),
+        });
+        if config.scheduling != Scheduling::Adaptive {
+            s.event(&TraceEvent::Schedule {
+                counting_start: sched.counting_start,
+                reduce_start: sched.reduce_start,
+                broadcast_start: sched.broadcast_start,
+                agg_start: sched.agg_start,
+            });
+        }
+    }
+    if let Some(s) = sink.take() {
+        net.set_trace_sink(s);
+    }
     let max_rounds = sched.max_rounds();
     let report = if config.threads > 1 {
         net.run_parallel(max_rounds, config.threads)?
     } else {
         net.run(max_rounds)?
     };
+    let sink = net.take_trace_sink();
     let metrics = net.metrics().clone();
     let nodes = net.into_nodes();
 
@@ -209,20 +268,34 @@ pub fn run_distributed_bc(g: &Graph, config: DistBcConfig) -> Result<DistBcResul
         .dfs_done_round()
         .map(|r| r.saturating_sub(sched.counting_start))
         .unwrap_or(sched.reduce_start - sched.counting_start);
-    Ok(DistBcResult {
-        betweenness,
-        closeness,
-        graph_centrality,
-        diameter,
-        rounds: report.rounds,
-        schedule: sched,
-        metrics,
-        stress,
-        sample_size,
-        ts_spread: info.max_ts - info.min_ts,
-        counting_rounds_used,
-        fp,
-    })
+    let phase_stats = if config.scheduling == Scheduling::Adaptive {
+        Vec::new()
+    } else {
+        vec![
+            metrics.phase_window("A:tree", 0, sched.counting_start),
+            metrics.phase_window("B:counting", sched.counting_start, sched.reduce_start),
+            metrics.phase_window("C:reduce+bcast", sched.reduce_start, sched.agg_start),
+            metrics.phase_window("D:aggregation", sched.agg_start, report.rounds),
+        ]
+    };
+    Ok((
+        DistBcResult {
+            betweenness,
+            closeness,
+            graph_centrality,
+            diameter,
+            rounds: report.rounds,
+            schedule: sched,
+            metrics,
+            stress,
+            sample_size,
+            ts_spread: info.max_ts - info.min_ts,
+            counting_rounds_used,
+            fp,
+            phase_stats,
+        },
+        sink,
+    ))
 }
 
 /// Convenience wrapper returning only the closeness centralities computed

@@ -37,6 +37,7 @@
 use crate::codec::{Codec, ProtocolMsg};
 use crate::sampling::{source_mask, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
+use bc_congest::trace::ProtocolDetail;
 use bc_congest::{Message, Protocol, RoundCtx};
 use bc_numeric::{CeilFloat, FpParams};
 use std::collections::HashMap;
@@ -306,6 +307,7 @@ impl DistBcNode {
 
     /// Phase A: adopt a tree depth and announce it (flagging the parent).
     fn announce_tree(&mut self, ctx: &mut RoundCtx<'_>, r: u64, dist: u32) {
+        ctx.trace(ProtocolDetail::PhaseEnter { phase: 'A' });
         self.tree_dist = Some(dist);
         self.announce_round = Some(r);
         self.subtree_max_depth = dist;
@@ -343,6 +345,7 @@ impl DistBcNode {
             // token departs riding the root's own wave.
             self.tree_depth = Some(self.subtree_max_depth);
             self.visited = true;
+            ctx.trace(ProtocolDetail::PhaseEnter { phase: 'B' });
             self.wave_round = Some(r + 1);
             self.token_forward_round = Some(r + 1);
         }
@@ -350,11 +353,12 @@ impl DistBcNode {
 
     /// Arms the reduce convergecast: local (min, max) of wave start times
     /// and the local max distance (all waves are complete by now).
-    fn arm_reduce(&mut self) {
+    fn arm_reduce(&mut self, ctx: &mut RoundCtx<'_>) {
         if self.reduce_armed {
             return;
         }
         self.reduce_armed = true;
+        ctx.trace(ProtocolDetail::PhaseEnter { phase: 'C' });
         for rec in self.sources.iter().flatten() {
             self.acc_min_ts = self.acc_min_ts.min(rec.ts);
             self.acc_max_ts = self.acc_max_ts.max(rec.ts);
@@ -365,6 +369,7 @@ impl DistBcNode {
     /// Phase B: broadcast this node's own BFS wave and register itself as a
     /// source (Algorithm 2 lines 2–6).
     fn start_own_wave(&mut self, ctx: &mut RoundCtx<'_>, r: u64) {
+        ctx.trace(ProtocolDetail::WaveStart { ts: r });
         let one = CeilFloat::one(self.codec.fp);
         self.sources[ctx.id() as usize] = Some(SourceRec {
             ts: r,
@@ -400,6 +405,10 @@ impl DistBcNode {
     /// into a same-edge wave (`WaveWithToken`) when possible.
     fn flush_counting_sends(&mut self, ctx: &mut RoundCtx<'_>) {
         let token_port = self.out_token.take();
+        if let Some(port) = token_port {
+            let to = ctx.neighbor(port);
+            ctx.trace(ProtocolDetail::TokenSend { to });
+        }
         let mut token_merged = false;
         for (port, source, sender_dist, sigma) in std::mem::take(&mut self.out_waves) {
             let msg = if token_port == Some(port) {
@@ -513,6 +522,7 @@ impl DistBcNode {
     /// Phase D: finalize source `s` (its ψ/ρ are complete), add its
     /// dependency contributions, and ship the values to the predecessors.
     fn aggregate_and_send(&mut self, ctx: &mut RoundCtx<'_>, s: u32) {
+        ctx.trace(ProtocolDetail::AggSend { source: s });
         let zero = CeilFloat::zero(self.codec.fp);
         let one = CeilFloat::one(self.codec.fp);
         let is_target = self.is_target(ctx.id());
@@ -663,6 +673,9 @@ impl Protocol for DistBcNode {
         self.maybe_finish_tree(ctx, r);
 
         // ---- 3. Phase B: counting. --------------------------------------
+        if token_arrived {
+            ctx.trace(ProtocolDetail::TokenReceive);
+        }
         match self.opts.scheduling {
             // Adaptive mode reuses the DFS pipeline; the root's virtual
             // token arrival is produced by maybe_finish_tree instead of the
@@ -679,6 +692,7 @@ impl Protocol for DistBcNode {
                         self.forward_token(r);
                     } else {
                         self.visited = true;
+                        ctx.trace(ProtocolDetail::PhaseEnter { phase: 'B' });
                         if self.is_source_self {
                             // Wait one slot, then wave with the token
                             // riding it — the paper's T_next = T_prev + d + 1
@@ -727,18 +741,18 @@ impl Protocol for DistBcNode {
                     for &port in &self.children_ports.clone() {
                         self.send_pm(ctx, port, &ProtocolMsg::StartReduce);
                     }
-                    self.arm_reduce();
+                    self.arm_reduce(ctx);
                 }
                 if got_start_reduce {
                     for &port in &self.children_ports.clone() {
                         self.send_pm(ctx, port, &ProtocolMsg::StartReduce);
                     }
-                    self.arm_reduce();
+                    self.arm_reduce(ctx);
                 }
             }
             _ => {
                 if r == self.sched.reduce_start {
-                    self.arm_reduce();
+                    self.arm_reduce(ctx);
                 }
             }
         }
@@ -776,6 +790,7 @@ impl Protocol for DistBcNode {
                 for &port in &self.children_ports.clone() {
                     self.send_pm(ctx, port, &msg);
                 }
+                ctx.trace(ProtocolDetail::PhaseEnter { phase: 'D' });
                 self.build_agg_schedule(my_id);
             }
         }

@@ -15,7 +15,11 @@
 //! `ba:200:3:1` (n:m:seed), `grid:6:8`, `karate`, `florentine`.
 
 use distbc::brandes;
-use distbc::core::{run_distributed_bc, DistBcConfig, Scheduling, SourceSelection};
+use distbc::congest::trace::{self, check, JsonlSink};
+use distbc::core::{
+    run_distributed_bc, run_distributed_bc_traced, DistBcConfig, DistBcResult, Scheduling,
+    SourceSelection,
+};
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
 use distbc::numeric::{FpParams, Rounding};
@@ -36,12 +40,17 @@ enum Command {
         csv: bool,
         mantissa_bits: Option<u32>,
         scheduling: Scheduling,
+        trace: Option<String>,
+        metrics: bool,
     },
     Gadget {
         kind: GadgetKind,
         n: usize,
         x: u32,
         planted: bool,
+    },
+    CheckTrace {
+        file: String,
     },
     Help,
 }
@@ -68,12 +77,14 @@ enum GadgetKind {
 }
 
 const USAGE: &str = "usage:
-  distbc info       --input FILE | --generate SPEC
-  distbc centrality --input FILE | --generate SPEC
-                    [--algorithm distributed|brandes|exact|naive|sampled:K]
-                    [--stress] [--top K] [--csv] [--mantissa-bits L]
-                    [--sequential | --adaptive]
-  distbc gadget     --kind diameter|bc --n N [--x X] [--planted]
+  distbc info        --input FILE | --generate SPEC
+  distbc centrality  --input FILE | --generate SPEC
+                     [--algorithm distributed|brandes|exact|naive|sampled:K]
+                     [--stress] [--top K] [--csv] [--mantissa-bits L]
+                     [--sequential | --adaptive]
+                     [--trace FILE] [--metrics]
+  distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
+  distbc check-trace FILE
 
 generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
                  ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine";
@@ -95,6 +106,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut n = None;
     let mut x = 8u32;
     let mut planted = false;
+    let mut trace = None;
+    let mut metrics = false;
+    let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
@@ -121,6 +135,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--stress" => stress = true,
             "--csv" => csv = true,
+            "--trace" => trace = Some(value("--trace")?),
+            "--metrics" => metrics = true,
             "--sequential" => scheduling = Scheduling::Sequential,
             "--adaptive" => scheduling = Scheduling::Adaptive,
             "--planted" => planted = true,
@@ -157,6 +173,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "bad --x value".to_string())?
             }
+            other if !other.starts_with("--") => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -173,12 +190,20 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             csv,
             mantissa_bits,
             scheduling,
+            trace,
+            metrics,
         }),
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
             n: n.ok_or("gadget needs --n")?,
             x,
             planted,
+        }),
+        "check-trace" => Ok(Command::CheckTrace {
+            file: positional
+                .first()
+                .cloned()
+                .ok_or("check-trace needs a trace file")?,
         }),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -243,6 +268,53 @@ fn cmd_info(source: &GraphSource) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Prints the per-phase traffic breakdown of a distributed run
+/// (`--metrics`), in the human table or `--csv` form.
+fn print_phase_metrics(out: &DistBcResult, csv: bool) {
+    if out.phase_stats.is_empty() {
+        eprintln!("# --metrics: adaptive scheduling has no provisioned phase boundaries");
+        return;
+    }
+    if csv {
+        println!("phase,start,end,rounds,messages,bits,max_message_bits");
+        for p in &out.phase_stats {
+            println!(
+                "{},{},{},{},{},{},{}",
+                p.name, p.start, p.end, p.rounds, p.messages, p.bits, p.max_message_bits
+            );
+        }
+        println!(
+            "total,0,{},{},{},{},{}",
+            out.rounds,
+            out.rounds,
+            out.metrics.total_messages,
+            out.metrics.total_bits,
+            out.metrics.max_message_bits
+        );
+    } else {
+        println!(
+            "{:<16} {:>14} {:>8} {:>12} {:>14} {:>10}",
+            "phase", "span", "rounds", "messages", "bits", "max bits"
+        );
+        for p in &out.phase_stats {
+            println!(
+                "{:<16} {:>6}..{:<6} {:>8} {:>12} {:>14} {:>10}",
+                p.name, p.start, p.end, p.rounds, p.messages, p.bits, p.max_message_bits
+            );
+        }
+        println!(
+            "{:<16} {:>6}..{:<6} {:>8} {:>12} {:>14} {:>10}",
+            "total",
+            0,
+            out.rounds,
+            out.rounds,
+            out.metrics.total_messages,
+            out.metrics.total_bits,
+            out.metrics.max_message_bits
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_centrality(
     source: &GraphSource,
@@ -252,8 +324,14 @@ fn cmd_centrality(
     csv: bool,
     mantissa_bits: Option<u32>,
     scheduling: Scheduling,
+    trace: Option<&str>,
+    metrics: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
+    let distributed = matches!(algorithm, Algorithm::Distributed | Algorithm::Sampled(_));
+    if (trace.is_some() || metrics) && !distributed {
+        return Err("--trace/--metrics require --algorithm distributed or sampled:K".into());
+    }
     let mut stress_vals: Option<Vec<f64>> = None;
     let bc: Vec<f64> = match algorithm {
         Algorithm::Brandes => brandes::betweenness_f64(&g),
@@ -273,7 +351,16 @@ fn cmd_centrality(
                 },
                 ..DistBcConfig::default()
             };
-            let out = run_distributed_bc(&g, cfg)?;
+            let out = match trace {
+                Some(path) => {
+                    let sink = JsonlSink::create(path)?;
+                    let (out, mut sink) = run_distributed_bc_traced(&g, cfg, Box::new(sink))?;
+                    sink.flush()?;
+                    eprintln!("# trace written to {path}");
+                    out
+                }
+                None => run_distributed_bc(&g, cfg)?,
+            };
             eprintln!(
                 "# distributed: {} rounds, {} messages, max {} bits/message, compliant={}",
                 out.rounds,
@@ -281,6 +368,12 @@ fn cmd_centrality(
                 out.metrics.max_message_bits,
                 out.metrics.congest_compliant()
             );
+            if metrics {
+                // --metrics replaces the per-node listing with the
+                // per-phase traffic table (also the --csv payload).
+                print_phase_metrics(&out, csv);
+                return Ok(());
+            }
             stress_vals = out.stress;
             out.betweenness
         }
@@ -343,6 +436,19 @@ fn cmd_gadget(kind: GadgetKind, n: usize, x: u32, planted: bool) -> Result<(), B
     Ok(())
 }
 
+/// `check-trace FILE`: re-validate the paper's invariants offline against
+/// a recorded JSONL trace. Exits nonzero if any check fails.
+fn cmd_check_trace(file: &str) -> Result<(), Box<dyn Error>> {
+    let events = trace::read_jsonl(file)?;
+    let report = check::check(&events);
+    print!("{report}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("trace {file} failed validation").into())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match parse_args(&args) {
@@ -366,6 +472,8 @@ fn main() -> ExitCode {
             csv,
             mantissa_bits,
             scheduling,
+            trace,
+            metrics,
         } => cmd_centrality(
             source,
             algorithm,
@@ -374,6 +482,8 @@ fn main() -> ExitCode {
             *csv,
             *mantissa_bits,
             *scheduling,
+            trace.as_deref(),
+            *metrics,
         ),
         Command::Gadget {
             kind,
@@ -381,6 +491,7 @@ fn main() -> ExitCode {
             x,
             planted,
         } => cmd_gadget(*kind, *n, *x, *planted),
+        Command::CheckTrace { file } => cmd_check_trace(file),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -437,8 +548,41 @@ mod tests {
                 csv: true,
                 mantissa_bits: Some(20),
                 scheduling: Scheduling::Adaptive,
+                trace: None,
+                metrics: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_and_metrics() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "path:5",
+            "--trace",
+            "run.jsonl",
+            "--metrics",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality { trace, metrics, .. } => {
+                assert_eq!(trace.as_deref(), Some("run.jsonl"));
+                assert!(metrics);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_check_trace() {
+        assert_eq!(
+            p(&["check-trace", "run.jsonl"]).unwrap(),
+            Command::CheckTrace {
+                file: "run.jsonl".into()
+            }
+        );
+        assert!(p(&["check-trace"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. The build environment has no registry access, so this
+//! vendored crate keeps the workspace's `harness = false` benches compiling
+//! and running: each `bench_function` executes a short warm-up plus a fixed
+//! number of timed iterations and prints the mean wall-clock time. There is
+//! no outlier analysis, no HTML report, and no saved baselines — numbers are
+//! indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which most benches here already use).
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call to populate caches / lazy statics.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The harness entry point, created by [`criterion_main!`].
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: R,
+    ) -> &mut Self {
+        run_one(id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: R,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op here; upstream flushes reports).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier of the form `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(label: String, iters: u64, mut f: R) {
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.total.is_zero() {
+        Duration::ZERO
+    } else {
+        b.total / b.iters.max(1) as u32
+    };
+    println!("bench {label:<40} {iters} iters, mean {mean:?}");
+}
+
+/// Declares a benchmark group function, mirroring upstream's plain form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        c.bench_function("demo/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut g = c.benchmark_group("demo_group");
+        g.sample_size(3);
+        g.bench_function("mul", |b| b.iter(|| black_box(3u64) * 3));
+        g.bench_with_input(BenchmarkId::new("pow", 4), &4u32, |b, &p| {
+            b.iter(|| 2u64.pow(p))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

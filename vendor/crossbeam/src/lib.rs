@@ -1,0 +1,87 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, covering the one API this workspace uses: `crossbeam::thread::scope`
+//! with scoped spawns. Since Rust 1.63 the standard library ships
+//! [`std::thread::scope`] with equivalent semantics, so this crate is a thin
+//! adapter that preserves crossbeam's call shape (`scope(..)` returns a
+//! `Result`, spawn closures receive a `&Scope` argument).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] closures and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joined explicitly or implicitly at scope end.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure receives a `&Scope` so it can spawn siblings, matching
+        /// crossbeam's signature (callers that don't need it pass `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads can borrow non-`'static` data.
+    ///
+    /// Unlike crossbeam (which collects panics from unjoined threads into the
+    /// `Err` variant), [`std::thread::scope`] propagates such panics directly,
+    /// so this adapter always returns `Ok` — the `Result` exists only to keep
+    /// crossbeam's call sites (`.expect("scope failed")`) compiling unchanged.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let h1 = scope.spawn(move |_| lo.iter().sum::<u64>());
+            let h2 = scope.spawn(move |_| hi.iter().sum::<u64>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let r = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}
