@@ -1,22 +1,44 @@
 //! Regenerates every experiment table in `EXPERIMENTS.md`.
 //!
 //! Usage:
-//!   repro [--quick] [--json] [e1 e2 ... | all]
+//!   repro [--quick] [--json] [--artifacts DIR] [e1 e2 ... | all]
 //!
 //! `--quick` runs reduced scales (seconds instead of minutes). Default
 //! output is the markdown that `EXPERIMENTS.md` embeds; `--json` emits a
 //! machine-readable array of reports instead.
+//!
+//! `--artifacts DIR` writes the machine-readable side outputs there:
+//! every artifact an experiment attached (e.g. E15's
+//! `BENCH_profile.json`), plus `BENCH_rounds.json` — the
+//! rounds/messages/bits of every distributed run across the selected
+//! experiments, for CI perf diffing. Experiments themselves never touch
+//! the filesystem; this binary is the only writer.
 
 use bc_bench::{run_experiment, ExperimentReport, ALL_EXPERIMENTS};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let artifacts_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--artifacts")
+        .map(|i| args.get(i + 1).expect("--artifacts needs a DIR").clone());
+    let mut skip_next = false;
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--artifacts" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .cloned()
         .collect();
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -29,6 +51,9 @@ fn main() {
             .iter()
             .flat_map(|id| run_experiment(id, quick))
             .collect();
+        if let Some(dir) = &artifacts_dir {
+            write_artifacts(Path::new(dir), &reports, quick);
+        }
         println!("{}", to_json(&reports));
         return;
     }
@@ -37,32 +62,78 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     let total = Instant::now();
+    let mut all_reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
         let start = Instant::now();
         for report in run_experiment(id, quick) {
             println!("{report}");
+            all_reports.push(report);
         }
         println!("_{} finished in {:.1?}_\n", id, start.elapsed());
     }
     println!("_total: {:.1?}_", total.elapsed());
+    if let Some(dir) = &artifacts_dir {
+        write_artifacts(Path::new(dir), &all_reports, quick);
+    }
+}
+
+/// Writes every experiment-attached artifact plus the aggregated
+/// `BENCH_rounds.json` into `dir` (created if missing).
+fn write_artifacts(dir: &Path, reports: &[ExperimentReport], quick: bool) {
+    std::fs::create_dir_all(dir).expect("create artifacts dir");
+    for r in reports {
+        for (name, content) in &r.artifacts {
+            let path = dir.join(name);
+            std::fs::write(&path, content).expect("write artifact");
+            eprintln!("wrote {} ({} bytes)", path.display(), content.len());
+        }
+    }
+    let rounds = rounds_json(reports, quick);
+    let path = dir.join("BENCH_rounds.json");
+    std::fs::write(&path, &rounds).expect("write BENCH_rounds.json");
+    eprintln!("wrote {} ({} bytes)", path.display(), rounds.len());
+}
+
+/// The aggregated perf-trajectory file: one record per distributed run
+/// across all selected experiments.
+fn rounds_json(reports: &[ExperimentReport], quick: bool) -> String {
+    let mut recs: Vec<String> = Vec::new();
+    for r in reports {
+        for p in &r.perf {
+            recs.push(format!(
+                "{{\"experiment\":\"{}\",\"run\":\"{}\",\"rounds\":{},\"messages\":{},\"bits\":{}}}",
+                esc(&r.id),
+                esc(&p.run),
+                p.rounds,
+                p.messages,
+                p.bits
+            ));
+        }
+    }
+    format!(
+        "{{\"scale\":\"{}\",\"runs\":[{}]}}",
+        if quick { "quick" } else { "full" },
+        recs.join(",")
+    )
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Tiny JSON encoder for the report shape (strings, arrays, one struct),
 /// avoiding any external JSON dependency for one flag.
 fn to_json(reports: &[ExperimentReport]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     fn arr(items: &[String]) -> String {
         let inner: Vec<String> = items.iter().map(|i| format!("\"{}\"", esc(i))).collect();
         format!("[{}]", inner.join(","))

@@ -49,6 +49,18 @@ pub fn run(quick: bool) -> ExperimentReport {
             },
         )
         .expect("runs");
+        rep.push_perf(
+            format!("{name} [provisioned]"),
+            det.rounds,
+            det.metrics.total_messages,
+            det.metrics.total_bits,
+        );
+        rep.push_perf(
+            format!("{name} [adaptive]"),
+            ada.rounds,
+            ada.metrics.total_messages,
+            ada.metrics.total_bits,
+        );
         let exact = betweenness_f64(&g);
         let err = ada
             .betweenness

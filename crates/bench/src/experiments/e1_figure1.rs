@@ -60,6 +60,12 @@ pub fn run() -> ExperimentReport {
     let dep = dependencies_from(&g, 0);
     let exact = betweenness_exact(&g);
     let out = run_distributed_bc(&g, DistBcConfig::default()).expect("figure 1 runs");
+    rep.push_perf(
+        "figure1",
+        out.rounds,
+        out.metrics.total_messages,
+        out.metrics.total_bits,
+    );
     rep.note(format!(
         "worked values: δ_v1·(v2) = {} (paper 3); ψ_v1(v3) = ψ_v1(v5) = {} (paper 1/2); \
          exact C_B(v2) = {} (paper 7/2); distributed C_B(v2) = {} in {} rounds, compliant = {}",

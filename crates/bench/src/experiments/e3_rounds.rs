@@ -52,6 +52,12 @@ pub fn run(quick: bool) -> ExperimentReport {
     for &n in sizes {
         for (name, g) in families(n) {
             let out = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+            rep.push_perf(
+                &name,
+                out.rounds,
+                out.metrics.total_messages,
+                out.metrics.total_bits,
+            );
             let fam: &'static str = match name.split('-').next().unwrap_or("") {
                 "path" => "path",
                 "cycle" => "cycle",

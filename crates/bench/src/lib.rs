@@ -42,12 +42,13 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<ExperimentReport> {
         "e12" => vec![experiments::e12_weighted::run(quick)],
         "e13" => vec![experiments::e13_adaptive::run(quick)],
         "e14" => vec![experiments::e14_apsp_pipeline::run(quick)],
-        other => panic!("unknown experiment id {other:?} (expected e1..e14)"),
+        "e15" => vec![experiments::e15_profile::run(quick)],
+        other => panic!("unknown experiment id {other:?} (expected e1..e15)"),
     }
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E14 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+/// E11–E15 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

@@ -16,6 +16,21 @@ pub const PHASE_HEADERS: [&str; 7] = [
     "max msg bits",
 ];
 
+/// Machine-readable round/message/bit totals of one distributed run inside
+/// an experiment — the perf-trajectory record `repro` aggregates into
+/// `BENCH_rounds.json` so CI can diff perf across PRs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfRecord {
+    /// Run label (graph family + size, e.g. `"er-64"`).
+    pub run: String,
+    /// Rounds to completion.
+    pub rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Total payload bits.
+    pub bits: u64,
+}
+
 /// One experiment's result: a titled table plus free-form notes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentReport {
@@ -29,6 +44,14 @@ pub struct ExperimentReport {
     pub rows: Vec<Vec<String>>,
     /// Interpretation notes (the "shape" claims being checked).
     pub notes: Vec<String>,
+    /// Machine-readable per-run perf records (not rendered in the table;
+    /// aggregated by `repro` into `BENCH_rounds.json`).
+    pub perf: Vec<PerfRecord>,
+    /// Named machine-readable artifacts `(filename, content)` the
+    /// experiment produced (e.g. E15's `BENCH_profile.json`). Experiments
+    /// never touch the filesystem themselves — only the `repro` binary
+    /// writes these out.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl ExperimentReport {
@@ -44,7 +67,24 @@ impl ExperimentReport {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            perf: Vec::new(),
+            artifacts: Vec::new(),
         }
+    }
+
+    /// Records one run's machine-readable round/message/bit totals.
+    pub fn push_perf(&mut self, run: impl Into<String>, rounds: u64, messages: u64, bits: u64) {
+        self.perf.push(PerfRecord {
+            run: run.into(),
+            rounds,
+            messages,
+            bits,
+        });
+    }
+
+    /// Attaches a named machine-readable artifact for `repro` to write.
+    pub fn add_artifact(&mut self, filename: impl Into<String>, content: impl Into<String>) {
+        self.artifacts.push((filename.into(), content.into()));
     }
 
     /// Appends a row (must match the header count).
@@ -128,6 +168,20 @@ mod tests {
         assert!(s.contains("|    n | value |"));
         assert!(s.contains("| 1000 |     2 |"));
         assert!(s.contains("> shape holds"));
+    }
+
+    #[test]
+    fn perf_and_artifacts_attach_without_rendering() {
+        let mut r = ExperimentReport::new("E0", "demo", &["n"]);
+        r.push_perf("er-64", 600, 9000, 200_000);
+        r.add_artifact("BENCH_demo.json", "{}");
+        assert_eq!(r.perf[0].run, "er-64");
+        assert_eq!(r.perf[0].bits, 200_000);
+        assert_eq!(r.artifacts[0].0, "BENCH_demo.json");
+        // Neither shows up in the rendered markdown table.
+        let s = r.to_string();
+        assert!(!s.contains("er-64"));
+        assert!(!s.contains("BENCH_demo"));
     }
 
     #[test]

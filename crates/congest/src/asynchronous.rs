@@ -24,12 +24,14 @@
 
 use crate::message::Message;
 use crate::network::{Protocol, RoundCtx};
+use crate::profile::Profiler;
 use crate::trace::{TraceEvent, TraceSink};
 use bc_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Configuration of the asynchronous transport.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +105,7 @@ struct Engine<'g, P> {
     payload_messages: u64,
     control_messages: u64,
     sink: Option<Box<dyn TraceSink>>,
+    profiler: Option<Profiler>,
     /// One past the highest pulse for which `RoundStart` was emitted.
     rounds_announced: u64,
 }
@@ -126,6 +129,11 @@ impl<P: Protocol> Engine<'_, P> {
         self.seq += 1;
         self.payloads.insert((at, self.seq), msg);
         self.queue.push(Reverse((at, self.seq, to, back_port)));
+        if let Some(p) = self.profiler.as_mut() {
+            let depth = self.queue.len();
+            let sync = p.sync_counters();
+            sync.max_queue_depth = sync.max_queue_depth.max(depth);
+        }
     }
 
     /// Runs the inner protocol's next pulse at `v` and ships its output.
@@ -156,7 +164,16 @@ impl<P: Protocol> Engine<'_, P> {
         }
         let node = &mut self.nodes[v as usize];
         let mut ctx = RoundCtx::new(v, pulse, self.graph, self.sink.is_some());
-        node.inner.round(&mut ctx, &inbox);
+        if self.profiler.is_some() {
+            let t = Instant::now();
+            node.inner.round(&mut ctx, &inbox);
+            let ns = t.elapsed().as_nanos() as u64;
+            if let Some(p) = self.profiler.as_mut() {
+                p.add_pulse_compute(pulse, ns);
+            }
+        } else {
+            node.inner.round(&mut ctx, &inbox);
+        }
         let events = ctx.take_events();
         if let Some(s) = self.sink.as_deref_mut() {
             for detail in events {
@@ -231,6 +248,15 @@ impl<P: Protocol> Engine<'_, P> {
                         || pulse == self.nodes[to as usize].pulse + 1,
                     "synchronizer pulse skew"
                 );
+                if let Some(p) = self.profiler.as_mut() {
+                    let skew = pulse.abs_diff(self.nodes[to as usize].pulse);
+                    let sync = p.sync_counters();
+                    sync.deliveries += 1;
+                    if skew > 0 {
+                        sync.skewed_deliveries += 1;
+                    }
+                    sync.max_pulse_skew = sync.max_pulse_skew.max(skew);
+                }
                 self.nodes[to as usize]
                     .buffers
                     .entry(pulse)
@@ -273,8 +299,30 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _) = run_impl(graph, cfg, pulses, factory, None);
+    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None);
     (nodes, report)
+}
+
+/// Like [`run_synchronized`], but records wall-clock profiling data into
+/// `profiler`: per-pulse node-compute spans (pulses execute out of node
+/// order, so only compute time is attributed — there is no meaningful
+/// per-pulse engine span), plus synchronizer counters (payload deliveries,
+/// pulse-skewed deliveries, maximum pulse skew, event-queue high-water
+/// mark). Profiling never alters the execution: node states and the
+/// [`AsyncReport`] are bit-identical to an unprofiled run.
+pub fn run_synchronized_profiled<P, F>(
+    graph: &Graph,
+    cfg: AsyncConfig,
+    pulses: u64,
+    factory: F,
+    profiler: Profiler,
+) -> (Vec<P>, AsyncReport, Profiler)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &Graph) -> P,
+{
+    let (nodes, report, _, profiler) = run_impl(graph, cfg, pulses, factory, None, Some(profiler));
+    (nodes, report, profiler.expect("profiler returned"))
 }
 
 /// Like [`run_synchronized`], but emits [`TraceEvent`]s into `sink` as the
@@ -295,17 +343,24 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, sink) = run_impl(graph, cfg, pulses, factory, Some(sink));
+    let (nodes, report, sink, _) = run_impl(graph, cfg, pulses, factory, Some(sink), None);
     (nodes, report, sink.expect("sink returned"))
 }
 
+#[allow(clippy::type_complexity)]
 fn run_impl<P, F>(
     graph: &Graph,
     cfg: AsyncConfig,
     pulses: u64,
     mut factory: F,
     sink: Option<Box<dyn TraceSink>>,
-) -> (Vec<P>, AsyncReport, Option<Box<dyn TraceSink>>)
+    profiler: Option<Profiler>,
+) -> (
+    Vec<P>,
+    AsyncReport,
+    Option<Box<dyn TraceSink>>,
+    Option<Profiler>,
+)
 where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
@@ -336,8 +391,12 @@ where
         payload_messages: 0,
         control_messages: 0,
         sink,
+        profiler,
         rounds_announced: 0,
     };
+    if let Some(p) = engine.profiler.as_mut() {
+        p.start_run();
+    }
     if pulses > 0 {
         for v in 0..graph.n() as NodeId {
             engine.execute_pulse(v);
@@ -346,6 +405,9 @@ where
     while let Some(Reverse((at, seq, to, port))) = engine.queue.pop() {
         engine.deliver(at, seq, to, port);
     }
+    if let Some(p) = engine.profiler.as_mut() {
+        p.finish_run();
+    }
     let report = AsyncReport {
         virtual_time: engine.now,
         pulses,
@@ -353,10 +415,12 @@ where
         control_messages: engine.control_messages,
     };
     let sink = engine.sink.take();
+    let profiler = engine.profiler.take();
     (
         engine.nodes.into_iter().map(|n| n.inner).collect(),
         report,
         sink,
+        profiler,
     )
 }
 

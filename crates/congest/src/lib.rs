@@ -71,6 +71,7 @@ pub mod asynchronous;
 mod message;
 mod metrics;
 mod network;
+pub mod profile;
 pub mod trace;
 
 pub use message::Message;
@@ -78,6 +79,7 @@ pub use metrics::{EdgeCut, NetMetrics, PhaseStat};
 pub use network::{
     Budget, Config, CongestError, Enforcement, Network, Protocol, RoundCtx, RunReport,
 };
+pub use profile::{PhaseSpan, ProfileReport, Profiler, RoundSpan, SyncStats, WorkerStats};
 
 #[cfg(test)]
 mod tests {

@@ -14,10 +14,12 @@
 
 use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
+use crate::profile::{Profiler, RoundSpan};
 use crate::trace::{ProtocolDetail, TraceEvent, TraceSink, ViolationKind};
 use bc_graph::{Graph, NodeId};
 use bc_numeric::bits::id_bits;
 use std::fmt;
+use std::time::Instant;
 
 /// Per-message bit budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -259,6 +261,7 @@ pub struct Network<P> {
     metrics: NetMetrics,
     round: u64,
     sink: Option<Box<dyn TraceSink>>,
+    profiler: Option<Profiler>,
 }
 
 impl<P> fmt::Debug for Network<P> {
@@ -291,6 +294,7 @@ impl<P: Protocol> Network<P> {
             metrics: NetMetrics::default(),
             round: 0,
             sink: None,
+            profiler: None,
         }
     }
 
@@ -308,6 +312,20 @@ impl<P: Protocol> Network<P> {
     /// Removes and returns the trace sink, stopping emission.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.sink.take()
+    }
+
+    /// Installs a wall-clock profiler; subsequent rounds record
+    /// [`RoundSpan`]s into it. Strictly opt-in, like tracing: without a
+    /// profiler each round pays a single branch, and a profiled run
+    /// produces bit-identical node states and metrics. Returns any
+    /// previously installed profiler.
+    pub fn set_profiler(&mut self, profiler: Profiler) -> Option<Profiler> {
+        self.profiler.replace(profiler)
+    }
+
+    /// Removes and returns the profiler, stopping recording.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// The simulated graph.
@@ -378,10 +396,21 @@ impl<P: Protocol> Network<P> {
             s.event(&TraceEvent::RoundStart { round });
         }
         let tracing = sink.is_some();
+        let profiling = self.profiler.is_some();
+        let round_start = profiling.then(Instant::now);
+        let mut compute_ns = 0u64;
+        let mut inbox_messages = 0u64;
         for v in 0..n {
             let inbox = std::mem::take(&mut self.inboxes[v]);
             let mut ctx = RoundCtx::new(v as NodeId, round, &self.graph, tracing);
-            self.nodes[v].round(&mut ctx, &inbox);
+            if profiling {
+                inbox_messages += inbox.len() as u64;
+                let t = Instant::now();
+                self.nodes[v].round(&mut ctx, &inbox);
+                compute_ns += t.elapsed().as_nanos() as u64;
+            } else {
+                self.nodes[v].round(&mut ctx, &inbox);
+            }
             if let Some(s) = sink.as_deref_mut() {
                 for detail in ctx.take_events() {
                     s.event(&TraceEvent::Protocol {
@@ -415,6 +444,15 @@ impl<P: Protocol> Network<P> {
         self.inboxes = next_inboxes;
         self.round += 1;
         self.metrics.rounds = self.round;
+        if let (Some(t0), Some(p)) = (round_start, self.profiler.as_mut()) {
+            p.record_round(RoundSpan {
+                round,
+                total_ns: t0.elapsed().as_nanos() as u64,
+                compute_ns,
+                inbox_messages,
+                worker_busy_ns: Vec::new(),
+            });
+        }
         Ok(())
     }
 }
@@ -453,13 +491,15 @@ impl<P: Protocol + Send> Network<P> {
         let graph = &self.graph;
         let round = self.round;
         let tracing = self.sink.is_some();
+        let profiling = self.profiler.is_some();
+        let round_start = profiling.then(Instant::now);
         // Each worker returns (sender, staged messages, staged trace
-        // events). Workers are spawned over contiguous node-id chunks and
-        // joined in spawn order, so iterating the outputs replays nodes in
-        // id order — the merged event stream is identical to the serial
-        // engine's.
+        // events) plus its busy/compute/inbox tallies when profiling.
+        // Workers are spawned over contiguous node-id chunks and joined in
+        // spawn order, so iterating the outputs replays nodes in id order —
+        // the merged event stream is identical to the serial engine's.
         type WorkerOut = Vec<(NodeId, Vec<(usize, Message)>, Vec<ProtocolDetail>)>;
-        let mut worker_outputs: Vec<WorkerOut> = Vec::new();
+        let mut worker_outputs: Vec<(WorkerOut, u64, u64, u64)> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             let mut nodes_rest: &mut [P] = &mut self.nodes;
@@ -473,6 +513,9 @@ impl<P: Protocol + Send> Network<P> {
                 inboxes_rest = ir;
                 let b = base;
                 handles.push(scope.spawn(move |_| {
+                    let busy_start = profiling.then(Instant::now);
+                    let mut compute_ns = 0u64;
+                    let mut inbox_messages = 0u64;
                     let mut out: WorkerOut = Vec::new();
                     for (i, (node, inbox)) in nodes_chunk
                         .iter_mut()
@@ -482,13 +525,23 @@ impl<P: Protocol + Send> Network<P> {
                         let v = b + i as u32;
                         let taken = std::mem::take(inbox);
                         let mut ctx = RoundCtx::new(v, round, graph, tracing);
-                        node.round(&mut ctx, &taken);
+                        if profiling {
+                            inbox_messages += taken.len() as u64;
+                            let t = Instant::now();
+                            node.round(&mut ctx, &taken);
+                            compute_ns += t.elapsed().as_nanos() as u64;
+                        } else {
+                            node.round(&mut ctx, &taken);
+                        }
                         let events = ctx.take_events();
                         if !ctx.sends.is_empty() || !events.is_empty() {
                             out.push((v, ctx.sends, events));
                         }
                     }
-                    out
+                    let busy_ns = busy_start
+                        .map(|t| t.elapsed().as_nanos() as u64)
+                        .unwrap_or(0);
+                    (out, busy_ns, compute_ns, inbox_messages)
                 }));
                 base += take as u32;
             }
@@ -505,7 +558,15 @@ impl<P: Protocol + Send> Network<P> {
         if let Some(s) = sink.as_deref_mut() {
             s.event(&TraceEvent::RoundStart { round });
         }
-        for out in worker_outputs {
+        let mut worker_busy_ns = Vec::new();
+        let mut compute_ns = 0u64;
+        let mut inbox_messages = 0u64;
+        for (out, busy, compute, inbox) in worker_outputs {
+            if profiling {
+                worker_busy_ns.push(busy);
+                compute_ns += compute;
+                inbox_messages += inbox;
+            }
             for (v, staged, events) in out {
                 if let Some(s) = sink.as_deref_mut() {
                     for detail in events {
@@ -540,6 +601,15 @@ impl<P: Protocol + Send> Network<P> {
         self.inboxes = next_inboxes;
         self.round += 1;
         self.metrics.rounds = self.round;
+        if let (Some(t0), Some(p)) = (round_start, self.profiler.as_mut()) {
+            p.record_round(RoundSpan {
+                round,
+                total_ns: t0.elapsed().as_nanos() as u64,
+                compute_ns,
+                inbox_messages,
+                worker_busy_ns,
+            });
+        }
         Ok(())
     }
 }

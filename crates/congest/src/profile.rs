@@ -1,0 +1,542 @@
+//! Wall-clock profiling of CONGEST executions.
+//!
+//! The simulator's *logical* cost model (rounds, messages, bits) is
+//! covered by [`crate::NetMetrics`]; this module measures the *physical*
+//! cost of simulating it — where the host's wall-clock time goes. Every
+//! engine in this crate (serial, parallel, α-synchronizer) accepts an
+//! optional [`Profiler`] and, when one is installed, records per-round
+//! spans split into
+//!
+//! * **node compute** — time spent inside the protocol state machines'
+//!   `round()` calls (the part a real deployment would parallelize across
+//!   machines), and
+//! * **engine overhead** — everything else in the round: message routing,
+//!   collision accounting, inbox management, worker scheduling.
+//!
+//! The parallel engine additionally records per-worker busy times, from
+//! which [`WorkerStats`] derives utilization and imbalance; the
+//! α-synchronizer records pulse-skew and event-queue-depth counters
+//! ([`SyncStats`]).
+//!
+//! Profiling is strictly opt-in, exactly like tracing: without a profiler
+//! the engines pay one branch per round and allocate nothing, and a
+//! profiled run produces bit-identical results to an unprofiled one
+//! (asserted by the integration tests for all three engines). Wall-clock
+//! numbers themselves are of course not deterministic — they describe the
+//! host, not the algorithm — which is why they live here and never in
+//! [`crate::NetMetrics`].
+
+use std::fmt;
+use std::time::Instant;
+
+/// Per-round span recorded by an engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundSpan {
+    /// Round (or synchronizer pulse) number.
+    pub round: u64,
+    /// Wall-clock nanoseconds for the whole round step. For the
+    /// α-synchronizer, whose pulses interleave, this equals `compute_ns`
+    /// (the per-pulse overhead is only meaningful run-wide).
+    pub total_ns: u64,
+    /// Nanoseconds inside protocol `round()` calls.
+    pub compute_ns: u64,
+    /// Messages delivered into this round's inboxes (queue depth at the
+    /// round boundary).
+    pub inbox_messages: u64,
+    /// Per-worker busy nanoseconds (parallel engine only; empty
+    /// otherwise). Worker `i` always owns the same contiguous node chunk,
+    /// so the vector is comparable across rounds.
+    pub worker_busy_ns: Vec<u64>,
+}
+
+/// Pulse-skew and queue counters specific to the α-synchronizer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncCounters {
+    /// Payload deliveries observed.
+    pub deliveries: u64,
+    /// Payload deliveries whose sender pulse differed from the receiver's
+    /// current pulse (the synchronizer permits a skew of exactly one).
+    pub skewed_deliveries: u64,
+    /// Largest |sender pulse − receiver pulse| observed on a payload
+    /// delivery (> 1 would be a synchronizer bug).
+    pub max_pulse_skew: u64,
+    /// High-water mark of the global event queue.
+    pub max_queue_depth: usize,
+}
+
+/// A wall-clock profiler one engine run writes into.
+///
+/// Install with `Network::set_profiler` (round engines) or
+/// `asynchronous::run_synchronized_profiled`, then turn the recording into
+/// a [`ProfileReport`] with [`Profiler::report`].
+#[derive(Debug, Default)]
+pub struct Profiler {
+    spans: Vec<RoundSpan>,
+    /// Wall-clock of the whole engine run (α-synchronizer: measured around
+    /// the event loop; round engines: the sum of round spans is used when
+    /// this is 0).
+    run_wall_ns: u64,
+    sync: SyncCounters,
+    run_start: Option<Instant>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// The recorded per-round spans, in round order.
+    pub fn spans(&self) -> &[RoundSpan] {
+        &self.spans
+    }
+
+    /// Engine-side: records one completed round.
+    pub(crate) fn record_round(&mut self, span: RoundSpan) {
+        self.spans.push(span);
+    }
+
+    /// Engine-side: accumulates compute time into the span for `round`,
+    /// creating intermediate spans as needed (the α-synchronizer visits
+    /// pulses out of order and one pulse at a time per node).
+    pub(crate) fn add_pulse_compute(&mut self, pulse: u64, ns: u64) {
+        let idx = pulse as usize;
+        if self.spans.len() <= idx {
+            let from = self.spans.len() as u64;
+            self.spans.extend((from..=pulse).map(|round| RoundSpan {
+                round,
+                ..RoundSpan::default()
+            }));
+        }
+        self.spans[idx].compute_ns += ns;
+        self.spans[idx].total_ns += ns;
+    }
+
+    /// Engine-side: marks the start of the whole run (α-synchronizer).
+    pub(crate) fn start_run(&mut self) {
+        self.run_start = Some(Instant::now());
+    }
+
+    /// Engine-side: closes the run wall-clock opened by `start_run`.
+    pub(crate) fn finish_run(&mut self) {
+        if let Some(t0) = self.run_start.take() {
+            self.run_wall_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Engine-side: mutable access to the synchronizer counters.
+    pub(crate) fn sync_counters(&mut self) -> &mut SyncCounters {
+        &mut self.sync
+    }
+
+    /// Total wall-clock nanoseconds of the run.
+    pub fn wall_ns(&self) -> u64 {
+        if self.run_wall_ns > 0 {
+            self.run_wall_ns
+        } else {
+            self.spans.iter().map(|s| s.total_ns).sum()
+        }
+    }
+
+    /// Total nanoseconds inside protocol `round()` calls.
+    pub fn compute_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.compute_ns).sum()
+    }
+
+    /// Summarizes the round window `[start, end)` (the driver slices at
+    /// its phase boundaries, mirroring `NetMetrics::phase_window`).
+    pub fn phase_span(&self, name: impl Into<String>, start: u64, end: u64) -> PhaseSpan {
+        let (start, end) = (start.min(end), end);
+        let clip = |v: u64| (v as usize).min(self.spans.len());
+        let (lo, hi) = (clip(start), clip(end));
+        let window = &self.spans[lo..hi];
+        let total: u64 = window.iter().map(|s| s.total_ns).sum();
+        let compute: u64 = window.iter().map(|s| s.compute_ns).sum();
+        PhaseSpan {
+            name: name.into(),
+            start,
+            end,
+            rounds: end - start,
+            wall_ns: total,
+            compute_ns: compute,
+            overhead_ns: total.saturating_sub(compute),
+            inbox_messages: window.iter().map(|s| s.inbox_messages).sum(),
+        }
+    }
+
+    /// Utilization/imbalance of the parallel engine's workers, or `None`
+    /// for single-threaded recordings.
+    pub fn worker_stats(&self) -> Option<WorkerStats> {
+        let workers = self
+            .spans
+            .iter()
+            .map(|s| s.worker_busy_ns.len())
+            .max()
+            .filter(|&w| w > 1)?;
+        let mut busy_total = 0u64;
+        let mut critical_total = 0u64;
+        for span in &self.spans {
+            if span.worker_busy_ns.is_empty() {
+                continue;
+            }
+            busy_total += span.worker_busy_ns.iter().sum::<u64>();
+            critical_total += span.worker_busy_ns.iter().copied().max().unwrap_or(0);
+        }
+        let ideal = critical_total.saturating_mul(workers as u64);
+        let utilization = if ideal == 0 {
+            1.0
+        } else {
+            busy_total as f64 / ideal as f64
+        };
+        let mean_total = busy_total as f64 / workers as f64;
+        let imbalance = if mean_total == 0.0 {
+            1.0
+        } else {
+            critical_total as f64 / mean_total
+        };
+        Some(WorkerStats {
+            workers,
+            busy_ns: busy_total,
+            critical_path_ns: critical_total,
+            utilization,
+            imbalance,
+        })
+    }
+
+    /// Builds the final report. `engine` labels the run (`"serial"`,
+    /// `"parallel(4)"`, `"alpha-sync"`); `phases` are the driver's
+    /// `(name, start, end)` round windows (empty when boundaries are
+    /// unknown, e.g. adaptive scheduling).
+    pub fn report(
+        &self,
+        engine: impl Into<String>,
+        phases: &[(String, u64, u64)],
+    ) -> ProfileReport {
+        let wall = self.wall_ns();
+        let compute = self.compute_ns();
+        ProfileReport {
+            engine: engine.into(),
+            rounds: self.spans.len() as u64,
+            wall_ns: wall,
+            compute_ns: compute,
+            overhead_ns: wall.saturating_sub(compute),
+            max_inbox_depth: self
+                .spans
+                .iter()
+                .map(|s| s.inbox_messages)
+                .max()
+                .unwrap_or(0),
+            phases: phases
+                .iter()
+                .map(|(name, start, end)| self.phase_span(name.clone(), *start, *end))
+                .collect(),
+            workers: self.worker_stats(),
+            sync: (self.sync.deliveries > 0).then_some(self.sync),
+        }
+    }
+}
+
+/// Wall-clock summary of one phase window, produced by
+/// [`Profiler::phase_span`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase label (`"B:counting"` etc.).
+    pub name: String,
+    /// First round of the window (inclusive).
+    pub start: u64,
+    /// One past the last round of the window.
+    pub end: u64,
+    /// Window length in rounds.
+    pub rounds: u64,
+    /// Wall-clock nanoseconds spent in the window.
+    pub wall_ns: u64,
+    /// Nanoseconds inside protocol `round()` calls.
+    pub compute_ns: u64,
+    /// `wall_ns − compute_ns`: engine bookkeeping.
+    pub overhead_ns: u64,
+    /// Messages delivered into inboxes within the window.
+    pub inbox_messages: u64,
+}
+
+/// Parallel-worker summary derived from per-round busy times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total busy nanoseconds across all workers and rounds.
+    pub busy_ns: u64,
+    /// Sum over rounds of the slowest worker's busy time — the parallel
+    /// section's critical path.
+    pub critical_path_ns: u64,
+    /// `busy / (workers · critical path)` ∈ (0, 1]: how evenly the
+    /// per-round node work fills the worker pool.
+    pub utilization: f64,
+    /// `critical path / mean busy` ≥ 1: how much the slowest worker
+    /// stretches each round.
+    pub imbalance: f64,
+}
+
+/// α-synchronizer counters surfaced in the report.
+pub type SyncStats = SyncCounters;
+
+/// The profiler's final output: run totals, per-phase spans, and
+/// engine-specific statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Engine label (`"serial"`, `"parallel(4)"`, `"alpha-sync"`).
+    pub engine: String,
+    /// Rounds (or pulses) recorded.
+    pub rounds: u64,
+    /// Total wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Nanoseconds inside protocol `round()` calls.
+    pub compute_ns: u64,
+    /// `wall − compute`: simulator bookkeeping.
+    pub overhead_ns: u64,
+    /// Largest number of messages delivered into one round.
+    pub max_inbox_depth: u64,
+    /// Per-phase spans (empty when phase boundaries are unknown).
+    pub phases: Vec<PhaseSpan>,
+    /// Parallel-worker statistics (parallel engine only).
+    pub workers: Option<WorkerStats>,
+    /// Synchronizer counters (α-synchronizer only).
+    pub sync: Option<SyncStats>,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl ProfileReport {
+    /// Fraction of the wall-clock spent in node compute.
+    pub fn compute_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.compute_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the report as a single JSON object (the `--profile --json`
+    /// payload and the `BENCH_profile.json` building block).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"engine\":\"{}\",\"rounds\":{},\"wall_ns\":{},\"compute_ns\":{},\
+             \"overhead_ns\":{},\"max_inbox_depth\":{}",
+            self.engine,
+            self.rounds,
+            self.wall_ns,
+            self.compute_ns,
+            self.overhead_ns,
+            self.max_inbox_depth
+        );
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"start\":{},\"end\":{},\"rounds\":{},\"wall_ns\":{},\
+                 \"compute_ns\":{},\"overhead_ns\":{},\"inbox_messages\":{}}}",
+                p.name,
+                p.start,
+                p.end,
+                p.rounds,
+                p.wall_ns,
+                p.compute_ns,
+                p.overhead_ns,
+                p.inbox_messages
+            );
+        }
+        out.push(']');
+        if let Some(w) = &self.workers {
+            let _ = write!(
+                out,
+                ",\"workers\":{{\"workers\":{},\"busy_ns\":{},\"critical_path_ns\":{},\
+                 \"utilization\":{:.4},\"imbalance\":{:.4}}}",
+                w.workers, w.busy_ns, w.critical_path_ns, w.utilization, w.imbalance
+            );
+        }
+        if let Some(s) = &self.sync {
+            let _ = write!(
+                out,
+                ",\"sync\":{{\"deliveries\":{},\"skewed_deliveries\":{},\"max_pulse_skew\":{},\
+                 \"max_queue_depth\":{}}}",
+                s.deliveries, s.skewed_deliveries, s.max_pulse_skew, s.max_queue_depth
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile [{}]: {} rounds, {:.3} ms wall = {:.3} ms node compute ({:.1}%) \
+             + {:.3} ms engine overhead",
+            self.engine,
+            self.rounds,
+            ms(self.wall_ns),
+            ms(self.compute_ns),
+            100.0 * self.compute_fraction(),
+            ms(self.overhead_ns),
+        )?;
+        writeln!(f, "max inbox depth: {} messages", self.max_inbox_depth)?;
+        if !self.phases.is_empty() {
+            writeln!(
+                f,
+                "{:<16} {:>14} {:>8} {:>12} {:>12} {:>12} {:>10}",
+                "phase", "span", "rounds", "wall ms", "compute ms", "overhead ms", "inbox msgs"
+            )?;
+            for p in &self.phases {
+                writeln!(
+                    f,
+                    "{:<16} {:>6}..{:<6} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>10}",
+                    p.name,
+                    p.start,
+                    p.end,
+                    p.rounds,
+                    ms(p.wall_ns),
+                    ms(p.compute_ns),
+                    ms(p.overhead_ns),
+                    p.inbox_messages,
+                )?;
+            }
+        }
+        if let Some(w) = &self.workers {
+            writeln!(
+                f,
+                "workers: {} threads, utilization {:.1}%, imbalance {:.2}x, \
+                 critical path {:.3} ms",
+                w.workers,
+                100.0 * w.utilization,
+                w.imbalance,
+                ms(w.critical_path_ns),
+            )?;
+        }
+        if let Some(s) = &self.sync {
+            writeln!(
+                f,
+                "synchronizer: {} payload deliveries ({} skewed, max pulse skew {}), \
+                 max event-queue depth {}",
+                s.deliveries, s.skewed_deliveries, s.max_pulse_skew, s.max_queue_depth,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(round: u64, total: u64, compute: u64, inbox: u64, workers: &[u64]) -> RoundSpan {
+        RoundSpan {
+            round,
+            total_ns: total,
+            compute_ns: compute,
+            inbox_messages: inbox,
+            worker_busy_ns: workers.to_vec(),
+        }
+    }
+
+    #[test]
+    fn totals_and_phase_slicing() {
+        let mut p = Profiler::new();
+        p.record_round(span(0, 100, 60, 2, &[]));
+        p.record_round(span(1, 200, 150, 5, &[]));
+        p.record_round(span(2, 50, 10, 1, &[]));
+        assert_eq!(p.wall_ns(), 350);
+        assert_eq!(p.compute_ns(), 220);
+        let ph = p.phase_span("B", 1, 3);
+        assert_eq!(ph.rounds, 2);
+        assert_eq!(ph.wall_ns, 250);
+        assert_eq!(ph.compute_ns, 160);
+        assert_eq!(ph.overhead_ns, 90);
+        assert_eq!(ph.inbox_messages, 6);
+        // Windows past the recording are silent.
+        let tail = p.phase_span("D", 2, 10);
+        assert_eq!(tail.rounds, 8);
+        assert_eq!(tail.wall_ns, 50);
+    }
+
+    #[test]
+    fn worker_stats_balanced_vs_skewed() {
+        let mut balanced = Profiler::new();
+        balanced.record_round(span(0, 100, 80, 0, &[40, 40]));
+        let w = balanced.worker_stats().unwrap();
+        assert_eq!(w.workers, 2);
+        assert!((w.utilization - 1.0).abs() < 1e-9);
+        assert!((w.imbalance - 1.0).abs() < 1e-9);
+
+        let mut skewed = Profiler::new();
+        skewed.record_round(span(0, 100, 80, 0, &[60, 20]));
+        let w = skewed.worker_stats().unwrap();
+        assert!((w.utilization - 80.0 / 120.0).abs() < 1e-9);
+        assert!((w.imbalance - 1.5).abs() < 1e-9);
+
+        // Serial recordings have no worker stats.
+        let mut serial = Profiler::new();
+        serial.record_round(span(0, 100, 80, 0, &[]));
+        assert!(serial.worker_stats().is_none());
+    }
+
+    #[test]
+    fn pulse_compute_accumulates_sparsely() {
+        let mut p = Profiler::new();
+        p.add_pulse_compute(2, 10);
+        p.add_pulse_compute(0, 5);
+        p.add_pulse_compute(2, 7);
+        assert_eq!(p.spans().len(), 3);
+        assert_eq!(p.spans()[0].compute_ns, 5);
+        assert_eq!(p.spans()[1].compute_ns, 0);
+        assert_eq!(p.spans()[2].compute_ns, 17);
+    }
+
+    #[test]
+    fn report_renders_and_encodes() {
+        let mut p = Profiler::new();
+        p.record_round(span(0, 100, 60, 3, &[30, 30]));
+        p.record_round(span(1, 100, 80, 4, &[50, 30]));
+        p.sync_counters().deliveries = 10;
+        p.sync_counters().max_pulse_skew = 1;
+        let phases = vec![
+            ("A:tree".to_string(), 0, 1),
+            ("B:counting".to_string(), 1, 2),
+        ];
+        let rep = p.report("parallel(2)", &phases);
+        assert_eq!(rep.rounds, 2);
+        assert_eq!(rep.wall_ns, 200);
+        assert_eq!(rep.compute_ns, 140);
+        assert_eq!(rep.overhead_ns, 60);
+        assert_eq!(rep.max_inbox_depth, 4);
+        assert_eq!(rep.phases.len(), 2);
+        assert!(rep.workers.is_some());
+        assert!(rep.sync.is_some());
+        let text = rep.to_string();
+        assert!(text.contains("parallel(2)"));
+        assert!(text.contains("B:counting"));
+        assert!(text.contains("synchronizer"));
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"engine\":\"parallel(2)\""));
+        assert!(json.contains("\"workers\":{"));
+        assert!(json.contains("\"sync\":{"));
+        assert!(json.contains("\"phases\":["));
+    }
+
+    #[test]
+    fn empty_profiler_reports_zeroes() {
+        let rep = Profiler::new().report("serial", &[]);
+        assert_eq!(rep.wall_ns, 0);
+        assert_eq!(rep.compute_fraction(), 0.0);
+        assert!(rep.workers.is_none());
+        assert!(rep.sync.is_none());
+    }
+}

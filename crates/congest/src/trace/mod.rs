@@ -19,6 +19,7 @@
 //! the paper's schedule invariants offline from a recorded stream.
 
 pub mod check;
+pub mod stats;
 
 use bc_graph::NodeId;
 use std::collections::VecDeque;

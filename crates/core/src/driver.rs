@@ -7,6 +7,7 @@ use crate::schedule::{PhaseSchedule, Scheduling};
 use bc_congest::trace::{TraceEvent, TraceSink};
 use bc_congest::{
     Budget, Config, CongestError, EdgeCut, Enforcement, NetMetrics, Network, PhaseStat,
+    ProfileReport, Profiler,
 };
 use bc_graph::{algo, Graph};
 use bc_numeric::FpParams;
@@ -153,7 +154,47 @@ pub struct DistBcResult {
 /// # Ok::<(), bc_core::DistBcError>(())
 /// ```
 pub fn run_distributed_bc(g: &Graph, config: DistBcConfig) -> Result<DistBcResult, DistBcError> {
-    run_impl(g, config, None).map(|(result, _)| result)
+    run_impl(g, config, None, false).map(|(result, _, _)| result)
+}
+
+/// Runs [`run_distributed_bc`] with the wall-clock profiler attached to
+/// the engine: per-round spans split into node compute vs engine overhead,
+/// inbox depths, and (for `threads > 1`) per-worker busy times. The
+/// returned [`ProfileReport`] slices the spans at the provisioned phase
+/// boundaries ([`Scheduling::Adaptive`] has none, so its report carries no
+/// phase rows). Profiling never alters the execution: the `DistBcResult`
+/// is bit-identical to an unprofiled run (asserted by the test suite).
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`].
+pub fn run_distributed_bc_profiled(
+    g: &Graph,
+    config: DistBcConfig,
+) -> Result<(DistBcResult, ProfileReport), DistBcError> {
+    let (result, _, profile) = run_impl(g, config, None, true)?;
+    Ok((result, profile.expect("profile requested")))
+}
+
+/// Runs [`run_distributed_bc`] with both a trace sink and the profiler
+/// attached — one execution yields the event stream for offline analytics
+/// and the wall-clock profile.
+///
+/// # Errors
+///
+/// Same as [`run_distributed_bc`]. On error the sink is dropped (a file
+/// sink will have written the events up to the failure).
+pub fn run_distributed_bc_traced_profiled(
+    g: &Graph,
+    config: DistBcConfig,
+    sink: Box<dyn TraceSink>,
+) -> Result<(DistBcResult, Box<dyn TraceSink>, ProfileReport), DistBcError> {
+    let (result, sink, profile) = run_impl(g, config, Some(sink), true)?;
+    Ok((
+        result,
+        sink.expect("sink returned"),
+        profile.expect("profile requested"),
+    ))
 }
 
 /// Runs [`run_distributed_bc`] with a trace sink attached to the engine.
@@ -176,15 +217,24 @@ pub fn run_distributed_bc_traced(
     config: DistBcConfig,
     sink: Box<dyn TraceSink>,
 ) -> Result<(DistBcResult, Box<dyn TraceSink>), DistBcError> {
-    let (result, sink) = run_impl(g, config, Some(sink))?;
+    let (result, sink, _) = run_impl(g, config, Some(sink), false)?;
     Ok((result, sink.expect("sink returned")))
 }
 
+#[allow(clippy::type_complexity)]
 fn run_impl(
     g: &Graph,
     config: DistBcConfig,
     mut sink: Option<Box<dyn TraceSink>>,
-) -> Result<(DistBcResult, Option<Box<dyn TraceSink>>), DistBcError> {
+    profile: bool,
+) -> Result<
+    (
+        DistBcResult,
+        Option<Box<dyn TraceSink>>,
+        Option<ProfileReport>,
+    ),
+    DistBcError,
+> {
     let n = g.n();
     if n == 0 {
         return Err(DistBcError::EmptyGraph);
@@ -224,6 +274,9 @@ fn run_impl(
     if let Some(s) = sink.take() {
         net.set_trace_sink(s);
     }
+    if profile {
+        net.set_profiler(Profiler::new());
+    }
     let max_rounds = sched.max_rounds();
     let report = if config.threads > 1 {
         net.run_parallel(max_rounds, config.threads)?
@@ -231,6 +284,7 @@ fn run_impl(
         net.run(max_rounds)?
     };
     let sink = net.take_trace_sink();
+    let profiler = net.take_profiler();
     let metrics = net.metrics().clone();
     let nodes = net.into_nodes();
 
@@ -278,6 +332,32 @@ fn run_impl(
             metrics.phase_window("D:aggregation", sched.agg_start, report.rounds),
         ]
     };
+    let profile = profiler.map(|p| {
+        let engine = if config.threads > 1 {
+            format!("parallel({})", config.threads)
+        } else {
+            "serial".to_string()
+        };
+        let phases: Vec<(String, u64, u64)> = if config.scheduling == Scheduling::Adaptive {
+            Vec::new()
+        } else {
+            vec![
+                ("A:tree".to_string(), 0, sched.counting_start),
+                (
+                    "B:counting".to_string(),
+                    sched.counting_start,
+                    sched.reduce_start,
+                ),
+                (
+                    "C:reduce+bcast".to_string(),
+                    sched.reduce_start,
+                    sched.agg_start,
+                ),
+                ("D:aggregation".to_string(), sched.agg_start, report.rounds),
+            ]
+        };
+        p.report(&engine, &phases)
+    });
     Ok((
         DistBcResult {
             betweenness,
@@ -295,6 +375,7 @@ fn run_impl(
             phase_stats,
         },
         sink,
+        profile,
     ))
 }
 

@@ -54,9 +54,9 @@ mod schedule;
 
 pub use codec::{Codec, ProtocolMsg};
 pub use driver::{
-    run_distributed_bc, run_distributed_bc_traced, run_distributed_bc_weighted,
-    run_distributed_closeness, run_distributed_diameter, DistBcConfig, DistBcError, DistBcResult,
-    WeightedDistBcResult,
+    run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
+    run_distributed_bc_traced_profiled, run_distributed_bc_weighted, run_distributed_closeness,
+    run_distributed_diameter, DistBcConfig, DistBcError, DistBcResult, WeightedDistBcResult,
 };
 pub use node::{AggInfo, AlgoOptions, DistBcNode};
 pub use sampling::{source_mask, SourceSelection};

@@ -15,10 +15,11 @@
 //! `ba:200:3:1` (n:m:seed), `grid:6:8`, `karate`, `florentine`.
 
 use distbc::brandes;
-use distbc::congest::trace::{self, check, JsonlSink};
+use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink};
+use distbc::congest::{PhaseStat, ProfileReport};
 use distbc::core::{
-    run_distributed_bc, run_distributed_bc_traced, DistBcConfig, DistBcResult, Scheduling,
-    SourceSelection,
+    run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
+    run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, Scheduling, SourceSelection,
 };
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
@@ -42,6 +43,8 @@ enum Command {
         scheduling: Scheduling,
         trace: Option<String>,
         metrics: bool,
+        profile: bool,
+        json: bool,
     },
     Gadget {
         kind: GadgetKind,
@@ -51,6 +54,12 @@ enum Command {
     },
     CheckTrace {
         file: String,
+    },
+    TraceStats {
+        file: String,
+        csv: bool,
+        json: bool,
+        top: usize,
     },
     Help,
 }
@@ -82,12 +91,13 @@ const USAGE: &str = "usage:
                      [--algorithm distributed|brandes|exact|naive|sampled:K]
                      [--stress] [--top K] [--csv] [--mantissa-bits L]
                      [--sequential | --adaptive]
-                     [--trace FILE] [--metrics]
+                     [--trace FILE] [--metrics] [--profile [--json]]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
+  distbc trace-stats FILE [--csv | --json] [--top K]
 
 generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
-                 ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine";
+                 ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine  figure1";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -108,6 +118,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut planted = false;
     let mut trace = None;
     let mut metrics = false;
+    let mut profile = false;
+    let mut json = false;
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -137,6 +149,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--csv" => csv = true,
             "--trace" => trace = Some(value("--trace")?),
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
+            "--json" => json = true,
             "--sequential" => scheduling = Scheduling::Sequential,
             "--adaptive" => scheduling = Scheduling::Adaptive,
             "--planted" => planted = true,
@@ -192,6 +206,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             scheduling,
             trace,
             metrics,
+            profile,
+            json,
         }),
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
@@ -205,6 +221,20 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .cloned()
                 .ok_or("check-trace needs a trace file")?,
         }),
+        "trace-stats" => {
+            if csv && json {
+                return Err("trace-stats takes --csv or --json, not both".into());
+            }
+            Ok(Command::TraceStats {
+                file: positional
+                    .first()
+                    .cloned()
+                    .ok_or("trace-stats needs a trace file")?,
+                csv,
+                json,
+                top: top.unwrap_or(5),
+            })
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -241,6 +271,7 @@ fn generate(spec: &str) -> Result<Graph, String> {
         "barbell" => generators::barbell(num(1)?, num(2)?),
         "karate" => datasets::karate_club(),
         "florentine" => datasets::florentine_families(),
+        "figure1" => generators::paper_figure1(),
         other => return Err(format!("unknown generator family {other:?}")),
     })
 }
@@ -269,15 +300,17 @@ fn cmd_info(source: &GraphSource) -> Result<(), Box<dyn Error>> {
 }
 
 /// Prints the per-phase traffic breakdown of a distributed run
-/// (`--metrics`), in the human table or `--csv` form.
-fn print_phase_metrics(out: &DistBcResult, csv: bool) {
-    if out.phase_stats.is_empty() {
-        eprintln!("# --metrics: adaptive scheduling has no provisioned phase boundaries");
+/// (`--metrics`), in the human table or `--csv` form. `phases` is either
+/// the provisioned [`DistBcResult::phase_stats`] or, in adaptive mode, the
+/// windows recovered from recorded phase-entry events.
+fn print_phase_metrics(out: &DistBcResult, phases: &[PhaseStat], csv: bool) {
+    if phases.is_empty() {
+        eprintln!("# --metrics: no phase boundaries available");
         return;
     }
     if csv {
         println!("phase,start,end,rounds,messages,bits,max_message_bits");
-        for p in &out.phase_stats {
+        for p in phases {
             println!(
                 "{},{},{},{},{},{},{}",
                 p.name, p.start, p.end, p.rounds, p.messages, p.bits, p.max_message_bits
@@ -296,7 +329,7 @@ fn print_phase_metrics(out: &DistBcResult, csv: bool) {
             "{:<16} {:>14} {:>8} {:>12} {:>14} {:>10}",
             "phase", "span", "rounds", "messages", "bits", "max bits"
         );
-        for p in &out.phase_stats {
+        for p in phases {
             println!(
                 "{:<16} {:>6}..{:<6} {:>8} {:>12} {:>14} {:>10}",
                 p.name, p.start, p.end, p.rounds, p.messages, p.bits, p.max_message_bits
@@ -315,6 +348,26 @@ fn print_phase_metrics(out: &DistBcResult, csv: bool) {
     }
 }
 
+/// Recovers adaptive-mode phase windows from recorded phase-entry events
+/// and slices the run's per-round timelines at those measured boundaries.
+fn adaptive_phase_stats(out: &DistBcResult, events: &[trace::TraceEvent]) -> Vec<PhaseStat> {
+    match stats::adaptive_phase_bounds(events) {
+        Some((counting_start, reduce_start, agg_start)) => vec![
+            out.metrics.phase_window("A:tree", 0, counting_start),
+            out.metrics
+                .phase_window("B:counting", counting_start, reduce_start),
+            out.metrics
+                .phase_window("C:reduce+bcast", reduce_start, agg_start),
+            out.metrics
+                .phase_window("D:aggregation", agg_start, out.rounds),
+        ],
+        None => {
+            eprintln!("# --metrics: trace has no complete phase-entry record");
+            Vec::new()
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_centrality(
     source: &GraphSource,
@@ -324,13 +377,20 @@ fn cmd_centrality(
     csv: bool,
     mantissa_bits: Option<u32>,
     scheduling: Scheduling,
-    trace: Option<&str>,
+    trace_path: Option<&str>,
     metrics: bool,
+    profile: bool,
+    json: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
     let distributed = matches!(algorithm, Algorithm::Distributed | Algorithm::Sampled(_));
-    if (trace.is_some() || metrics) && !distributed {
-        return Err("--trace/--metrics require --algorithm distributed or sampled:K".into());
+    if (trace_path.is_some() || metrics || profile) && !distributed {
+        return Err(
+            "--trace/--metrics/--profile require --algorithm distributed or sampled:K".into(),
+        );
+    }
+    if json && !profile {
+        return Err("--json requires --profile (or use trace-stats --json)".into());
     }
     let mut stress_vals: Option<Vec<f64>> = None;
     let bc: Vec<f64> = match algorithm {
@@ -351,16 +411,40 @@ fn cmd_centrality(
                 },
                 ..DistBcConfig::default()
             };
-            let out = match trace {
-                Some(path) => {
-                    let sink = JsonlSink::create(path)?;
-                    let (out, mut sink) = run_distributed_bc_traced(&g, cfg, Box::new(sink))?;
-                    sink.flush()?;
-                    eprintln!("# trace written to {path}");
+            // Adaptive --metrics has no provisioned boundaries; record the
+            // phase-entry events (to the requested trace file, or to an
+            // in-memory ring when no --trace was given) and measure them.
+            let adaptive_metrics = metrics && scheduling == Scheduling::Adaptive;
+            let sink: Option<Box<dyn TraceSink>> = match (trace_path, adaptive_metrics) {
+                (Some(path), _) => Some(Box::new(JsonlSink::create(path)?)),
+                (None, true) => Some(Box::new(RingSink::new(1 << 22))),
+                (None, false) => None,
+            };
+            let mut profile_report: Option<ProfileReport> = None;
+            let mut returned_sink: Option<Box<dyn TraceSink>> = None;
+            let out = match (sink, profile) {
+                (Some(sink), true) => {
+                    let (out, sink, report) = run_distributed_bc_traced_profiled(&g, cfg, sink)?;
+                    profile_report = Some(report);
+                    returned_sink = Some(sink);
                     out
                 }
-                None => run_distributed_bc(&g, cfg)?,
+                (Some(sink), false) => {
+                    let (out, sink) = run_distributed_bc_traced(&g, cfg, sink)?;
+                    returned_sink = Some(sink);
+                    out
+                }
+                (None, true) => {
+                    let (out, report) = run_distributed_bc_profiled(&g, cfg)?;
+                    profile_report = Some(report);
+                    out
+                }
+                (None, false) => run_distributed_bc(&g, cfg)?,
             };
+            if let (Some(path), Some(sink)) = (trace_path, returned_sink.as_mut()) {
+                sink.flush()?;
+                eprintln!("# trace written to {path}");
+            }
             eprintln!(
                 "# distributed: {} rounds, {} messages, max {} bits/message, compliant={}",
                 out.rounds,
@@ -368,10 +452,37 @@ fn cmd_centrality(
                 out.metrics.max_message_bits,
                 out.metrics.congest_compliant()
             );
+            if let Some(report) = &profile_report {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{report}");
+                }
+            }
             if metrics {
                 // --metrics replaces the per-node listing with the
                 // per-phase traffic table (also the --csv payload).
-                print_phase_metrics(&out, csv);
+                let adaptive_windows = if out.phase_stats.is_empty() {
+                    let events = match (trace_path, returned_sink.as_mut()) {
+                        (Some(path), _) => trace::read_jsonl(path)?,
+                        (None, Some(sink)) => sink.drain_events(),
+                        (None, None) => Vec::new(),
+                    };
+                    adaptive_phase_stats(&out, &events)
+                } else {
+                    Vec::new()
+                };
+                let phases = if out.phase_stats.is_empty() {
+                    &adaptive_windows
+                } else {
+                    &out.phase_stats
+                };
+                print_phase_metrics(&out, phases, csv);
+                return Ok(());
+            }
+            if profile && json {
+                // --profile --json emits the machine-readable report as
+                // the sole stdout payload.
                 return Ok(());
             }
             stress_vals = out.stress;
@@ -449,6 +560,23 @@ fn cmd_check_trace(file: &str) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// `trace-stats FILE`: congestion/latency analytics over a recorded JSONL
+/// trace — the observed wave schedule with per-source Lemma-4 slack, wave
+/// latency vs eccentricity, edge/round congestion hot spots, and the DFS
+/// token's critical path.
+fn cmd_trace_stats(file: &str, csv: bool, json: bool, top: usize) -> Result<(), Box<dyn Error>> {
+    let events = trace::read_jsonl(file)?;
+    let s = stats::analyze(&events, top);
+    if csv {
+        print!("{}", s.to_csv());
+    } else if json {
+        println!("{}", s.to_json());
+    } else {
+        print!("{s}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match parse_args(&args) {
@@ -474,6 +602,8 @@ fn main() -> ExitCode {
             scheduling,
             trace,
             metrics,
+            profile,
+            json,
         } => cmd_centrality(
             source,
             algorithm,
@@ -484,6 +614,8 @@ fn main() -> ExitCode {
             *scheduling,
             trace.as_deref(),
             *metrics,
+            *profile,
+            *json,
         ),
         Command::Gadget {
             kind,
@@ -492,6 +624,12 @@ fn main() -> ExitCode {
             planted,
         } => cmd_gadget(*kind, *n, *x, *planted),
         Command::CheckTrace { file } => cmd_check_trace(file),
+        Command::TraceStats {
+            file,
+            csv,
+            json,
+            top,
+        } => cmd_trace_stats(file, *csv, *json, *top),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -550,8 +688,36 @@ mod tests {
                 scheduling: Scheduling::Adaptive,
                 trace: None,
                 metrics: false,
+                profile: false,
+                json: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_profile_and_json() {
+        match p(&["centrality", "--generate", "path:5", "--profile", "--json"]).unwrap() {
+            Command::Centrality { profile, json, .. } => {
+                assert!(profile);
+                assert!(json);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_stats() {
+        assert_eq!(
+            p(&["trace-stats", "run.jsonl", "--json", "--top", "3"]).unwrap(),
+            Command::TraceStats {
+                file: "run.jsonl".into(),
+                csv: false,
+                json: true,
+                top: 3,
+            }
+        );
+        assert!(p(&["trace-stats"]).is_err());
+        assert!(p(&["trace-stats", "run.jsonl", "--csv", "--json"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! End-to-end CLI tests for the observability surface: record a trace with
+//! `distbc centrality --trace`, re-validate it with `distbc check-trace`,
+//! and analyze it with `distbc trace-stats`; plus the `--profile` output.
+
+use distbc::congest::trace::{encode_event, ProtocolDetail, TraceEvent};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn distbc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_distbc"))
+        .args(args)
+        .output()
+        .expect("spawn distbc")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("distbc-cli-{}-{name}", std::process::id()))
+}
+
+/// Full round trip on the paper's Figure 1: run → trace → check-trace →
+/// trace-stats. The analyzer must recover the observed schedule
+/// `T = (0, 2, 4, 6, 10)` (wave 5 waits for the DFS token to backtrack
+/// v4→v3→v2→v5 through the BFS tree), the paper's minimal Lemma-4
+/// schedule `(0, 2, 4, 6, 8)`, and the 2-round gap between them.
+#[test]
+fn trace_roundtrip_figure1() {
+    let trace = tmp("fig1.jsonl");
+    let run = distbc(&[
+        "centrality",
+        "--generate",
+        "figure1",
+        "--algorithm",
+        "distributed",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "centrality --trace failed: {run:?}");
+
+    let check = distbc(&["check-trace", trace.to_str().unwrap()]);
+    assert!(check.status.success(), "check-trace failed: {check:?}");
+    let check_out = stdout(&check);
+    assert!(
+        check_out.contains("wave spacing (Lemma 4): OK"),
+        "{check_out}"
+    );
+
+    let stats = distbc(&["trace-stats", trace.to_str().unwrap()]);
+    assert!(stats.status.success(), "trace-stats failed: {stats:?}");
+    let text = stdout(&stats);
+    assert!(
+        text.contains("wave schedule T = (0, 2, 4, 6, 10)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("Lemma-4 slack: 2 rounds above minimal"),
+        "{text}"
+    );
+    assert!(text.contains("DFS token critical path"), "{text}");
+    assert!(text.contains("hottest directed edges"), "{text}");
+
+    // CSV carries the same schedule machine-readably: source 4 started at
+    // relative round 10 against minimal slot 8 → slack 2.
+    let csv = distbc(&["trace-stats", trace.to_str().unwrap(), "--csv"]);
+    assert!(csv.status.success());
+    let csv = stdout(&csv);
+    assert!(
+        csv.starts_with("source,ts,rel_ts,minimal_ts,slack"),
+        "{csv}"
+    );
+    let last = csv.lines().last().unwrap();
+    let fields: Vec<&str> = last.split(',').collect();
+    assert_eq!(fields[0], "4", "{csv}");
+    assert_eq!(fields[2], "10", "{csv}");
+    assert_eq!(fields[3], "8", "{csv}");
+    assert_eq!(fields[4], "2", "{csv}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+/// A Figure 1 trace whose waves run at the paper's schedule
+/// `T = (0, 2, 4, 6, 8)` (Section IV's worked example) must analyze to
+/// exactly that schedule with zero Lemma-4 slack.
+#[test]
+fn trace_stats_reports_paper_schedule_with_zero_slack() {
+    let events = [
+        TraceEvent::Topology {
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (1, 4), (2, 3), (4, 3)],
+        },
+        wave(0, 0),
+        wave(1, 2),
+        wave(2, 4),
+        wave(3, 6),
+        wave(4, 8),
+    ];
+    let mut body = String::new();
+    for e in &events {
+        encode_event(e, &mut body);
+        body.push('\n');
+    }
+    let path = tmp("paper-schedule.jsonl");
+    std::fs::write(&path, body).unwrap();
+
+    let stats = distbc(&["trace-stats", path.to_str().unwrap()]);
+    assert!(stats.status.success(), "{stats:?}");
+    let text = stdout(&stats);
+    assert!(text.contains("wave schedule T = (0, 2, 4, 6, 8)"), "{text}");
+    assert!(
+        text.contains("Lemma-4 slack: 0 (minimal schedule achieved)"),
+        "{text}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+fn wave(node: u32, ts: u64) -> TraceEvent {
+    TraceEvent::Protocol {
+        round: ts,
+        node,
+        detail: ProtocolDetail::WaveStart { ts },
+    }
+}
+
+/// `--profile --json` emits one machine-readable profile object on stdout.
+#[test]
+fn profile_json_smoke() {
+    let run = distbc(&[
+        "centrality",
+        "--generate",
+        "er:30:0.15:3",
+        "--algorithm",
+        "distributed",
+        "--profile",
+        "--json",
+    ]);
+    assert!(run.status.success(), "{run:?}");
+    let text = stdout(&run);
+    assert!(text.contains("\"engine\":\"serial\""), "{text}");
+    assert!(text.contains("\"phases\":["), "{text}");
+    assert!(text.contains("\"name\":\"B:counting\""), "{text}");
+    assert!(text.contains("\"wall_ns\":"), "{text}");
+}
+
+/// The human `--profile` report prints the per-phase wall-clock table.
+#[test]
+fn profile_human_output() {
+    let run = distbc(&[
+        "centrality",
+        "--generate",
+        "path:20",
+        "--algorithm",
+        "distributed",
+        "--profile",
+    ]);
+    assert!(run.status.success(), "{run:?}");
+    let text = stdout(&run);
+    assert!(text.contains("serial"), "{text}");
+    assert!(text.contains("B:counting"), "{text}");
+}
+
+/// `--metrics` under `--adaptive` derives phase windows from the trace
+/// (satellite: the old stderr apology is gone).
+#[test]
+fn adaptive_metrics_reports_phase_table() {
+    let run = distbc(&[
+        "centrality",
+        "--generate",
+        "er:30:0.15:3",
+        "--algorithm",
+        "distributed",
+        "--adaptive",
+        "--metrics",
+    ]);
+    assert!(run.status.success(), "{run:?}");
+    let text = stdout(&run);
+    assert!(text.contains("B:counting"), "{text}");
+    let err = String::from_utf8_lossy(&run.stderr).into_owned();
+    assert!(!err.contains("not yet derived"), "{err}");
+    assert!(!err.contains("no phase boundaries"), "{err}");
+}

@@ -1,0 +1,116 @@
+//! The profiler must be observationally free: turning it on changes *no*
+//! protocol-visible output — betweenness values, round counts, message
+//! metrics, and phase stats are bit-identical with and without it, on
+//! every engine (serial, parallel, α-synchronizer) and both schedulers
+//! (provisioned and adaptive).
+
+use distbc::congest::asynchronous::{run_synchronized, run_synchronized_profiled, AsyncConfig};
+use distbc::congest::Profiler;
+use distbc::core::{
+    run_distributed_bc, run_distributed_bc_profiled, AlgoOptions, DistBcConfig, DistBcNode,
+    Scheduling,
+};
+use distbc::graph::generators;
+
+fn assert_profiling_free(cfg: DistBcConfig) {
+    let g = generators::erdos_renyi_connected(36, 0.12, 17);
+    let plain = run_distributed_bc(&g, cfg.clone()).unwrap();
+    let (profiled, report) = run_distributed_bc_profiled(&g, cfg).unwrap();
+    assert_eq!(plain.rounds, profiled.rounds);
+    assert_eq!(plain.metrics, profiled.metrics);
+    assert_eq!(plain.betweenness, profiled.betweenness);
+    assert_eq!(plain.phase_stats, profiled.phase_stats);
+    // The profile itself must describe the same execution.
+    assert_eq!(report.rounds, profiled.rounds);
+    assert!(report.wall_ns >= report.compute_ns);
+}
+
+#[test]
+fn profiling_is_free_on_serial_engine() {
+    let cfg = DistBcConfig::default();
+    assert_profiling_free(cfg.clone());
+    let g = generators::paper_figure1();
+    let (out, report) = run_distributed_bc_profiled(&g, cfg).unwrap();
+    assert!((out.betweenness[1] - 3.5).abs() < 1e-9);
+    assert_eq!(report.engine, "serial");
+    // Provisioned runs expose the four phase windows with wall-clock.
+    let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["A:tree", "B:counting", "C:reduce+bcast", "D:aggregation"]
+    );
+    let span_sum: u64 = report.phases.iter().map(|p| p.rounds).sum();
+    assert_eq!(span_sum, report.rounds);
+}
+
+#[test]
+fn profiling_is_free_on_parallel_engine() {
+    let cfg = DistBcConfig {
+        threads: 4,
+        ..DistBcConfig::default()
+    };
+    assert_profiling_free(cfg.clone());
+    let g = generators::erdos_renyi_connected(36, 0.12, 17);
+    let (_, report) = run_distributed_bc_profiled(&g, cfg).unwrap();
+    assert_eq!(report.engine, "parallel(4)");
+    let w = report.workers.expect("parallel run reports worker stats");
+    assert_eq!(w.workers, 4);
+    assert!(w.utilization > 0.0 && w.utilization <= 1.0);
+    assert!(w.imbalance >= 1.0);
+}
+
+#[test]
+fn profiling_is_free_on_adaptive_scheduler() {
+    assert_profiling_free(DistBcConfig {
+        scheduling: Scheduling::Adaptive,
+        ..DistBcConfig::default()
+    });
+    // Adaptive runs have no provisioned windows — the profile has no
+    // phase spans, but the totals still hold.
+    let g = generators::erdos_renyi_connected(36, 0.12, 17);
+    let (out, report) = run_distributed_bc_profiled(
+        &g,
+        DistBcConfig {
+            scheduling: Scheduling::Adaptive,
+            ..DistBcConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.phases.is_empty());
+    assert_eq!(report.rounds, out.rounds);
+}
+
+#[test]
+fn profiling_is_free_on_synchronizer() {
+    let g = generators::erdos_renyi_connected(20, 0.15, 77);
+    let n = g.n();
+    let sync = run_distributed_bc(&g, DistBcConfig::default()).unwrap();
+    let pulses = sync.rounds + 1;
+    let opts = AlgoOptions::for_graph_size(n);
+    for (max_delay, seed) in [(1u64, 0u64), (4, 9)] {
+        let cfg = AsyncConfig { max_delay, seed };
+        let (plain_nodes, plain_report) =
+            run_synchronized(&g, cfg, pulses, |v, _| DistBcNode::new(n, v, opts.clone()));
+        let (prof_nodes, prof_report, profiler) = run_synchronized_profiled(
+            &g,
+            cfg,
+            pulses,
+            |v, _| DistBcNode::new(n, v, opts.clone()),
+            Profiler::new(),
+        );
+        for (p, q) in plain_nodes.iter().zip(&prof_nodes) {
+            assert_eq!(
+                p.betweenness(),
+                q.betweenness(),
+                "delay={max_delay}: profiling changed the synchronizer's output"
+            );
+        }
+        assert_eq!(plain_report.virtual_time, prof_report.virtual_time);
+        assert_eq!(plain_report.control_messages, prof_report.control_messages);
+        assert_eq!(plain_report.payload_messages, prof_report.payload_messages);
+        let report = profiler.report("alpha-sync", &[]);
+        let s = report.sync.expect("synchronizer reports pulse counters");
+        assert!(s.deliveries > 0);
+        assert!(s.max_queue_depth > 0);
+    }
+}
