@@ -1,0 +1,151 @@
+//! CI guard against round-engine wall-clock regressions.
+//!
+//! Usage:
+//!   bench_guard FRESH.json BASELINE.json [--threshold FACTOR]
+//!
+//! Both files hold the `{"profiles":[{"graph":...,"profile":{...}},...]}`
+//! shape written by E15 (`BENCH_profile.json`) and E16
+//! (`BENCH_engine.json`). Every `(graph, engine)` key present in *both*
+//! files is compared: the run fails (exit 1) when any fresh `wall_ns`
+//! exceeds `FACTOR ×` its baseline (default 1.25), or when the files share
+//! no keys at all — a silent no-op guard is itself a failure.
+//!
+//! Wall clocks are host-dependent, so the guard is only meaningful when
+//! fresh and baseline numbers come from comparable machines (in CI: the
+//! same runner class). The generous default threshold absorbs runner
+//! noise while still catching engine-level slowdowns.
+
+use std::process::exit;
+
+/// One `(graph, engine) → wall_ns` record scraped from a profiles file.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    graph: String,
+    engine: String,
+    wall_ns: u64,
+}
+
+/// Extracts the string following `marker` up to the next `"`.
+fn string_after(text: &str, marker: &str) -> Option<(String, usize)> {
+    let start = text.find(marker)? + marker.len();
+    let end = start + text[start..].find('"')?;
+    Some((text[start..end].to_string(), end))
+}
+
+/// Extracts the integer following `marker`.
+fn number_after(text: &str, marker: &str) -> Option<(u64, usize)> {
+    let start = text.find(marker)? + marker.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    Some((digits.parse().ok()?, start + digits.len()))
+}
+
+/// Scrapes all records from a profiles JSON document. Relies on the field
+/// order `to_json` guarantees: within each record, `"graph"` precedes
+/// `"engine"`, which precedes the profile-level `"wall_ns"` (the per-phase
+/// `wall_ns` fields all come later, inside `"phases"`).
+fn parse_profiles(text: &str) -> Vec<Record> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some((graph, at)) = string_after(rest, "\"graph\":\"") {
+        rest = &rest[at..];
+        let Some((engine, at)) = string_after(rest, "\"engine\":\"") else {
+            break;
+        };
+        rest = &rest[at..];
+        let Some((wall_ns, at)) = number_after(rest, "\"wall_ns\":") else {
+            break;
+        };
+        rest = &rest[at..];
+        records.push(Record {
+            graph,
+            engine,
+            wall_ns,
+        });
+    }
+    records
+}
+
+fn read_profiles(path: &str) -> Vec<Record> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: cannot read {path}: {e}");
+        exit(2);
+    });
+    let records = parse_profiles(&text);
+    if records.is_empty() {
+        eprintln!("bench_guard: {path} holds no (graph, engine, wall_ns) records");
+        exit(2);
+    }
+    records
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 1.25f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            threshold = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bench_guard: --threshold needs a number");
+                    exit(2);
+                });
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [fresh_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: bench_guard FRESH.json BASELINE.json [--threshold FACTOR]");
+        exit(2);
+    };
+    let fresh = read_profiles(fresh_path);
+    let baseline = read_profiles(baseline_path);
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    println!(
+        "{:<12} {:<16} {:>12} {:>12} {:>7}",
+        "graph", "engine", "base ns", "fresh ns", "ratio"
+    );
+    for f in &fresh {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.graph == f.graph && b.engine == f.engine)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = f.wall_ns as f64 / b.wall_ns.max(1) as f64;
+        let verdict = if ratio > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<12} {:<16} {:>12} {:>12} {:>6.2}x {}",
+            f.graph, f.engine, b.wall_ns, f.wall_ns, ratio, verdict
+        );
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench_guard: no (graph, engine) keys shared between {fresh_path} and \
+             {baseline_path} — the guard compared nothing"
+        );
+        exit(1);
+    }
+    println!("compared {compared} records, threshold {threshold}x, {regressions} regressed");
+    if regressions > 0 {
+        exit(1);
+    }
+}

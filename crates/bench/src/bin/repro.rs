@@ -47,10 +47,10 @@ fn main() {
         ids
     };
     if json {
-        let reports: Vec<ExperimentReport> = ids
-            .iter()
-            .flat_map(|id| run_experiment(id, quick))
-            .collect();
+        let mut reports: Vec<ExperimentReport> = Vec::new();
+        for id in &ids {
+            reports.extend(run_experiment(id, quick).unwrap_or_else(|e| fail(&e)));
+        }
         if let Some(dir) = &artifacts_dir {
             write_artifacts(Path::new(dir), &reports, quick);
         }
@@ -65,7 +65,7 @@ fn main() {
     let mut all_reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        for report in run_experiment(id, quick) {
+        for report in run_experiment(id, quick).unwrap_or_else(|e| fail(&e)) {
             println!("{report}");
             all_reports.push(report);
         }
@@ -75,6 +75,12 @@ fn main() {
     if let Some(dir) = &artifacts_dir {
         write_artifacts(Path::new(dir), &all_reports, quick);
     }
+}
+
+/// Reports a bad experiment id on stderr and exits nonzero.
+fn fail(e: &bc_bench::UnknownExperiment) -> ! {
+    eprintln!("repro: {e}");
+    std::process::exit(2);
 }
 
 /// Writes every experiment-attached artifact plus the aggregated

@@ -16,7 +16,9 @@ use bc_core::{run_distributed_bc_profiled, AlgoOptions, DistBcConfig, DistBcNode
 use bc_graph::{generators, Graph};
 use std::fmt::Write as _;
 
-fn families(n: usize) -> Vec<(String, Graph)> {
+/// The shared graph families profiled by E15 and E16 (path / sparse
+/// Erdős–Rényi / Barabási–Albert at size `n`).
+pub(crate) fn families(n: usize) -> Vec<(String, Graph)> {
     vec![
         (format!("path-{n}"), generators::path(n)),
         (

@@ -9,18 +9,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 pub mod experiments;
 pub mod report;
 
 pub use report::{ExperimentReport, PHASE_HEADERS};
 
-/// Runs an experiment by id (`"e1"`…`"e10"`), at reduced scale if `quick`.
+/// Error returned by [`run_experiment`] for an id that names no experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The id that failed to resolve.
+    pub id: String,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment id {:?} (valid ids: {})",
+            self.id,
+            ALL_EXPERIMENTS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Runs an experiment by id (`"e1"`…`"e16"`), at reduced scale if `quick`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown id.
-pub fn run_experiment(id: &str, quick: bool) -> Vec<ExperimentReport> {
-    match id {
+/// Returns [`UnknownExperiment`] (its message lists the valid ids) when
+/// `id` names no experiment; callers such as the `repro` CLI turn this
+/// into a nonzero exit instead of a panic.
+pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, UnknownExperiment> {
+    Ok(match id {
         "e1" => vec![experiments::e1_figure1::run()],
         "e2" => vec![experiments::e2_correctness::run(quick)],
         "e3" => vec![
@@ -43,12 +67,18 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<ExperimentReport> {
         "e13" => vec![experiments::e13_adaptive::run(quick)],
         "e14" => vec![experiments::e14_apsp_pipeline::run(quick)],
         "e15" => vec![experiments::e15_profile::run(quick)],
-        other => panic!("unknown experiment id {other:?} (expected e1..e15)"),
-    }
+        "e16" => vec![experiments::e16_engine::run(quick)],
+        other => {
+            return Err(UnknownExperiment {
+                id: other.to_string(),
+            })
+        }
+    })
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E15 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+/// E11–E16 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

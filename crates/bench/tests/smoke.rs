@@ -6,9 +6,9 @@ use bc_bench::{run_experiment, ALL_EXPERIMENTS};
 
 #[test]
 fn all_ids_are_wired() {
-    // Every id listed must dispatch (the panic path is a bug).
+    // Every id listed must dispatch (the error path is a bug here).
     for id in ALL_EXPERIMENTS {
-        let reports = run_experiment(id, true);
+        let reports = run_experiment(id, true).expect("listed ids dispatch");
         assert!(!reports.is_empty(), "{id} produced no reports");
         for r in &reports {
             assert!(!r.rows.is_empty(), "{id} produced an empty table");
@@ -20,14 +20,18 @@ fn all_ids_are_wired() {
 }
 
 #[test]
-#[should_panic(expected = "unknown experiment id")]
-fn unknown_id_panics() {
-    let _ = run_experiment("e99", true);
+fn unknown_id_is_an_error_listing_valid_ids() {
+    let err = run_experiment("e99", true).expect_err("e99 is not an experiment");
+    assert_eq!(err.id, "e99");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown experiment id"), "{msg}");
+    assert!(msg.contains("e1"), "{msg}");
+    assert!(msg.contains("e16"), "{msg}");
 }
 
 #[test]
 fn e1_reproduces_paper_schedule() {
-    let reports = run_experiment("e1", true);
+    let reports = run_experiment("e1", true).expect("e1 runs");
     let text = reports[0].to_string();
     // The exact Figure 1 values.
     assert!(text.contains("T=(0,2,4,6,8)"));
@@ -37,14 +41,14 @@ fn e1_reproduces_paper_schedule() {
 
 #[test]
 fn e3_slope_is_linear() {
-    let reports = run_experiment("e3", true);
+    let reports = run_experiment("e3", true).expect("e3 runs");
     let text = reports[0].to_string();
     assert!(text.contains("rounds ≈"), "slope notes present");
 }
 
 #[test]
 fn e10_has_three_ablations() {
-    let reports = run_experiment("e10", true);
+    let reports = run_experiment("e10", true).expect("e10 runs");
     assert_eq!(reports.len(), 3);
     assert_eq!(reports[0].id, "E10a");
     assert_eq!(reports[1].id, "E10b");

@@ -25,7 +25,7 @@
 use crate::message::Message;
 use crate::network::{Protocol, RoundCtx};
 use crate::profile::Profiler;
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::{ProtocolDetail, TraceEvent, TraceSink};
 use bc_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -108,6 +108,9 @@ struct Engine<'g, P> {
     profiler: Option<Profiler>,
     /// One past the highest pulse for which `RoundStart` was emitted.
     rounds_announced: u64,
+    /// Recycled `RoundCtx` staging buffers (drained after every pulse).
+    stage_sends: Vec<(usize, Message)>,
+    stage_events: Vec<ProtocolDetail>,
 }
 
 impl<P: Protocol> Engine<'_, P> {
@@ -163,7 +166,14 @@ impl<P: Protocol> Engine<'_, P> {
             self.rounds_announced = pulse + 1;
         }
         let node = &mut self.nodes[v as usize];
-        let mut ctx = RoundCtx::new(v, pulse, self.graph, self.sink.is_some());
+        let mut ctx = RoundCtx::with_buffers(
+            v,
+            pulse,
+            self.graph,
+            self.sink.is_some(),
+            std::mem::take(&mut self.stage_sends),
+            std::mem::take(&mut self.stage_events),
+        );
         if self.profiler.is_some() {
             let t = Instant::now();
             node.inner.round(&mut ctx, &inbox);
@@ -174,9 +184,9 @@ impl<P: Protocol> Engine<'_, P> {
         } else {
             node.inner.round(&mut ctx, &inbox);
         }
-        let events = ctx.take_events();
+        let mut events = ctx.take_events();
         if let Some(s) = self.sink.as_deref_mut() {
-            for detail in events {
+            for detail in events.drain(..) {
                 s.event(&TraceEvent::Protocol {
                     round: pulse,
                     node: v,
@@ -184,10 +194,11 @@ impl<P: Protocol> Engine<'_, P> {
                 });
             }
         }
-        let sends = ctx.take_sends();
+        events.clear();
+        let mut sends = ctx.take_sends();
         self.nodes[v as usize].acks_pending = sends.len();
         self.nodes[v as usize].announced_safe = false;
-        for (port, inner) in sends {
+        for (port, inner) in sends.drain(..) {
             if let Some(s) = self.sink.as_deref_mut() {
                 s.event(&TraceEvent::MessageSent {
                     round: pulse,
@@ -198,6 +209,8 @@ impl<P: Protocol> Engine<'_, P> {
             }
             self.send(v, port, SyncMsg::Payload { pulse, inner });
         }
+        self.stage_sends = sends;
+        self.stage_events = events;
         self.maybe_announce_safe(v);
     }
 
@@ -393,6 +406,8 @@ where
         sink,
         profiler,
         rounds_announced: 0,
+        stage_sends: Vec::new(),
+        stage_events: Vec::new(),
     };
     if let Some(p) = engine.profiler.as_mut() {
         p.start_run();

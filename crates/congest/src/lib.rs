@@ -349,8 +349,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonexistent port")]
-    fn send_on_bad_port_panics() {
+    fn send_on_bad_port_is_a_node_panic_error() {
         struct Bad;
         impl Protocol for Bad {
             fn round(&mut self, ctx: &mut RoundCtx<'_>, _: &[(usize, Message)]) {
@@ -362,7 +361,85 @@ mod tests {
         }
         let g = generators::path(2);
         let mut net = Network::new(&g, Config::default(), |_, _| Bad);
-        let _ = net.run(1);
+        match net.run(1) {
+            Err(CongestError::NodePanic {
+                node: 0,
+                round: 0,
+                message,
+            }) => assert!(message.contains("nonexistent port 5"), "{message}"),
+            other => panic!("expected NodePanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_panic_names_same_node_and_round_on_both_engines() {
+        // Node 3 blows up in round 2; every engine and thread count must
+        // report exactly that, not abort the process, and not report a
+        // higher-id node that also panicked.
+        struct Fused;
+        impl Protocol for Fused {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>, _: &[(usize, Message)]) {
+                if ctx.round() == 2 && ctx.id() >= 3 {
+                    panic!("fuse blown at node {}", ctx.id());
+                }
+            }
+            fn is_halted(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::cycle(8);
+        let expected = Err(CongestError::NodePanic {
+            node: 3,
+            round: 2,
+            message: "fuse blown at node 3".to_string(),
+        });
+        let mut serial = Network::new(&g, Config::default(), |_, _| Fused);
+        assert_eq!(serial.run(10), expected);
+        for threads in [1, 2, 3, 8] {
+            let mut par = Network::new(&g, Config::default(), |_, _| Fused);
+            assert_eq!(par.run_parallel(10, threads), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn idle_skipping_is_observationally_free() {
+        // Flood keeps the default `idle_at` (never skipped); wrap it in a
+        // protocol that *does* declare idleness and check that skipping on
+        // vs off changes nothing (results, metrics, rounds).
+        struct IdleAware(Flood);
+        impl Protocol for IdleAware {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+                // Flood only acts on round 0 (the source announce) or on
+                // arriving messages, so idle_at below is honest.
+                self.0.round(ctx, inbox);
+            }
+            fn is_halted(&self) -> bool {
+                self.0.is_halted()
+            }
+            fn idle_at(&self, round: u64) -> bool {
+                round > 0
+            }
+        }
+        let g = generators::erdos_renyi_connected(24, 0.15, 11);
+        let run = |skip_idle: bool, threads: usize| {
+            let cfg = Config {
+                skip_idle,
+                ..Config::default()
+            };
+            let mut net = Network::new(&g, cfg, |_, _| IdleAware(Flood::new()));
+            let report = if threads == 0 {
+                net.run(200).unwrap()
+            } else {
+                net.run_parallel(200, threads).unwrap()
+            };
+            let metrics = net.metrics().clone();
+            let dists: Vec<_> = net.into_nodes().into_iter().map(|f| f.0.dist).collect();
+            (report, metrics, dists)
+        };
+        let baseline = run(false, 0);
+        for threads in [0, 1, 3] {
+            assert_eq!(run(true, threads), baseline, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,6 +11,21 @@
 //! [`Enforcement::Strict`], fails the execution on the first violation,
 //! which turns protocol bugs (schedule collisions, oversized encodings)
 //! into test failures.
+//!
+//! Both engines share three throughput mechanisms, none of which may change
+//! observable output (node states, metrics, traces are bit-identical with
+//! them on or off):
+//!
+//! - **double-buffered inboxes** — current and next-round inboxes swap each
+//!   round, so per-node `Vec` allocations are reused instead of reallocated;
+//! - **idle-node skipping** — a node whose inbox is empty and whose
+//!   [`Protocol::idle_at`] returns `true` is not stepped at all (sound
+//!   because `idle_at` promises the step would be a no-op); disable via
+//!   [`Config::skip_idle`] as a correctness escape hatch;
+//! - **a persistent worker pool** — [`Network::run_parallel`] spawns its
+//!   workers once per run and feeds them rounds over channels, instead of
+//!   spawning and joining threads every round. Outputs are still merged in
+//!   node-id order, keeping parallel traces byte-identical to serial.
 
 use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
@@ -19,6 +34,8 @@ use crate::trace::{ProtocolDetail, TraceEvent, TraceSink, ViolationKind};
 use bc_graph::{Graph, NodeId};
 use bc_numeric::bits::id_bits;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// Per-message bit budget.
@@ -56,7 +73,7 @@ pub enum Enforcement {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Per-message bit budget.
     pub budget: Budget,
@@ -64,10 +81,26 @@ pub struct Config {
     pub enforcement: Enforcement,
     /// Optional edge cut across which bit flow is measured.
     pub cut: Option<EdgeCut>,
+    /// Skip stepping nodes whose inbox is empty and whose
+    /// [`Protocol::idle_at`] returns `true`. On by default; turn off to
+    /// force every node to step every round (correctness escape hatch —
+    /// output must not change either way).
+    pub skip_idle: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            budget: Budget::default(),
+            enforcement: Enforcement::default(),
+            cut: None,
+            skip_idle: true,
+        }
+    }
 }
 
 /// A CONGEST constraint violation (only surfaced under
-/// [`Enforcement::Strict`]).
+/// [`Enforcement::Strict`]) or an execution failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CongestError {
     /// A node staged two messages on the same incident edge in one round.
@@ -95,6 +128,17 @@ pub enum CongestError {
         /// The limit that was hit.
         max_rounds: u64,
     },
+    /// A node's [`Protocol::round`] panicked. Both engines surface the
+    /// lowest-id panicking node of the round rather than aborting the
+    /// process.
+    NodePanic {
+        /// The node whose step panicked.
+        node: NodeId,
+        /// Round in which it happened.
+        round: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -116,6 +160,11 @@ impl fmt::Display for CongestError {
             CongestError::RoundLimit { max_rounds } => {
                 write!(f, "network did not halt within {max_rounds} rounds")
             }
+            CongestError::NodePanic {
+                node,
+                round,
+                message,
+            } => write!(f, "node {node} panicked in round {round}: {message}"),
         }
     }
 }
@@ -137,6 +186,17 @@ pub trait Protocol {
     /// any further messages. The engine stops when every node is halted and
     /// no messages are in flight.
     fn is_halted(&self) -> bool;
+
+    /// Returns `true` if calling [`Protocol::round`] for `round` with an
+    /// *empty* inbox would be a no-op: no sends, no trace events, and no
+    /// observable state change. The engine then skips the call entirely
+    /// (unless [`Config::skip_idle`] is off). The default is `false` —
+    /// protocols that act on a schedule rather than on messages must keep
+    /// it that way for the rounds they act in.
+    fn idle_at(&self, round: u64) -> bool {
+        let _ = round;
+        false
+    }
 }
 
 /// Per-round, per-node execution context: identity, topology access, and
@@ -152,14 +212,24 @@ pub struct RoundCtx<'a> {
 }
 
 impl<'a> RoundCtx<'a> {
-    pub(crate) fn new(id: NodeId, round: u64, graph: &'a Graph, tracing: bool) -> Self {
+    /// Builds a context staging into recycled buffers (must be empty).
+    /// The engines drain and reuse them round over round.
+    pub(crate) fn with_buffers(
+        id: NodeId,
+        round: u64,
+        graph: &'a Graph,
+        tracing: bool,
+        sends: Vec<(usize, Message)>,
+        events: Vec<ProtocolDetail>,
+    ) -> Self {
+        debug_assert!(sends.is_empty() && events.is_empty());
         RoundCtx {
             id,
             round,
             graph,
-            sends: Vec::new(),
+            sends,
             tracing,
-            events: Vec::new(),
+            events,
         }
     }
 
@@ -203,7 +273,8 @@ impl<'a> RoundCtx<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `port >= degree()`.
+    /// Panics if `port >= degree()`. (The engine converts the panic into a
+    /// [`CongestError::NodePanic`] run error.)
     pub fn send(&mut self, port: usize, msg: Message) {
         assert!(port < self.degree(), "send on nonexistent port {port}");
         self.sends.push((port, msg));
@@ -258,6 +329,18 @@ pub struct Network<P> {
     budget_bits: Option<usize>,
     nodes: Vec<P>,
     inboxes: Vec<Vec<(usize, Message)>>,
+    /// Next-round inboxes; swapped with `inboxes` each round so the inner
+    /// `Vec` allocations are recycled. Invariant: all entries are empty
+    /// between rounds.
+    spare: Vec<Vec<(usize, Message)>>,
+    /// Recycled staging buffers for the serial engine's `RoundCtx`.
+    stage_sends: Vec<(usize, Message)>,
+    stage_events: Vec<ProtocolDetail>,
+    /// Recycled per-port collision counters for `account_sends`.
+    port_scratch: Vec<u8>,
+    /// Recycled list of next-inbox indices touched in the current round
+    /// (only those get sorted).
+    touched: Vec<NodeId>,
     metrics: NetMetrics,
     round: u64,
     sink: Option<Box<dyn TraceSink>>,
@@ -291,6 +374,11 @@ impl<P: Protocol> Network<P> {
             config,
             nodes,
             inboxes: vec![Vec::new(); n],
+            spare: vec![Vec::new(); n],
+            stage_sends: Vec::new(),
+            stage_events: Vec::new(),
+            port_scratch: Vec::new(),
+            touched: Vec::new(),
             metrics: NetMetrics::default(),
             round: 0,
             sink: None,
@@ -353,8 +441,9 @@ impl<P: Protocol> Network<P> {
     /// # Errors
     ///
     /// Returns [`CongestError::RoundLimit`] if the protocol does not halt
-    /// within `max_rounds`, or a constraint violation under
-    /// [`Enforcement::Strict`].
+    /// within `max_rounds`, a constraint violation under
+    /// [`Enforcement::Strict`], or [`CongestError::NodePanic`] if a node's
+    /// step panicked.
     pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, CongestError> {
         while !self.quiescent() {
             if self.round >= max_rounds {
@@ -386,7 +475,7 @@ impl<P: Protocol> Network<P> {
     fn step(&mut self) -> Result<(), CongestError> {
         let n = self.graph.n();
         let round = self.round;
-        let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
+        let skip_idle = self.config.skip_idle;
         let mut first_error: Option<CongestError> = None;
         self.metrics.begin_round(round);
         // The sink leaves `self` for the loop so node stepping (which
@@ -400,19 +489,53 @@ impl<P: Protocol> Network<P> {
         let round_start = profiling.then(Instant::now);
         let mut compute_ns = 0u64;
         let mut inbox_messages = 0u64;
+        let mut nodes_stepped = 0u64;
+        let mut touched = std::mem::take(&mut self.touched);
+        let spare = &mut self.spare;
+        debug_assert!(spare.iter().all(|i| i.is_empty()));
         for v in 0..n {
-            let inbox = std::mem::take(&mut self.inboxes[v]);
-            let mut ctx = RoundCtx::new(v as NodeId, round, &self.graph, tracing);
+            let node = &mut self.nodes[v];
+            let inbox = &self.inboxes[v];
+            if inbox.is_empty() && skip_idle && node.idle_at(round) {
+                continue;
+            }
+            nodes_stepped += 1;
+            let mut ctx = RoundCtx::with_buffers(
+                v as NodeId,
+                round,
+                &self.graph,
+                tracing,
+                std::mem::take(&mut self.stage_sends),
+                std::mem::take(&mut self.stage_events),
+            );
             if profiling {
                 inbox_messages += inbox.len() as u64;
-                let t = Instant::now();
-                self.nodes[v].round(&mut ctx, &inbox);
-                compute_ns += t.elapsed().as_nanos() as u64;
-            } else {
-                self.nodes[v].round(&mut ctx, &inbox);
             }
+            let t = profiling.then(Instant::now);
+            let outcome = catch_unwind(AssertUnwindSafe(|| node.round(&mut ctx, inbox)));
+            if let Some(t) = t {
+                compute_ns += t.elapsed().as_nanos() as u64;
+            }
+            if let Err(payload) = outcome {
+                // Abandon this round: drop the panicking node's partial
+                // output and any messages already routed, restoring the
+                // all-empty `spare` invariant for later steps.
+                drop(ctx);
+                for &t in &touched {
+                    spare[t as usize].clear();
+                }
+                touched.clear();
+                self.touched = touched;
+                self.sink = sink;
+                return Err(CongestError::NodePanic {
+                    node: v as NodeId,
+                    round,
+                    message: panic_message(payload),
+                });
+            }
+            let (mut sends, mut events) = (ctx.sends, ctx.events);
             if let Some(s) = sink.as_deref_mut() {
-                for detail in ctx.take_events() {
+                for detail in events.drain(..) {
                     s.event(&TraceEvent::Protocol {
                         round,
                         node: v as NodeId,
@@ -420,28 +543,44 @@ impl<P: Protocol> Network<P> {
                     });
                 }
             }
-            let staged = ctx.sends;
             account_sends(
                 v as NodeId,
                 round,
-                staged,
+                sends.drain(..),
                 &self.graph,
                 self.budget_bits,
                 self.config.cut.as_ref(),
                 &mut self.metrics,
-                &mut next_inboxes,
+                &mut self.port_scratch,
+                |target, reverse_port, msg| {
+                    let inbox = &mut spare[target as usize];
+                    if inbox.is_empty() {
+                        touched.push(target);
+                    }
+                    inbox.push((reverse_port, msg));
+                },
                 &mut first_error,
                 sink.as_deref_mut(),
             );
+            self.stage_sends = sends;
+            self.stage_events = events;
+            self.inboxes[v].clear();
         }
         self.sink = sink;
         if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
+            for &t in &touched {
+                spare[t as usize].clear();
+            }
+            touched.clear();
+            self.touched = touched;
             return Err(err.clone());
         }
-        for inbox in &mut next_inboxes {
-            inbox.sort_unstable_by_key(|&(port, _)| port);
+        for &t in &touched {
+            spare[t as usize].sort_unstable_by_key(|&(port, _)| port);
         }
-        self.inboxes = next_inboxes;
+        touched.clear();
+        self.touched = touched;
+        std::mem::swap(&mut self.inboxes, &mut self.spare);
         self.round += 1;
         self.metrics.rounds = self.round;
         if let (Some(t0), Some(p)) = (round_start, self.profiler.as_mut()) {
@@ -450,6 +589,7 @@ impl<P: Protocol> Network<P> {
                 total_ns: t0.elapsed().as_nanos() as u64,
                 compute_ns,
                 inbox_messages,
+                nodes_stepped,
                 worker_busy_ns: Vec::new(),
             });
         }
@@ -457,11 +597,159 @@ impl<P: Protocol> Network<P> {
     }
 }
 
+/// Recycled per-worker reply buffers: `(index, sends, events)`.
+type ReplyBufs = (
+    Vec<(NodeId, u32, u32)>,
+    Vec<(usize, Message)>,
+    Vec<ProtocolDetail>,
+);
+
+/// One round's work order shipped to a pool worker. The buffers round-trip:
+/// the worker returns them (refilled) in its [`WorkerReply`] and the main
+/// thread sends them back with the next `Step`.
+enum WorkerCmd {
+    Step {
+        round: u64,
+        tracing: bool,
+        profiling: bool,
+        skip_idle: bool,
+        /// This worker's chunk of current-round inboxes (returned cleared).
+        inboxes: Vec<Vec<(usize, Message)>>,
+        index: Vec<(NodeId, u32, u32)>,
+        sends: Vec<(usize, Message)>,
+        events: Vec<ProtocolDetail>,
+    },
+    Finish,
+}
+
+/// One round's results from a pool worker.
+struct WorkerReply {
+    /// `(node, staged sends, staged events)` counts per stepped node that
+    /// produced output, in node-id order. The payloads are flattened into
+    /// `sends` / `events` in the same order.
+    index: Vec<(NodeId, u32, u32)>,
+    sends: Vec<(usize, Message)>,
+    events: Vec<ProtocolDetail>,
+    inboxes: Vec<Vec<(usize, Message)>>,
+    busy_ns: u64,
+    compute_ns: u64,
+    inbox_messages: u64,
+    nodes_stepped: u64,
+    all_halted: bool,
+    /// First `round()` panic in the chunk; nodes after it were not stepped
+    /// and its own output was discarded.
+    panic: Option<(NodeId, String)>,
+}
+
+/// Body of one persistent pool worker: owns a contiguous chunk of node
+/// states (`base..base + nodes.len()`), steps it per `Step` command in
+/// node-id order, and returns the states on `Finish` / channel close.
+fn pool_worker<P: Protocol>(
+    base: NodeId,
+    mut nodes: Vec<P>,
+    graph: &Graph,
+    rx: mpsc::Receiver<WorkerCmd>,
+    tx: mpsc::Sender<WorkerReply>,
+) -> Vec<P> {
+    let mut stage_sends: Vec<(usize, Message)> = Vec::new();
+    let mut stage_events: Vec<ProtocolDetail> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        let WorkerCmd::Step {
+            round,
+            tracing,
+            profiling,
+            skip_idle,
+            mut inboxes,
+            mut index,
+            mut sends,
+            mut events,
+        } = cmd
+        else {
+            break;
+        };
+        index.clear();
+        sends.clear();
+        events.clear();
+        let busy_start = profiling.then(Instant::now);
+        let mut compute_ns = 0u64;
+        let mut inbox_messages = 0u64;
+        let mut nodes_stepped = 0u64;
+        let mut panic = None;
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let inbox = &inboxes[i];
+            if inbox.is_empty() && skip_idle && node.idle_at(round) {
+                continue;
+            }
+            nodes_stepped += 1;
+            if profiling {
+                inbox_messages += inbox.len() as u64;
+            }
+            let v = base + i as NodeId;
+            let mut ctx = RoundCtx::with_buffers(
+                v,
+                round,
+                graph,
+                tracing,
+                std::mem::take(&mut stage_sends),
+                std::mem::take(&mut stage_events),
+            );
+            let t = profiling.then(Instant::now);
+            let outcome = catch_unwind(AssertUnwindSafe(|| node.round(&mut ctx, inbox)));
+            if let Some(t) = t {
+                compute_ns += t.elapsed().as_nanos() as u64;
+            }
+            let (mut node_sends, mut node_events) = (ctx.sends, ctx.events);
+            match outcome {
+                Ok(()) => {
+                    if !node_sends.is_empty() || !node_events.is_empty() {
+                        index.push((v, node_sends.len() as u32, node_events.len() as u32));
+                        sends.append(&mut node_sends);
+                        events.append(&mut node_events);
+                    }
+                }
+                Err(payload) => {
+                    node_sends.clear();
+                    node_events.clear();
+                    panic = Some((v, panic_message(payload)));
+                }
+            }
+            stage_sends = node_sends;
+            stage_events = node_events;
+            inboxes[i].clear();
+            if panic.is_some() {
+                break;
+            }
+        }
+        let all_halted = nodes.iter().all(|p| p.is_halted());
+        let busy_ns = busy_start
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let reply = WorkerReply {
+            index,
+            sends,
+            events,
+            inboxes,
+            busy_ns,
+            compute_ns,
+            inbox_messages,
+            nodes_stepped,
+            all_halted,
+            panic,
+        };
+        if tx.send(reply).is_err() {
+            break;
+        }
+    }
+    nodes
+}
+
 impl<P: Protocol + Send> Network<P> {
-    /// Runs like [`Network::run`] but executes each round's node steps on
-    /// `threads` worker threads. The result (node states, metrics, message
-    /// order) is identical to the serial engine: within a round node steps
-    /// are independent, and inboxes are canonically sorted by port.
+    /// Runs like [`Network::run`] but steps each round's nodes on a
+    /// persistent pool of `threads` workers, fed per-round via channels.
+    /// The result (node states, metrics, message order, traces) is
+    /// identical to the serial engine: within a round node steps are
+    /// independent, worker outputs are merged in node-id order, and
+    /// inboxes are canonically sorted by port.
     ///
     /// # Errors
     ///
@@ -476,164 +764,274 @@ impl<P: Protocol + Send> Network<P> {
         threads: usize,
     ) -> Result<RunReport, CongestError> {
         assert!(threads > 0, "need at least one worker thread");
-        while !self.quiescent() {
-            if self.round >= max_rounds {
-                return Err(CongestError::RoundLimit { max_rounds });
-            }
-            self.step_parallel(threads)?;
+        if self.quiescent() {
+            return Ok(RunReport { rounds: self.round });
         }
-        Ok(RunReport { rounds: self.round })
-    }
+        if self.round >= max_rounds {
+            return Err(CongestError::RoundLimit { max_rounds });
+        }
 
-    fn step_parallel(&mut self, threads: usize) -> Result<(), CongestError> {
         let n = self.graph.n();
         let chunk = n.div_ceil(threads).max(1);
-        let graph = &self.graph;
-        let round = self.round;
-        let tracing = self.sink.is_some();
-        let profiling = self.profiler.is_some();
-        let round_start = profiling.then(Instant::now);
-        // Each worker returns (sender, staged messages, staged trace
-        // events) plus its busy/compute/inbox tallies when profiling.
-        // Workers are spawned over contiguous node-id chunks and joined in
-        // spawn order, so iterating the outputs replays nodes in id order —
-        // the merged event stream is identical to the serial engine's.
-        type WorkerOut = Vec<(NodeId, Vec<(usize, Message)>, Vec<ProtocolDetail>)>;
-        let mut worker_outputs: Vec<(WorkerOut, u64, u64, u64)> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut nodes_rest: &mut [P] = &mut self.nodes;
-            let mut inboxes_rest: &mut [Vec<(usize, Message)>] = &mut self.inboxes;
-            let mut base = 0u32;
-            while !nodes_rest.is_empty() {
-                let take = chunk.min(nodes_rest.len());
-                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
-                let (inbox_chunk, ir) = inboxes_rest.split_at_mut(take);
-                nodes_rest = nr;
-                inboxes_rest = ir;
-                let b = base;
-                handles.push(scope.spawn(move |_| {
-                    let busy_start = profiling.then(Instant::now);
-                    let mut compute_ns = 0u64;
-                    let mut inbox_messages = 0u64;
-                    let mut out: WorkerOut = Vec::new();
-                    for (i, (node, inbox)) in nodes_chunk
-                        .iter_mut()
-                        .zip(inbox_chunk.iter_mut())
-                        .enumerate()
-                    {
-                        let v = b + i as u32;
-                        let taken = std::mem::take(inbox);
-                        let mut ctx = RoundCtx::new(v, round, graph, tracing);
-                        if profiling {
-                            inbox_messages += taken.len() as u64;
-                            let t = Instant::now();
-                            node.round(&mut ctx, &taken);
-                            compute_ns += t.elapsed().as_nanos() as u64;
-                        } else {
-                            node.round(&mut ctx, &taken);
-                        }
-                        let events = ctx.take_events();
-                        if !ctx.sends.is_empty() || !events.is_empty() {
-                            out.push((v, ctx.sends, events));
-                        }
-                    }
-                    let busy_ns = busy_start
-                        .map(|t| t.elapsed().as_nanos() as u64)
-                        .unwrap_or(0);
-                    (out, busy_ns, compute_ns, inbox_messages)
-                }));
-                base += take as u32;
-            }
-            for h in handles {
-                worker_outputs.push(h.join().expect("worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        // The pool owns the node states and inbox buffers for the whole
+        // run, split into contiguous per-worker chunks; everything is
+        // reassembled into `self` before returning.
+        let mut node_chunks: Vec<Vec<P>> = split_chunks(std::mem::take(&mut self.nodes), chunk);
+        let mut chunk_inboxes = split_chunks(std::mem::take(&mut self.inboxes), chunk);
+        let mut chunk_next = split_chunks(std::mem::take(&mut self.spare), chunk);
+        let workers = node_chunks.len();
 
-        let mut next_inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
-        let mut first_error: Option<CongestError> = None;
-        self.metrics.begin_round(round);
+        let graph = &self.graph;
+        let metrics = &mut self.metrics;
+        let profiler = &mut self.profiler;
+        let port_scratch = &mut self.port_scratch;
+        let round_ref = &mut self.round;
+        let budget_bits = self.budget_bits;
+        let enforcement = self.config.enforcement;
+        let cut = self.config.cut.as_ref();
+        let skip_idle = self.config.skip_idle;
         let mut sink = self.sink.take();
-        if let Some(s) = sink.as_deref_mut() {
-            s.event(&TraceEvent::RoundStart { round });
-        }
-        let mut worker_busy_ns = Vec::new();
-        let mut compute_ns = 0u64;
-        let mut inbox_messages = 0u64;
-        for (out, busy, compute, inbox) in worker_outputs {
-            if profiling {
-                worker_busy_ns.push(busy);
-                compute_ns += compute;
-                inbox_messages += inbox;
+
+        let result = crossbeam::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(workers);
+            let mut reply_rxs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            let mut base = 0 as NodeId;
+            for nodes in node_chunks.drain(..) {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
+                let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+                let b = base;
+                base += nodes.len() as NodeId;
+                handles.push(scope.spawn(move |_| pool_worker(b, nodes, graph, cmd_rx, reply_tx)));
+                cmd_txs.push(cmd_tx);
+                reply_rxs.push(reply_rx);
             }
-            for (v, staged, events) in out {
-                if let Some(s) = sink.as_deref_mut() {
-                    for detail in events {
-                        s.event(&TraceEvent::Protocol {
-                            round,
-                            node: v,
-                            detail,
-                        });
-                    }
+            let mut reply_bufs: Vec<ReplyBufs> = (0..workers)
+                .map(|_| (Vec::new(), Vec::new(), Vec::new()))
+                .collect();
+            // Next-inbox slots touched this round, as (worker, local index).
+            let mut touched: Vec<(usize, usize)> = Vec::new();
+
+            let run_result = loop {
+                let round = *round_ref;
+                metrics.begin_round(round);
+                let tracing = sink.is_some();
+                let profiling = profiler.is_some();
+                let round_start = profiling.then(Instant::now);
+                // Ship the round to every worker before doing main-thread
+                // work, so workers step while the main thread traces.
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    let (index, sends, events) = std::mem::take(&mut reply_bufs[w]);
+                    let cmd = WorkerCmd::Step {
+                        round,
+                        tracing,
+                        profiling,
+                        skip_idle,
+                        inboxes: std::mem::take(&mut chunk_inboxes[w]),
+                        index,
+                        sends,
+                        events,
+                    };
+                    tx.send(cmd).expect("pool worker alive");
                 }
-                account_sends(
-                    v,
-                    round,
-                    staged,
-                    &self.graph,
-                    self.budget_bits,
-                    self.config.cut.as_ref(),
-                    &mut self.metrics,
-                    &mut next_inboxes,
-                    &mut first_error,
-                    sink.as_deref_mut(),
-                );
+                if let Some(s) = sink.as_deref_mut() {
+                    s.event(&TraceEvent::RoundStart { round });
+                }
+                let mut replies: Vec<WorkerReply> = reply_rxs
+                    .iter()
+                    .map(|rx| rx.recv().expect("pool worker alive"))
+                    .collect();
+                // Chunks hold ascending node-id ranges and a worker stops
+                // at its first panic, so the first panic in worker order is
+                // the lowest-id panicking node — the one the serial engine
+                // would have hit.
+                let first_panic = replies
+                    .iter()
+                    .enumerate()
+                    .find_map(|(w, r)| r.panic.as_ref().map(|(v, m)| (w, *v, m.clone())));
+                let mut first_error: Option<CongestError> = None;
+                let mut worker_busy_ns = Vec::new();
+                let mut compute_ns = 0u64;
+                let mut inbox_messages = 0u64;
+                let mut nodes_stepped = 0u64;
+                let mut all_halted = true;
+                for (w, rep) in replies.iter_mut().enumerate() {
+                    if profiling {
+                        worker_busy_ns.push(rep.busy_ns);
+                        compute_ns += rep.compute_ns;
+                        inbox_messages += rep.inbox_messages;
+                    }
+                    nodes_stepped += rep.nodes_stepped;
+                    all_halted &= rep.all_halted;
+                    // Deliver and validate this chunk's output unless a
+                    // lower chunk panicked (the serial engine would never
+                    // have stepped these nodes).
+                    let process = first_panic.as_ref().is_none_or(|&(pw, _, _)| w <= pw);
+                    if process {
+                        let mut sends_iter = rep.sends.drain(..);
+                        let mut events_iter = rep.events.drain(..);
+                        for &(v, n_sends, n_events) in rep.index.iter() {
+                            for detail in events_iter.by_ref().take(n_events as usize) {
+                                if let Some(s) = sink.as_deref_mut() {
+                                    s.event(&TraceEvent::Protocol {
+                                        round,
+                                        node: v,
+                                        detail,
+                                    });
+                                }
+                            }
+                            account_sends(
+                                v,
+                                round,
+                                sends_iter.by_ref().take(n_sends as usize),
+                                graph,
+                                budget_bits,
+                                cut,
+                                metrics,
+                                port_scratch,
+                                |target, reverse_port, msg| {
+                                    let (tw, tl) =
+                                        (target as usize / chunk, target as usize % chunk);
+                                    let slot = &mut chunk_next[tw][tl];
+                                    if slot.is_empty() {
+                                        touched.push((tw, tl));
+                                    }
+                                    slot.push((reverse_port, msg));
+                                },
+                                &mut first_error,
+                                sink.as_deref_mut(),
+                            );
+                        }
+                    }
+                    // Recycle the reply buffers (sends/events may hold
+                    // unprocessed leftovers after a panic; the worker
+                    // clears all three on the next Step).
+                    reply_bufs[w] = (
+                        std::mem::take(&mut rep.index),
+                        std::mem::take(&mut rep.sends),
+                        std::mem::take(&mut rep.events),
+                    );
+                    chunk_inboxes[w] = std::mem::take(&mut rep.inboxes);
+                }
+                if let Some((_, v, message)) = first_panic {
+                    for &(tw, tl) in &touched {
+                        chunk_next[tw][tl].clear();
+                    }
+                    touched.clear();
+                    break Err(CongestError::NodePanic {
+                        node: v,
+                        round,
+                        message,
+                    });
+                }
+                if let (Some(err), Enforcement::Strict) = (&first_error, enforcement) {
+                    for &(tw, tl) in &touched {
+                        chunk_next[tw][tl].clear();
+                    }
+                    touched.clear();
+                    break Err(err.clone());
+                }
+                let mut pending = 0usize;
+                for &(tw, tl) in &touched {
+                    let slot = &mut chunk_next[tw][tl];
+                    slot.sort_unstable_by_key(|&(port, _)| port);
+                    pending += slot.len();
+                }
+                touched.clear();
+                std::mem::swap(&mut chunk_inboxes, &mut chunk_next);
+                *round_ref += 1;
+                metrics.rounds = *round_ref;
+                if let (Some(t0), Some(p)) = (round_start, profiler.as_mut()) {
+                    p.record_round(RoundSpan {
+                        round,
+                        total_ns: t0.elapsed().as_nanos() as u64,
+                        compute_ns,
+                        inbox_messages,
+                        nodes_stepped,
+                        worker_busy_ns,
+                    });
+                }
+                if pending == 0 && all_halted {
+                    break Ok(RunReport { rounds: *round_ref });
+                }
+                if *round_ref >= max_rounds {
+                    break Err(CongestError::RoundLimit { max_rounds });
+                }
+            };
+            // Shut the pool down and reclaim the node states (chunks come
+            // back in spawn order = ascending node-id order).
+            for tx in &cmd_txs {
+                let _ = tx.send(WorkerCmd::Finish);
             }
-        }
+            drop(cmd_txs);
+            for h in handles {
+                node_chunks.push(h.join().expect("pool worker thread died"));
+            }
+            run_result
+        })
+        .expect("worker pool scope failed");
+
+        self.nodes = node_chunks.drain(..).flatten().collect();
+        self.inboxes = chunk_inboxes.into_iter().flatten().collect();
+        self.spare = chunk_next.into_iter().flatten().collect();
+        debug_assert_eq!(self.nodes.len(), n);
+        debug_assert!(self.spare.iter().all(|i| i.is_empty()));
         self.sink = sink;
-        if let (Some(err), Enforcement::Strict) = (&first_error, self.config.enforcement) {
-            return Err(err.clone());
-        }
-        for inbox in &mut next_inboxes {
-            inbox.sort_unstable_by_key(|&(port, _)| port);
-        }
-        self.inboxes = next_inboxes;
-        self.round += 1;
-        self.metrics.rounds = self.round;
-        if let (Some(t0), Some(p)) = (round_start, self.profiler.as_mut()) {
-            p.record_round(RoundSpan {
-                round,
-                total_ns: t0.elapsed().as_nanos() as u64,
-                compute_ns,
-                inbox_messages,
-                worker_busy_ns,
-            });
-        }
-        Ok(())
+        result
+    }
+}
+
+/// Splits `items` into contiguous chunks of `chunk` elements (the last may
+/// be shorter), preserving order.
+fn split_chunks<T>(mut items: Vec<T>, chunk: usize) -> Vec<Vec<T>> {
+    let mut chunks = Vec::with_capacity(items.len().div_ceil(chunk.max(1)));
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(items);
+        items = rest;
+    }
+    chunks
+}
+
+/// Renders a `catch_unwind` payload (usually a `&str` or `String` from
+/// `panic!`/`assert!`) for [`CongestError::NodePanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Validates and delivers one node's staged sends: collision detection,
-/// budget enforcement, metric accounting, cut-flow accounting, and
-/// enqueueing into the receivers' next-round inboxes.
+/// budget enforcement, metric accounting, cut-flow accounting, and — via
+/// `deliver` — enqueueing into the receivers' next-round inboxes.
 #[allow(clippy::too_many_arguments)]
 fn account_sends<S: TraceSink + ?Sized>(
     v: NodeId,
     round: u64,
-    staged: Vec<(usize, Message)>,
+    staged: impl Iterator<Item = (usize, Message)>,
     graph: &Graph,
     budget_bits: Option<usize>,
     cut: Option<&EdgeCut>,
     metrics: &mut NetMetrics,
-    next_inboxes: &mut [Vec<(usize, Message)>],
+    port_counts: &mut Vec<u8>,
+    mut deliver: impl FnMut(NodeId, usize, Message),
     first_error: &mut Option<CongestError>,
     mut sink: Option<&mut S>,
 ) {
-    // Collision detection: count messages per port.
+    // Collision detection: count messages per port (the scratch buffer is
+    // only reset when the node actually sent something).
     let neighbors = graph.neighbors(v);
-    let mut port_counts: Vec<u8> = vec![0; neighbors.len()];
+    let mut prepared = false;
     for (port, msg) in staged {
+        if !prepared {
+            prepared = true;
+            port_counts.clear();
+            port_counts.resize(neighbors.len(), 0);
+        }
         port_counts[port] = port_counts[port].saturating_add(1);
         if port_counts[port] > 1 {
             metrics.collisions += 1;
@@ -699,6 +1097,6 @@ fn account_sends<S: TraceSink + ?Sized>(
             .neighbors(target)
             .binary_search(&v)
             .expect("undirected graph: reverse edge exists");
-        next_inboxes[target as usize].push((reverse_port, msg));
+        deliver(target, reverse_port, msg);
     }
 }

@@ -43,6 +43,9 @@ pub struct RoundSpan {
     /// Messages delivered into this round's inboxes (queue depth at the
     /// round boundary).
     pub inbox_messages: u64,
+    /// Nodes actually stepped this round (idle-node skipping removes the
+    /// rest; 0 for α-synchronizer pulses, which track deliveries instead).
+    pub nodes_stepped: u64,
     /// Per-worker busy nanoseconds (parallel engine only; empty
     /// otherwise). Worker `i` always owns the same contiguous node chunk,
     /// so the vector is comparable across rounds.
@@ -226,6 +229,7 @@ impl Profiler {
                 .map(|s| s.inbox_messages)
                 .max()
                 .unwrap_or(0),
+            nodes_stepped: self.spans.iter().map(|s| s.nodes_stepped).sum(),
             phases: phases
                 .iter()
                 .map(|(name, start, end)| self.phase_span(name.clone(), *start, *end))
@@ -295,6 +299,9 @@ pub struct ProfileReport {
     pub overhead_ns: u64,
     /// Largest number of messages delivered into one round.
     pub max_inbox_depth: u64,
+    /// Sum over rounds of nodes actually stepped (the round engines skip
+    /// idle nodes; `rounds · n` minus this is work the engine avoided).
+    pub nodes_stepped: u64,
     /// Per-phase spans (empty when phase boundaries are unknown).
     pub phases: Vec<PhaseSpan>,
     /// Parallel-worker statistics (parallel engine only).
@@ -325,13 +332,14 @@ impl ProfileReport {
         let _ = write!(
             out,
             "{{\"engine\":\"{}\",\"rounds\":{},\"wall_ns\":{},\"compute_ns\":{},\
-             \"overhead_ns\":{},\"max_inbox_depth\":{}",
+             \"overhead_ns\":{},\"max_inbox_depth\":{},\"nodes_stepped\":{}",
             self.engine,
             self.rounds,
             self.wall_ns,
             self.compute_ns,
             self.overhead_ns,
-            self.max_inbox_depth
+            self.max_inbox_depth,
+            self.nodes_stepped
         );
         out.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
@@ -388,6 +396,9 @@ impl fmt::Display for ProfileReport {
             ms(self.overhead_ns),
         )?;
         writeln!(f, "max inbox depth: {} messages", self.max_inbox_depth)?;
+        if self.nodes_stepped > 0 {
+            writeln!(f, "nodes stepped: {}", self.nodes_stepped)?;
+        }
         if !self.phases.is_empty() {
             writeln!(
                 f,
@@ -443,6 +454,7 @@ mod tests {
             compute_ns: compute,
             inbox_messages: inbox,
             worker_busy_ns: workers.to_vec(),
+            ..RoundSpan::default()
         }
     }
 

@@ -139,7 +139,7 @@ pub fn run_apsp_pipeline(g: &Graph) -> Result<ApspPipelineResult, CongestError> 
     let cfg = Config {
         budget: Budget::Auto,
         enforcement: Enforcement::Strict,
-        cut: None,
+        ..Config::default()
     };
     let mut net = Network::new(g, cfg, |v, _| ApspPipelineNode::new(n, v));
     let report = net.run(16 * n as u64 + 64)?;

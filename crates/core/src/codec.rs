@@ -9,7 +9,7 @@
 //! packed into `O(log N)` bits") is enforced rather than assumed.
 
 use bc_congest::Message;
-use bc_numeric::bits::{id_bits, BitWriter};
+use bc_numeric::bits::{id_bits, BitReader, BitWriter};
 use bc_numeric::{CeilFloat, FpParams};
 
 /// Field widths for an `n`-node network with float parameters `fp`.
@@ -126,15 +126,59 @@ impl Codec {
         Message::new(w.finish())
     }
 
+    /// Bits the body of a `tag` message occupies beyond the tag field, or
+    /// `None` for an unknown tag.
+    fn body_bits(&self, tag: u64) -> Option<u32> {
+        Some(match tag {
+            0 => self.dist_w + 1,
+            1 | 7 => 0,
+            2 | 9 => self.id_w + self.dist_w + self.fp.encoded_bits(),
+            3 => 2 * self.ts_w + self.dist_w,
+            4 => 3 * self.ts_w + self.dist_w,
+            5 => self.id_w + self.fp.encoded_bits(),
+            6 => self.id_w + 2 * self.fp.encoded_bits(),
+            8 => self.dist_w,
+            _ => return None,
+        })
+    }
+
+    /// Reads one σ/ψ float field, rejecting bit patterns `encode` cannot
+    /// produce (the unchecked decoder would assert on them).
+    fn take_float(&self, r: &mut BitReader<'_>) -> Result<CeilFloat, DecodeError> {
+        let raw = r.read(self.fp.encoded_bits());
+        CeilFloat::try_decode(raw, self.fp).ok_or(DecodeError::BadFloat { raw })
+    }
+
     /// Decodes a message previously encoded with the same codec.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on truncated payloads or unknown tags (protocol corruption is
-    /// a bug, not a runtime condition).
-    pub fn decode(&self, msg: &Message) -> ProtocolMsg {
+    /// Returns a [`DecodeError`] on an unknown tag or a payload shorter
+    /// than the tag's fields — a corrupt message is surfaced to the caller
+    /// instead of crashing the simulator.
+    pub fn decode(&self, msg: &Message) -> Result<ProtocolMsg, DecodeError> {
+        let have = msg.bit_len();
+        if have < TAG_BITS as usize {
+            return Err(DecodeError::Truncated {
+                tag: None,
+                needed_bits: TAG_BITS as usize,
+                have_bits: have,
+            });
+        }
         let mut r = msg.payload().reader();
-        match r.read(TAG_BITS) {
+        let tag = r.read(TAG_BITS);
+        let body = self
+            .body_bits(tag)
+            .ok_or(DecodeError::UnknownTag { tag: tag as u8 })?;
+        let needed = (TAG_BITS + body) as usize;
+        if have < needed {
+            return Err(DecodeError::Truncated {
+                tag: Some(tag as u8),
+                needed_bits: needed,
+                have_bits: have,
+            });
+        }
+        Ok(match tag {
             0 => ProtocolMsg::TreeAnnounce {
                 dist: r.read(self.dist_w) as u32,
                 chooses_you: r.read_bool(),
@@ -143,7 +187,7 @@ impl Codec {
             2 => ProtocolMsg::Wave {
                 source: r.read(self.id_w) as u32,
                 sender_dist: r.read(self.dist_w) as u32,
-                sigma: CeilFloat::decode(r.read(self.fp.encoded_bits()), self.fp),
+                sigma: self.take_float(&mut r)?,
             },
             3 => ProtocolMsg::Reduce {
                 min_ts: r.read(self.ts_w),
@@ -158,12 +202,12 @@ impl Codec {
             },
             5 => ProtocolMsg::Agg {
                 source: r.read(self.id_w) as u32,
-                value: CeilFloat::decode(r.read(self.fp.encoded_bits()), self.fp),
+                value: self.take_float(&mut r)?,
             },
             6 => ProtocolMsg::AggWithStress {
                 source: r.read(self.id_w) as u32,
-                psi: CeilFloat::decode(r.read(self.fp.encoded_bits()), self.fp),
-                rho: CeilFloat::decode(r.read(self.fp.encoded_bits()), self.fp),
+                psi: self.take_float(&mut r)?,
+                rho: self.take_float(&mut r)?,
             },
             7 => ProtocolMsg::StartReduce,
             8 => ProtocolMsg::SubtreeDone {
@@ -172,12 +216,64 @@ impl Codec {
             9 => ProtocolMsg::WaveWithToken {
                 source: r.read(self.id_w) as u32,
                 sender_dist: r.read(self.dist_w) as u32,
-                sigma: CeilFloat::decode(r.read(self.fp.encoded_bits()), self.fp),
+                sigma: self.take_float(&mut r)?,
             },
-            t => panic!("unknown protocol tag {t}"),
+            _ => unreachable!("body_bits vetted the tag"),
+        })
+    }
+}
+
+/// Why a payload failed to decode — the simulator surfaces it as a node
+/// error ([`bc_congest::CongestError::NodePanic`]) instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The tag field names no protocol message.
+    UnknownTag {
+        /// The unrecognized tag value.
+        tag: u8,
+    },
+    /// The payload ended before the message's fields were read.
+    Truncated {
+        /// The tag whose body was being read (`None`: too short for a tag).
+        tag: Option<u8>,
+        /// Bits the message needed in total.
+        needed_bits: usize,
+        /// Bits actually present.
+        have_bits: usize,
+    },
+    /// A σ/ψ field holds a bit pattern the float encoder cannot produce.
+    BadFloat {
+        /// The offending field bits.
+        raw: u64,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownTag { tag } => write!(f, "unknown protocol tag {tag}"),
+            DecodeError::Truncated {
+                tag,
+                needed_bits,
+                have_bits,
+            } => match tag {
+                Some(tag) => write!(
+                    f,
+                    "truncated message: tag {tag} needs {needed_bits} bits, got {have_bits}"
+                ),
+                None => write!(
+                    f,
+                    "truncated message: {have_bits} bits is too short for a tag"
+                ),
+            },
+            DecodeError::BadFloat { raw } => {
+                write!(f, "corrupt float field {raw:#x} in message body")
+            }
         }
     }
 }
+
+impl std::error::Error for DecodeError {}
 
 /// The logical messages of the distributed algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -322,7 +418,7 @@ mod tests {
         ];
         for m in msgs {
             let enc = c.encode(&m);
-            assert_eq!(c.decode(&enc), m, "roundtrip failed for {m:?}");
+            assert_eq!(c.decode(&enc), Ok(m), "roundtrip failed for {m:?}");
             assert!(enc.bit_len() <= c.max_message_bits());
         }
     }
@@ -356,11 +452,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown protocol tag")]
-    fn bad_tag_panics() {
+    fn bad_tag_is_an_error() {
         let c = codec(8);
         let mut w = BitWriter::new();
         w.push(15, 4);
-        let _ = c.decode(&Message::new(w.finish()));
+        assert_eq!(
+            c.decode(&Message::new(w.finish())),
+            Err(DecodeError::UnknownTag { tag: 15 })
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_are_errors() {
+        let c = codec(8);
+        // Too short for even a tag.
+        let mut w = BitWriter::new();
+        w.push(0, 2);
+        assert!(matches!(
+            c.decode(&Message::new(w.finish())),
+            Err(DecodeError::Truncated { tag: None, .. })
+        ));
+        // A valid tag whose body is cut off.
+        let mut w = BitWriter::new();
+        w.push(3, 4);
+        w.push(0, 5);
+        let err = c.decode(&Message::new(w.finish())).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { tag: Some(3), .. }));
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 }

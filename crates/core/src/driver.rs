@@ -14,7 +14,7 @@ use bc_numeric::FpParams;
 use std::fmt;
 
 /// Configuration for [`run_distributed_bc`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DistBcConfig {
     /// Floating-point parameters; `None` selects the paper's
     /// `L = Θ(log N)` via [`FpParams::for_graph_size`].
@@ -43,6 +43,27 @@ pub struct DistBcConfig {
     /// weighted extension restricts both sources and targets to the
     /// original nodes of the subdivision.
     pub targets: Option<std::sync::Arc<[bool]>>,
+    /// Let the engine skip nodes with an empty inbox and no self-timed
+    /// work this round (on by default; observationally free). Turn off to
+    /// force every node through `round()` each round.
+    pub skip_idle: bool,
+}
+
+impl Default for DistBcConfig {
+    fn default() -> Self {
+        DistBcConfig {
+            fp: None,
+            scheduling: Scheduling::default(),
+            enforcement: Enforcement::default(),
+            budget: Budget::default(),
+            threads: 0,
+            cut: None,
+            compute_stress: false,
+            sources: SourceSelection::default(),
+            targets: None,
+            skip_idle: true,
+        }
+    }
 }
 
 /// Errors from [`run_distributed_bc`].
@@ -255,6 +276,7 @@ fn run_impl(
         budget: config.budget,
         enforcement: config.enforcement,
         cut: config.cut.clone(),
+        skip_idle: config.skip_idle,
     };
     let mut net = Network::new(g, engine_cfg, |v, _| DistBcNode::new(n, v, opts.clone()));
     if let Some(s) = sink.as_deref_mut() {

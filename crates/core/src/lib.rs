@@ -52,7 +52,7 @@ mod node;
 mod sampling;
 mod schedule;
 
-pub use codec::{Codec, ProtocolMsg};
+pub use codec::{Codec, DecodeError, ProtocolMsg};
 pub use driver::{
     run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
     run_distributed_bc_traced_profiled, run_distributed_bc_weighted, run_distributed_closeness,

@@ -127,6 +127,9 @@ struct SourceRec {
 /// Protocol state of one node.
 #[derive(Debug)]
 pub struct DistBcNode {
+    /// This node's id (also available as `ctx.id()`; stored so
+    /// [`Protocol::idle_at`] can answer without a context).
+    me: u32,
     codec: Codec,
     sched: PhaseSchedule,
     opts: AlgoOptions,
@@ -187,6 +190,7 @@ impl DistBcNode {
         let source_rank =
             mask[me as usize].then(|| mask[..me as usize].iter().filter(|&&b| b).count() as u64);
         DistBcNode {
+            me,
             codec: Codec::new(n, opts.fp),
             sched: PhaseSchedule::new(n, opts.scheduling),
             opts,
@@ -565,7 +569,7 @@ impl DistBcNode {
     /// tree-announce messages.
     fn tree_dist_from_inbox(&self, inbox: &[(usize, Message)]) -> u32 {
         for (_, raw) in inbox {
-            if let ProtocolMsg::TreeAnnounce { dist, .. } = self.codec.decode(raw) {
+            if let Ok(ProtocolMsg::TreeAnnounce { dist, .. }) = self.codec.decode(raw) {
                 return dist + 1;
             }
         }
@@ -585,7 +589,13 @@ impl Protocol for DistBcNode {
         let mut got_start_reduce = false;
         let mut first_announce_batch: Vec<usize> = Vec::new();
         for (port, raw) in inbox {
-            match self.codec.decode(raw) {
+            // A corrupt payload becomes a CongestError::NodePanic naming
+            // this node and round, not a process abort.
+            let decoded = match self.codec.decode(raw) {
+                Ok(m) => m,
+                Err(e) => panic!("undecodable message on port {port}: {e}"),
+            };
+            match decoded {
                 ProtocolMsg::TreeAnnounce {
                     dist: _,
                     chooses_you,
@@ -810,5 +820,78 @@ impl Protocol for DistBcNode {
 
     fn is_halted(&self) -> bool {
         self.done
+    }
+
+    /// True when `round(r)` with an empty inbox is provably a no-op, so the
+    /// engine may skip stepping this node. Each clause below mirrors one
+    /// self-timed trigger in [`DistBcNode::round`] — anything message-driven
+    /// is covered by the engine's own non-empty-inbox check.
+    fn idle_at(&self, r: u64) -> bool {
+        // Phase A: the root kicks off the tree at round 0; adaptive nodes
+        // report SubtreeDone two rounds after their own announce.
+        if r == 0 && self.me == 0 {
+            return false;
+        }
+        if self.opts.scheduling == Scheduling::Adaptive
+            && !self.subtree_done_sent
+            && self.announce_round.is_some_and(|a| r >= a + 2)
+            && self.children_done >= self.children_ports.len()
+        {
+            return false;
+        }
+        // Phase B: self-timed wave starts and token forwards.
+        match self.opts.scheduling {
+            Scheduling::DfsPipelined => {
+                if self.me == 0 && !self.visited && r == self.sched.counting_start {
+                    return false;
+                }
+            }
+            Scheduling::Sequential => {
+                if r >= self.sched.counting_start
+                    && self.wave_round.is_none()
+                    && self.source_rank.is_some()
+                {
+                    return false;
+                }
+            }
+            Scheduling::Adaptive => {}
+        }
+        if self.wave_round == Some(r) || self.token_forward_round == Some(r) {
+            return false;
+        }
+        // Phase C: reduce arming and the root's broadcast trigger.
+        match self.opts.scheduling {
+            Scheduling::Adaptive => {
+                if self.start_reduce_round == Some(r) {
+                    return false;
+                }
+                if self.me == 0 && self.agg_info.is_some() && !self.agg_announced {
+                    return false;
+                }
+            }
+            _ => {
+                if r == self.sched.reduce_start {
+                    return false;
+                }
+                if self.me == 0 && r == self.sched.broadcast_start {
+                    return false;
+                }
+            }
+        }
+        if self.agg_info.is_none()
+            && self.reduce_armed
+            && !self.reduce_sent
+            && self.reduce_received >= self.children_ports.len()
+        {
+            return false;
+        }
+        // Phase D: scheduled aggregation slots and the halting round.
+        if self.agg_schedule.contains_key(&r) {
+            return false;
+        }
+        if !self.done && self.agg_info.is_some_and(|info| r >= info.end_round()) {
+            return false;
+        }
+        true
     }
 }

@@ -23,6 +23,10 @@ enum Fault {
     /// Send one absurdly large message (violates the O(log N) budget of
     /// Lemmas 3/5).
     Oversized,
+    /// Send a well-sized message whose tag names no protocol message; the
+    /// receiver's decode must reject it (and the engine must report which
+    /// node died) instead of crashing the process.
+    CorruptPayload,
 }
 
 impl Protocol for Saboteur {
@@ -42,6 +46,11 @@ impl Protocol for Saboteur {
                     for _ in 0..200 {
                         w.push(u64::MAX, 64);
                     }
+                    ctx.send(0, Message::new(w.finish()));
+                }
+                Fault::CorruptPayload => {
+                    let mut w = BitWriter::new();
+                    w.push(15, 4); // no protocol message carries tag 15
                     ctx.send(0, Message::new(w.finish()));
                 }
             }
@@ -104,6 +113,45 @@ fn oversized_message_is_caught() {
         ),
         "got {err:?}"
     );
+}
+
+#[test]
+fn corrupt_payload_is_a_node_panic_error_on_every_engine() {
+    // Node 3 slips a tag-15 message to its port-0 neighbour (node 2 on the
+    // path) in round 1; node 2's decode refuses it in round 2. The run
+    // must fail with a NodePanic naming that node and round — identically
+    // on the serial and pooled engines.
+    let g = generators::path(6);
+    let n = g.n();
+    let opts = AlgoOptions::for_graph_size(n);
+    let run_engine = |threads: usize| -> CongestError {
+        let mut net = Network::new(&g, Config::default(), |v, _| Saboteur {
+            inner: DistBcNode::new(n, v, opts.clone()),
+            victim: v == 3,
+            at_round: 1,
+            fault: Fault::CorruptPayload,
+        });
+        if threads == 0 {
+            net.run(10_000).unwrap_err()
+        } else {
+            net.run_parallel(10_000, threads).unwrap_err()
+        }
+    };
+    let serial_err = run_engine(0);
+    match &serial_err {
+        CongestError::NodePanic {
+            node: 2,
+            round: 2,
+            message,
+        } => {
+            assert!(message.contains("undecodable message on port"), "{message}");
+            assert!(message.contains("unknown protocol tag 15"), "{message}");
+        }
+        other => panic!("expected a NodePanic at node 2, round 2; got {other:?}"),
+    }
+    for threads in [1usize, 2, 5] {
+        assert_eq!(run_engine(threads), serial_err, "threads={threads}");
+    }
 }
 
 #[test]

@@ -172,8 +172,67 @@ proptest! {
         for m in msgs {
             let enc = c.encode(&m);
             prop_assert!(enc.bit_len() <= c.max_message_bits());
-            prop_assert_eq!(c.decode(&enc), m);
+            prop_assert_eq!(c.decode(&enc), Ok(m));
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_engines_are_bit_identical(g in arb_connected_graph(22), adaptive in any::<bool>()) {
+        // Serial, pooled-parallel at several widths, and the α-synchronizer
+        // must agree bit-for-bit — the pool and the idle-skipping active
+        // set are required to be observationally free.
+        use bc_congest::asynchronous::{run_synchronized, AsyncConfig};
+        let scheduling = if adaptive { Scheduling::Adaptive } else { Scheduling::DfsPipelined };
+        let serial = run_distributed_bc(
+            &g,
+            DistBcConfig { scheduling, ..DistBcConfig::default() },
+        )
+        .expect("serial runs");
+        for threads in [1usize, 2, 7] {
+            let par = run_distributed_bc(
+                &g,
+                DistBcConfig { threads, scheduling, ..DistBcConfig::default() },
+            )
+            .expect("parallel runs");
+            prop_assert_eq!(&serial.betweenness, &par.betweenness, "threads={}", threads);
+            prop_assert_eq!(&serial.closeness, &par.closeness, "threads={}", threads);
+            prop_assert_eq!(&serial.metrics, &par.metrics, "threads={}", threads);
+            prop_assert_eq!(serial.rounds, par.rounds, "threads={}", threads);
+        }
+        let n = g.n();
+        let opts = bc_core::AlgoOptions { scheduling, ..bc_core::AlgoOptions::for_graph_size(n) };
+        let (nodes, _) = run_synchronized(
+            &g,
+            AsyncConfig::default(),
+            serial.rounds + 1,
+            |v, _| bc_core::DistBcNode::new(n, v, opts.clone()),
+        );
+        for (v, node) in nodes.iter().enumerate() {
+            prop_assert_eq!(node.betweenness(), serial.betweenness[v], "α-sync node {}", v);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_bits(
+        n in 2usize..100_000,
+        l in 2u32..30,
+        words in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..8),
+    ) {
+        // Corrupt or truncated payloads must surface as `Err`, never as a
+        // panic out of the bit reader.
+        use bc_numeric::bits::BitWriter;
+        let fp = FpParams::new(l, Rounding::Ceil);
+        let c = Codec::new(n, fp);
+        let mut w = BitWriter::new();
+        for (value, width) in words {
+            w.push(value & ((1u128 << width) as u64).wrapping_sub(1), width);
+        }
+        let raw = bc_congest::Message::new(w.finish());
+        let _ = c.decode(&raw); // Ok or Err are both fine; panics are not.
     }
 }
 

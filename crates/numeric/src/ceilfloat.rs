@@ -292,6 +292,25 @@ impl CeilFloat {
         debug_assert!(mant >= 1 << (params.l - 1) && mant < 1 << params.l);
         CeilFloat { mant, exp, params }
     }
+
+    /// Checked variant of [`CeilFloat::decode`] for untrusted wire data:
+    /// `None` when `bits` is not a value [`CeilFloat::encode`] can produce
+    /// (denormal mantissa or zero exponent field on a nonzero value).
+    pub fn try_decode(bits: u64, params: FpParams) -> Option<CeilFloat> {
+        if bits == 0 {
+            return Some(CeilFloat::zero(params));
+        }
+        let mant = (bits >> EXP_FIELD_BITS) as u32;
+        let biased = bits & ((1 << EXP_FIELD_BITS) - 1);
+        if biased == 0 || mant < 1 << (params.l - 1) || mant >= 1 << params.l {
+            return None;
+        }
+        Some(CeilFloat {
+            mant,
+            exp: biased as i32 - EXP_BIAS,
+            params,
+        })
+    }
 }
 
 /// Normalizes `m · 2^exp` to an `L`-bit mantissa, applying the rounding mode.

@@ -45,6 +45,8 @@ enum Command {
         metrics: bool,
         profile: bool,
         json: bool,
+        threads: usize,
+        skip_idle: bool,
     },
     Gadget {
         kind: GadgetKind,
@@ -90,7 +92,7 @@ const USAGE: &str = "usage:
   distbc centrality  --input FILE | --generate SPEC
                      [--algorithm distributed|brandes|exact|naive|sampled:K]
                      [--stress] [--top K] [--csv] [--mantissa-bits L]
-                     [--sequential | --adaptive]
+                     [--sequential | --adaptive] [--threads N] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
@@ -120,6 +122,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut metrics = false;
     let mut profile = false;
     let mut json = false;
+    let mut threads = 0usize;
+    let mut skip_idle = true;
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -153,6 +157,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--json" => json = true,
             "--sequential" => scheduling = Scheduling::Sequential,
             "--adaptive" => scheduling = Scheduling::Adaptive,
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?
+            }
+            "--no-idle-skip" => skip_idle = false,
             "--planted" => planted = true,
             "--top" => {
                 top = Some(
@@ -208,6 +218,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             metrics,
             profile,
             json,
+            threads,
+            skip_idle,
         }),
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
@@ -381,6 +393,8 @@ fn cmd_centrality(
     metrics: bool,
     profile: bool,
     json: bool,
+    threads: usize,
+    skip_idle: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
     let distributed = matches!(algorithm, Algorithm::Distributed | Algorithm::Sampled(_));
@@ -409,6 +423,8 @@ fn cmd_centrality(
                     Algorithm::Sampled(k) => SourceSelection::Sample { k: *k, seed: 0 },
                     _ => SourceSelection::All,
                 },
+                threads,
+                skip_idle,
                 ..DistBcConfig::default()
             };
             // Adaptive --metrics has no provisioned boundaries; record the
@@ -604,6 +620,8 @@ fn main() -> ExitCode {
             metrics,
             profile,
             json,
+            threads,
+            skip_idle,
         } => cmd_centrality(
             source,
             algorithm,
@@ -616,6 +634,8 @@ fn main() -> ExitCode {
             *metrics,
             *profile,
             *json,
+            *threads,
+            *skip_idle,
         ),
         Command::Gadget {
             kind,
@@ -674,6 +694,9 @@ mod tests {
             "--mantissa-bits",
             "20",
             "--adaptive",
+            "--threads",
+            "4",
+            "--no-idle-skip",
         ])
         .unwrap();
         assert_eq!(
@@ -690,6 +713,8 @@ mod tests {
                 metrics: false,
                 profile: false,
                 json: false,
+                threads: 4,
+                skip_idle: false,
             }
         );
     }
