@@ -1,28 +1,31 @@
 //! CI guard against round-engine wall-clock regressions.
 //!
 //! Usage:
-//!   bench_guard FRESH.json BASELINE.json [--threshold FACTOR]
+//!   bench_guard FRESH.json BASELINE.json [--threshold FACTOR] [--metric NAME]
 //!
 //! Both files hold the `{"profiles":[{"graph":...,"profile":{...}},...]}`
-//! shape written by E15 (`BENCH_profile.json`) and E16
-//! (`BENCH_engine.json`). Every `(graph, engine)` key present in *both*
-//! files is compared: the run fails (exit 1) when any fresh `wall_ns`
-//! exceeds `FACTOR ×` its baseline (default 1.25), or when the files share
-//! no keys at all — a silent no-op guard is itself a failure.
+//! shape written by E15 (`BENCH_profile.json`), E16 (`BENCH_engine.json`),
+//! and E17 (`BENCH_faults.json`). Every `(graph, engine)` key present in
+//! *both* files is compared: the run fails (exit 1) when any fresh metric
+//! value exceeds `FACTOR ×` its baseline (default 1.25), or when the files
+//! share no keys at all — a silent no-op guard is itself a failure.
 //!
-//! Wall clocks are host-dependent, so the guard is only meaningful when
-//! fresh and baseline numbers come from comparable machines (in CI: the
-//! same runner class). The generous default threshold absorbs runner
-//! noise while still catching engine-level slowdowns.
+//! `--metric` selects which integer field of each record is compared
+//! (default `wall_ns`). Wall clocks are host-dependent, so that default is
+//! only meaningful when fresh and baseline numbers come from comparable
+//! machines (in CI: the same runner class); the generous default threshold
+//! absorbs runner noise while still catching engine-level slowdowns.
+//! E17's `--metric overhead_permille` is deterministic (a rounds ratio)
+//! and compares exactly across hosts.
 
 use std::process::exit;
 
-/// One `(graph, engine) → wall_ns` record scraped from a profiles file.
+/// One `(graph, engine) → metric` record scraped from a profiles file.
 #[derive(Debug, Clone, PartialEq)]
 struct Record {
     graph: String,
     engine: String,
-    wall_ns: u64,
+    value: u64,
 }
 
 /// Extracts the string following `marker` up to the next `"`.
@@ -47,9 +50,11 @@ fn number_after(text: &str, marker: &str) -> Option<(u64, usize)> {
 
 /// Scrapes all records from a profiles JSON document. Relies on the field
 /// order `to_json` guarantees: within each record, `"graph"` precedes
-/// `"engine"`, which precedes the profile-level `"wall_ns"` (the per-phase
-/// `wall_ns` fields all come later, inside `"phases"`).
-fn parse_profiles(text: &str) -> Vec<Record> {
+/// `"engine"`, which precedes the record's `metric` field (for the
+/// default `wall_ns`, the per-phase `wall_ns` fields all come later,
+/// inside `"phases"`, so the profile-level one wins).
+fn parse_profiles(text: &str, metric: &str) -> Vec<Record> {
+    let marker = format!("\"{metric}\":");
     let mut records = Vec::new();
     let mut rest = text;
     while let Some((graph, at)) = string_after(rest, "\"graph\":\"") {
@@ -58,27 +63,27 @@ fn parse_profiles(text: &str) -> Vec<Record> {
             break;
         };
         rest = &rest[at..];
-        let Some((wall_ns, at)) = number_after(rest, "\"wall_ns\":") else {
+        let Some((value, at)) = number_after(rest, &marker) else {
             break;
         };
         rest = &rest[at..];
         records.push(Record {
             graph,
             engine,
-            wall_ns,
+            value,
         });
     }
     records
 }
 
-fn read_profiles(path: &str) -> Vec<Record> {
+fn read_profiles(path: &str, metric: &str) -> Vec<Record> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_guard: cannot read {path}: {e}");
         exit(2);
     });
-    let records = parse_profiles(&text);
+    let records = parse_profiles(&text, metric);
     if records.is_empty() {
-        eprintln!("bench_guard: {path} holds no (graph, engine, wall_ns) records");
+        eprintln!("bench_guard: {path} holds no (graph, engine, {metric}) records");
         exit(2);
     }
     records
@@ -87,6 +92,7 @@ fn read_profiles(path: &str) -> Vec<Record> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 1.25f64;
+    let mut metric = String::from("wall_ns");
     let mut paths: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -99,23 +105,35 @@ fn main() {
                     exit(2);
                 });
             i += 2;
+        } else if args[i] == "--metric" {
+            metric = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_guard: --metric needs a field name");
+                exit(2);
+            });
+            i += 2;
         } else {
             paths.push(&args[i]);
             i += 1;
         }
     }
     let [fresh_path, baseline_path] = paths.as_slice() else {
-        eprintln!("usage: bench_guard FRESH.json BASELINE.json [--threshold FACTOR]");
+        eprintln!(
+            "usage: bench_guard FRESH.json BASELINE.json [--threshold FACTOR] [--metric NAME]"
+        );
         exit(2);
     };
-    let fresh = read_profiles(fresh_path);
-    let baseline = read_profiles(baseline_path);
+    let fresh = read_profiles(fresh_path, &metric);
+    let baseline = read_profiles(baseline_path, &metric);
 
     let mut compared = 0usize;
     let mut regressions = 0usize;
     println!(
-        "{:<12} {:<16} {:>12} {:>12} {:>7}",
-        "graph", "engine", "base ns", "fresh ns", "ratio"
+        "{:<20} {:<16} {:>12} {:>12} {:>7}",
+        "graph",
+        "engine",
+        format!("base {metric}"),
+        format!("fresh {metric}"),
+        "ratio"
     );
     for f in &fresh {
         let Some(b) = baseline
@@ -125,7 +143,7 @@ fn main() {
             continue;
         };
         compared += 1;
-        let ratio = f.wall_ns as f64 / b.wall_ns.max(1) as f64;
+        let ratio = f.value as f64 / b.value.max(1) as f64;
         let verdict = if ratio > threshold {
             regressions += 1;
             "REGRESSED"
@@ -133,8 +151,8 @@ fn main() {
             "ok"
         };
         println!(
-            "{:<12} {:<16} {:>12} {:>12} {:>6.2}x {}",
-            f.graph, f.engine, b.wall_ns, f.wall_ns, ratio, verdict
+            "{:<20} {:<16} {:>12} {:>12} {:>6.2}x {}",
+            f.graph, f.engine, b.value, f.value, ratio, verdict
         );
     }
     if compared == 0 {

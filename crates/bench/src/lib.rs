@@ -36,7 +36,7 @@ impl fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
-/// Runs an experiment by id (`"e1"`…`"e16"`), at reduced scale if `quick`.
+/// Runs an experiment by id (`"e1"`…`"e17"`), at reduced scale if `quick`.
 ///
 /// # Errors
 ///
@@ -68,6 +68,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
         "e14" => vec![experiments::e14_apsp_pipeline::run(quick)],
         "e15" => vec![experiments::e15_profile::run(quick)],
         "e16" => vec![experiments::e16_engine::run(quick)],
+        "e17" => vec![experiments::e17_faults::run(quick)],
         other => {
             return Err(UnknownExperiment {
                 id: other.to_string(),
@@ -77,8 +78,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E16 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+/// E11–E17 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

@@ -26,7 +26,7 @@ fn unknown_id_is_an_error_listing_valid_ids() {
     let msg = err.to_string();
     assert!(msg.contains("unknown experiment id"), "{msg}");
     assert!(msg.contains("e1"), "{msg}");
-    assert!(msg.contains("e16"), "{msg}");
+    assert!(msg.contains("e17"), "{msg}");
 }
 
 #[test]

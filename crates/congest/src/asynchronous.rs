@@ -22,6 +22,7 @@
 //! overhead: `O(M)` control messages per pulse and a constant-factor
 //! time dilation.
 
+use crate::faults::{self, FaultPlan};
 use crate::message::Message;
 use crate::network::{Protocol, RoundCtx};
 use crate::profile::Profiler;
@@ -106,6 +107,8 @@ struct Engine<'g, P> {
     control_messages: u64,
     sink: Option<Box<dyn TraceSink>>,
     profiler: Option<Profiler>,
+    /// Fault plan applied at payload-delivery time (`None` = lossless).
+    faults: Option<FaultPlan>,
     /// One past the highest pulse for which `RoundStart` was emitted.
     rounds_announced: u64,
     /// Recycled `RoundCtx` staging buffers (drained after every pulse).
@@ -165,6 +168,18 @@ impl<P: Protocol> Engine<'_, P> {
             }
             self.rounds_announced = pulse + 1;
         }
+        if self.faults.as_ref().is_some_and(|p| p.crashed(v, pulse)) {
+            // A crashed node executes no protocol code and its pending inbox
+            // is lost, but the synchronizer bookkeeping must keep moving or
+            // the whole network deadlocks: with zero sends there is nothing
+            // to ack, so the node immediately announces safety for the pulse.
+            drop(inbox);
+            let node = &mut self.nodes[v as usize];
+            node.acks_pending = 0;
+            node.announced_safe = false;
+            self.maybe_announce_safe(v);
+            return;
+        }
         let node = &mut self.nodes[v as usize];
         let mut ctx = RoundCtx::with_buffers(
             v,
@@ -199,13 +214,24 @@ impl<P: Protocol> Engine<'_, P> {
         self.nodes[v as usize].acks_pending = sends.len();
         self.nodes[v as usize].announced_safe = false;
         for (port, inner) in sends.drain(..) {
+            let to = self.graph.neighbors(v)[port];
+            let duplicated = self
+                .faults
+                .as_ref()
+                .is_some_and(|p| p.decide(v, to, pulse).duplicate);
+            let payload = self.faults.as_ref().map(|_| faults::payload_hash(&inner));
             if let Some(s) = self.sink.as_deref_mut() {
-                s.event(&TraceEvent::MessageSent {
+                let event = TraceEvent::MessageSent {
                     round: pulse,
                     from: v,
-                    to: self.graph.neighbors(v)[port],
+                    to,
                     bits: inner.bit_len(),
-                });
+                    payload,
+                };
+                s.event(&event);
+                if duplicated {
+                    s.event(&event);
+                }
             }
             self.send(v, port, SyncMsg::Payload { pulse, inner });
         }
@@ -270,12 +296,34 @@ impl<P: Protocol> Engine<'_, P> {
                     }
                     sync.max_pulse_skew = sync.max_pulse_skew.max(skew);
                 }
-                self.nodes[to as usize]
-                    .buffers
-                    .entry(pulse)
-                    .or_default()
-                    .push((port, inner));
+                // The synchronizer acks every physical arrival: the sender's
+                // safety bookkeeping counts one ack per send regardless of
+                // what the fault layer then does to the payload.
                 self.send(to, port, SyncMsg::Ack);
+                let from = self.graph.neighbors(to)[port];
+                let decision = self
+                    .faults
+                    .as_ref()
+                    .map(|p| p.decide(from, to, pulse))
+                    .unwrap_or_default();
+                if decision.drop {
+                    return;
+                }
+                let inner = match decision.corrupt {
+                    Some(entropy) => faults::corrupt_message(&inner, entropy),
+                    None => inner,
+                };
+                let copies = if decision.duplicate { 2 } else { 1 };
+                // Delay by `d` pulses: the payload lands in the buffer the
+                // receiver consumes at pulse `pulse + 1 + d`, matching the
+                // synchronous engine's delivery at round `r + 1 + d`.
+                let buffers = &mut self.nodes[to as usize].buffers;
+                for _ in 0..copies {
+                    buffers
+                        .entry(pulse + decision.delay)
+                        .or_default()
+                        .push((port, inner.clone()));
+                }
             }
             SyncMsg::Ack => {
                 let node = &mut self.nodes[to as usize];
@@ -312,7 +360,29 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None);
+    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, None);
+    (nodes, report)
+}
+
+/// Like [`run_synchronized`], but applies `plan` to every payload delivery:
+/// drops, duplicates, corruptions and pulse-delays are decided by the same
+/// seeded hash as the synchronous engines (keyed on the *sender's* pulse),
+/// and crashed nodes skip their protocol code while the synchronizer keeps
+/// the network live. Synchronizer control traffic (acks, safes) is never
+/// faulted — the fault model targets application messages, mirroring the
+/// synchronous engines which only carry application messages.
+pub fn run_synchronized_faulty<P, F>(
+    graph: &Graph,
+    cfg: AsyncConfig,
+    pulses: u64,
+    plan: FaultPlan,
+    factory: F,
+) -> (Vec<P>, AsyncReport)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &Graph) -> P,
+{
+    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, Some(plan));
     (nodes, report)
 }
 
@@ -334,7 +404,8 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _, profiler) = run_impl(graph, cfg, pulses, factory, None, Some(profiler));
+    let (nodes, report, _, profiler) =
+        run_impl(graph, cfg, pulses, factory, None, Some(profiler), None);
     (nodes, report, profiler.expect("profiler returned"))
 }
 
@@ -356,7 +427,7 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, sink, _) = run_impl(graph, cfg, pulses, factory, Some(sink), None);
+    let (nodes, report, sink, _) = run_impl(graph, cfg, pulses, factory, Some(sink), None, None);
     (nodes, report, sink.expect("sink returned"))
 }
 
@@ -368,6 +439,7 @@ fn run_impl<P, F>(
     mut factory: F,
     sink: Option<Box<dyn TraceSink>>,
     profiler: Option<Profiler>,
+    faults: Option<FaultPlan>,
 ) -> (
     Vec<P>,
     AsyncReport,
@@ -405,6 +477,7 @@ where
         control_messages: 0,
         sink,
         profiler,
+        faults,
         rounds_announced: 0,
         stage_sends: Vec::new(),
         stage_events: Vec::new(),

@@ -68,12 +68,14 @@
 #![warn(missing_docs)]
 
 pub mod asynchronous;
+pub mod faults;
 mod message;
 mod metrics;
 mod network;
 pub mod profile;
 pub mod trace;
 
+pub use faults::{CrashWindow, FaultDecision, FaultPlan};
 pub use message::Message;
 pub use metrics::{EdgeCut, NetMetrics, PhaseStat};
 pub use network::{
@@ -556,6 +558,7 @@ mod tests {
                         from,
                         to,
                         bits,
+                        ..
                     } => Some((round, from, to, bits)),
                     _ => None,
                 })

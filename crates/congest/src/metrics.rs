@@ -80,6 +80,21 @@ pub struct NetMetrics {
     /// holds empty messages). The CONGEST budget claim is visible here as
     /// an empty tail above `⌈log₂ budget⌉`.
     pub message_size_hist: Vec<u64>,
+    /// Messages the fault plan silently dropped in flight.
+    pub faults_dropped: u64,
+    /// Messages the fault plan delivered twice.
+    pub faults_duplicated: u64,
+    /// Messages the fault plan bit-corrupted in flight.
+    pub faults_corrupted: u64,
+    /// Message copies the fault plan delayed past their normal round.
+    pub faults_delayed: u64,
+    /// Frames the reliable transport re-sent after an ack timeout
+    /// (filled in by the transport-aware driver; the raw engine leaves
+    /// it 0).
+    pub messages_retransmitted: u64,
+    /// Frames the reliable transport discarded as already-received
+    /// duplicates (same provenance as `messages_retransmitted`).
+    pub messages_deduped: u64,
 }
 
 impl NetMetrics {
@@ -141,6 +156,12 @@ impl NetMetrics {
         {
             *a += b;
         }
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_corrupted += other.faults_corrupted;
+        self.faults_delayed += other.faults_delayed;
+        self.messages_retransmitted += other.messages_retransmitted;
+        self.messages_deduped += other.messages_deduped;
     }
 
     /// Extends the per-round timelines to cover `round`, so silent rounds
@@ -271,6 +292,7 @@ mod tests {
             per_round_bits: vec![40, 60],
             per_round_max_bits: vec![8, 8],
             message_size_hist: vec![0, 0, 0, 10],
+            ..NetMetrics::default()
         };
         let b = NetMetrics {
             rounds: 3,
@@ -286,6 +308,10 @@ mod tests {
             per_round_bits: vec![20, 20, 20],
             per_round_max_bits: vec![16, 4, 16],
             message_size_hist: vec![0, 0, 0, 0, 3],
+            faults_dropped: 2,
+            messages_retransmitted: 3,
+            messages_deduped: 1,
+            ..NetMetrics::default()
         };
         a.merge(&b);
         // Workers share rounds: max, never a sum (5+3=8 would be wrong).
@@ -299,6 +325,9 @@ mod tests {
         assert_eq!(a.per_round_bits, vec![60, 80, 20]);
         assert_eq!(a.per_round_max_bits, vec![16, 8, 16]);
         assert_eq!(a.message_size_hist, vec![0, 0, 0, 10, 3]);
+        assert_eq!(a.faults_dropped, 2);
+        assert_eq!(a.messages_retransmitted, 3);
+        assert_eq!(a.messages_deduped, 1);
         assert!(!a.congest_compliant());
 
         // A merge into a fresh record preserves the partial's rounds.

@@ -27,6 +27,7 @@
 //!   spawning and joining threads every round. Outputs are still merged in
 //!   node-id order, keeping parallel traces byte-identical to serial.
 
+use crate::faults::{self, FaultPlan};
 use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
 use crate::profile::{Profiler, RoundSpan};
@@ -86,6 +87,11 @@ pub struct Config {
     /// force every node to step every round (correctness escape hatch —
     /// output must not change either way).
     pub skip_idle: bool,
+    /// Optional fault-injection plan applied between outboxes and
+    /// inboxes: per-edge/per-round drop, duplication, corruption, and
+    /// delay, plus node crash windows (see [`crate::faults`]). `None`
+    /// (the default) is the ideal fault-free network.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -95,6 +101,7 @@ impl Default for Config {
             enforcement: Enforcement::default(),
             cut: None,
             skip_idle: true,
+            faults: None,
         }
     }
 }
@@ -294,6 +301,32 @@ impl<'a> RoundCtx<'a> {
         std::mem::take(&mut self.sends)
     }
 
+    /// Executes one *virtual* round of a nested protocol on behalf of a
+    /// wrapper protocol (e.g. a reliable-transport layer). `inner.round`
+    /// runs with a context for the same node and graph but round number
+    /// `vround`, and the messages it stages are returned to the wrapper —
+    /// which transports them itself — instead of going to the engine.
+    /// Trace events staged by the nested protocol are re-staged into this
+    /// context, so they surface under the wrapper's physical round.
+    pub fn nested_round<P: Protocol>(
+        &mut self,
+        vround: u64,
+        inner: &mut P,
+        inbox: &[(usize, Message)],
+    ) -> Vec<(usize, Message)> {
+        let mut ctx = RoundCtx::with_buffers(
+            self.id,
+            vround,
+            self.graph,
+            self.tracing,
+            Vec::new(),
+            Vec::new(),
+        );
+        inner.round(&mut ctx, inbox);
+        self.events.append(&mut ctx.events);
+        ctx.sends
+    }
+
     /// Returns `true` when a trace sink is attached to the engine, so
     /// protocols can skip expensive event preparation entirely.
     pub fn tracing(&self) -> bool {
@@ -341,6 +374,9 @@ pub struct Network<P> {
     /// Recycled list of next-inbox indices touched in the current round
     /// (only those get sorted).
     touched: Vec<NodeId>,
+    /// Fault-delayed messages still in flight:
+    /// `(delivery round, target, port, message)` in injection order.
+    delayed: Vec<(u64, NodeId, usize, Message)>,
     metrics: NetMetrics,
     round: u64,
     sink: Option<Box<dyn TraceSink>>,
@@ -379,6 +415,7 @@ impl<P: Protocol> Network<P> {
             stage_events: Vec::new(),
             port_scratch: Vec::new(),
             touched: Vec::new(),
+            delayed: Vec::new(),
             metrics: NetMetrics::default(),
             round: 0,
             sink: None,
@@ -468,7 +505,9 @@ impl<P: Protocol> Network<P> {
     }
 
     fn quiescent(&self) -> bool {
-        self.inboxes.iter().all(|i| i.is_empty()) && self.nodes.iter().all(|p| p.is_halted())
+        self.inboxes.iter().all(|i| i.is_empty())
+            && self.delayed.is_empty()
+            && self.nodes.iter().all(|p| p.is_halted())
     }
 
     /// Executes a single round serially.
@@ -477,6 +516,13 @@ impl<P: Protocol> Network<P> {
         let round = self.round;
         let skip_idle = self.config.skip_idle;
         let mut first_error: Option<CongestError> = None;
+        if !self.delayed.is_empty() {
+            for (target, port, msg) in take_due(&mut self.delayed, round) {
+                let inbox = &mut self.inboxes[target as usize];
+                inbox.push((port, msg));
+                inbox.sort_unstable_by_key(|&(port, _)| port);
+            }
+        }
         self.metrics.begin_round(round);
         // The sink leaves `self` for the loop so node stepping (which
         // borrows nodes/graph/metrics) and event emission don't conflict.
@@ -492,8 +538,15 @@ impl<P: Protocol> Network<P> {
         let mut nodes_stepped = 0u64;
         let mut touched = std::mem::take(&mut self.touched);
         let spare = &mut self.spare;
+        let faults = self.config.faults.as_ref();
         debug_assert!(spare.iter().all(|i| i.is_empty()));
         for v in 0..n {
+            // A crashed node is down for the whole round: it neither steps
+            // nor keeps the messages that arrived while it was down.
+            if faults.is_some_and(|p| p.crashed(v as NodeId, round)) {
+                self.inboxes[v].clear();
+                continue;
+            }
             let node = &mut self.nodes[v];
             let inbox = &self.inboxes[v];
             if inbox.is_empty() && skip_idle && node.idle_at(round) {
@@ -561,6 +614,8 @@ impl<P: Protocol> Network<P> {
                 },
                 &mut first_error,
                 sink.as_deref_mut(),
+                faults,
+                &mut self.delayed,
             );
             self.stage_sends = sends;
             self.stage_events = events;
@@ -648,6 +703,7 @@ fn pool_worker<P: Protocol>(
     base: NodeId,
     mut nodes: Vec<P>,
     graph: &Graph,
+    faults: Option<&FaultPlan>,
     rx: mpsc::Receiver<WorkerCmd>,
     tx: mpsc::Sender<WorkerReply>,
 ) -> Vec<P> {
@@ -676,6 +732,12 @@ fn pool_worker<P: Protocol>(
         let mut nodes_stepped = 0u64;
         let mut panic = None;
         for (i, node) in nodes.iter_mut().enumerate() {
+            // Crash handling mirrors the serial engine: a down node is not
+            // stepped and loses its inbox for the round.
+            if faults.is_some_and(|p| p.crashed(base + i as NodeId, round)) {
+                inboxes[i].clear();
+                continue;
+            }
             let inbox = &inboxes[i];
             if inbox.is_empty() && skip_idle && node.idle_at(round) {
                 continue;
@@ -790,6 +852,8 @@ impl<P: Protocol + Send> Network<P> {
         let enforcement = self.config.enforcement;
         let cut = self.config.cut.as_ref();
         let skip_idle = self.config.skip_idle;
+        let faults = self.config.faults.as_ref();
+        let delayed = &mut self.delayed;
         let mut sink = self.sink.take();
 
         let result = crossbeam::thread::scope(|scope| {
@@ -802,7 +866,9 @@ impl<P: Protocol + Send> Network<P> {
                 let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
                 let b = base;
                 base += nodes.len() as NodeId;
-                handles.push(scope.spawn(move |_| pool_worker(b, nodes, graph, cmd_rx, reply_tx)));
+                handles.push(
+                    scope.spawn(move |_| pool_worker(b, nodes, graph, faults, cmd_rx, reply_tx)),
+                );
                 cmd_txs.push(cmd_tx);
                 reply_rxs.push(reply_rx);
             }
@@ -814,6 +880,14 @@ impl<P: Protocol + Send> Network<P> {
 
             let run_result = loop {
                 let round = *round_ref;
+                if !delayed.is_empty() {
+                    for (target, port, msg) in take_due(delayed, round) {
+                        let (tw, tl) = (target as usize / chunk, target as usize % chunk);
+                        let slot = &mut chunk_inboxes[tw][tl];
+                        slot.push((port, msg));
+                        slot.sort_unstable_by_key(|&(port, _)| port);
+                    }
+                }
                 metrics.begin_round(round);
                 let tracing = sink.is_some();
                 let profiling = profiler.is_some();
@@ -900,6 +974,8 @@ impl<P: Protocol + Send> Network<P> {
                                 },
                                 &mut first_error,
                                 sink.as_deref_mut(),
+                                faults,
+                                delayed,
                             );
                         }
                     }
@@ -951,7 +1027,7 @@ impl<P: Protocol + Send> Network<P> {
                         worker_busy_ns,
                     });
                 }
-                if pending == 0 && all_halted {
+                if pending == 0 && all_halted && delayed.is_empty() {
                     break Ok(RunReport { rounds: *round_ref });
                 }
                 if *round_ref >= max_rounds {
@@ -1005,9 +1081,30 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Moves the fault-delayed messages due in `round` out of `delayed`,
+/// preserving injection order (so inbox insertion stays deterministic).
+fn take_due(
+    delayed: &mut Vec<(u64, NodeId, usize, Message)>,
+    round: u64,
+) -> Vec<(NodeId, usize, Message)> {
+    let mut due = Vec::new();
+    for (at, target, port, msg) in std::mem::take(delayed) {
+        if at == round {
+            due.push((target, port, msg));
+        } else {
+            delayed.push((at, target, port, msg));
+        }
+    }
+    due
+}
+
 /// Validates and delivers one node's staged sends: collision detection,
 /// budget enforcement, metric accounting, cut-flow accounting, and — via
-/// `deliver` — enqueueing into the receivers' next-round inboxes.
+/// `deliver` — enqueueing into the receivers' next-round inboxes. With a
+/// fault plan attached, each message additionally passes through the
+/// plan's per-slot decision: drop, bit-corruption, duplication (a second
+/// `MessageSent` is traced for the extra wire copy), or delay (parked in
+/// `delayed` until its delivery round).
 #[allow(clippy::too_many_arguments)]
 fn account_sends<S: TraceSink + ?Sized>(
     v: NodeId,
@@ -1021,6 +1118,8 @@ fn account_sends<S: TraceSink + ?Sized>(
     mut deliver: impl FnMut(NodeId, usize, Message),
     first_error: &mut Option<CongestError>,
     mut sink: Option<&mut S>,
+    faults: Option<&FaultPlan>,
+    delayed: &mut Vec<(u64, NodeId, usize, Message)>,
 ) {
     // Collision detection: count messages per port (the scratch buffer is
     // only reset when the node actually sent something).
@@ -1079,13 +1178,25 @@ fn account_sends<S: TraceSink + ?Sized>(
             }
         }
         let target = neighbors[port];
+        // Fault decisions are pure in (seed, from, to, round), so every
+        // engine injects the identical pattern in any execution order.
+        let decision = faults
+            .map(|p| p.decide(v, target, round))
+            .unwrap_or_default();
         if let Some(s) = sink.as_deref_mut() {
-            s.event(&TraceEvent::MessageSent {
+            let event = TraceEvent::MessageSent {
                 round,
                 from: v,
                 to: target,
                 bits,
-            });
+                payload: faults.map(|_| faults::payload_hash(&msg)),
+            };
+            s.event(&event);
+            if decision.duplicate {
+                // The injected duplicate is a real wire event; tracing it
+                // is what lets `check-trace` flag duplicate delivery.
+                s.event(&event);
+            }
         }
         if let Some(cut) = cut {
             if cut.contains(v, target) {
@@ -1097,6 +1208,39 @@ fn account_sends<S: TraceSink + ?Sized>(
             .neighbors(target)
             .binary_search(&v)
             .expect("undirected graph: reverse edge exists");
-        deliver(target, reverse_port, msg);
+        if decision.is_clean() {
+            deliver(target, reverse_port, msg);
+            continue;
+        }
+        if decision.drop {
+            metrics.faults_dropped += 1;
+            continue;
+        }
+        let msg = match decision.corrupt {
+            Some(entropy) => {
+                metrics.faults_corrupted += 1;
+                faults::corrupt_message(&msg, entropy)
+            }
+            None => msg,
+        };
+        let copies = if decision.duplicate {
+            metrics.faults_duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if decision.delay > 0 {
+                metrics.faults_delayed += 1;
+                delayed.push((
+                    round + 1 + decision.delay,
+                    target,
+                    reverse_port,
+                    msg.clone(),
+                ));
+            } else {
+                deliver(target, reverse_port, msg.clone());
+            }
+        }
     }
 }

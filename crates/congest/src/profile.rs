@@ -236,6 +236,9 @@ impl Profiler {
                 .collect(),
             workers: self.worker_stats(),
             sync: (self.sync.deliveries > 0).then_some(self.sync),
+            messages_retransmitted: 0,
+            messages_deduped: 0,
+            faults_injected: 0,
         }
     }
 }
@@ -308,6 +311,14 @@ pub struct ProfileReport {
     pub workers: Option<WorkerStats>,
     /// Synchronizer counters (α-synchronizer only).
     pub sync: Option<SyncStats>,
+    /// Frames resent by the reliable transport (0 for raw runs).
+    pub messages_retransmitted: u64,
+    /// Duplicate frames discarded by the reliable transport's dedup window
+    /// (0 for raw runs).
+    pub messages_deduped: u64,
+    /// Fault events injected by the network layer (drops + duplicates +
+    /// corruptions + delays; 0 for lossless runs).
+    pub faults_injected: u64,
 }
 
 fn ms(ns: u64) -> f64 {
@@ -377,6 +388,11 @@ impl ProfileReport {
                 s.deliveries, s.skewed_deliveries, s.max_pulse_skew, s.max_queue_depth
             );
         }
+        let _ = write!(
+            out,
+            ",\"messages_retransmitted\":{},\"messages_deduped\":{},\"faults_injected\":{}",
+            self.messages_retransmitted, self.messages_deduped, self.faults_injected
+        );
         out.push('}');
         out
     }
@@ -437,6 +453,14 @@ impl fmt::Display for ProfileReport {
                 "synchronizer: {} payload deliveries ({} skewed, max pulse skew {}), \
                  max event-queue depth {}",
                 s.deliveries, s.skewed_deliveries, s.max_pulse_skew, s.max_queue_depth,
+            )?;
+        }
+        if self.faults_injected > 0 || self.messages_retransmitted > 0 || self.messages_deduped > 0
+        {
+            writeln!(
+                f,
+                "reliability: {} faults injected, {} retransmits, {} duplicates discarded",
+                self.faults_injected, self.messages_retransmitted, self.messages_deduped,
             )?;
         }
         Ok(())

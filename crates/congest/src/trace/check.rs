@@ -28,6 +28,11 @@ pub struct CheckReport {
     pub messages: u64,
     /// (directed edge, round) slots that carried more than one message.
     pub collision_findings: Vec<String>,
+    /// (directed edge, round) slots that delivered the *same payload*
+    /// more than once — duplicate delivery (e.g. injected by a fault
+    /// plan), distinct from a schedule collision carrying different
+    /// payloads. Only detectable when the trace records payload hashes.
+    pub duplicate_findings: Vec<String>,
     /// Violations the engine recorded online (`ViolationDetected`).
     pub recorded_violations: u64,
     /// Observed wave starts `(source, T_s)`, sorted by `T_s` — the DFS
@@ -53,6 +58,7 @@ impl CheckReport {
     /// Returns `true` when every checked invariant held.
     pub fn ok(&self) -> bool {
         self.collision_findings.is_empty()
+            && self.duplicate_findings.is_empty()
             && self.recorded_violations == 0
             && self.wave_findings.is_empty()
             && self.window_findings.is_empty()
@@ -78,6 +84,13 @@ impl fmt::Display for CheckReport {
             self.collision_findings.len(),
             self.messages,
         )?;
+        if !self.duplicate_findings.is_empty() {
+            writeln!(
+                f,
+                "duplicate delivery: VIOLATED ({} slots delivered the same payload twice)",
+                self.duplicate_findings.len()
+            )?;
+        }
         if self.recorded_violations > 0 {
             writeln!(
                 f,
@@ -112,6 +125,7 @@ impl fmt::Display for CheckReport {
         for finding in self
             .collision_findings
             .iter()
+            .chain(&self.duplicate_findings)
             .chain(&self.wave_findings)
             .chain(&self.window_findings)
             .chain(&self.phase_findings)
@@ -131,7 +145,7 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
 
     let mut topology: Option<Graph> = None;
     let mut schedule: Option<(u64, u64, u64, u64)> = None;
-    let mut slot_counts: HashMap<(NodeId, NodeId, u64), u32> = HashMap::new();
+    let mut slot_payloads: HashMap<(NodeId, NodeId, u64), Vec<Option<u64>>> = HashMap::new();
     let mut phase_cursor: HashMap<NodeId, char> = HashMap::new();
 
     for event in events {
@@ -156,16 +170,27 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                 report.rounds = report.rounds.max(round + 1);
             }
             TraceEvent::MessageSent {
-                round, from, to, ..
+                round,
+                from,
+                to,
+                payload,
+                ..
             } => {
                 report.messages += 1;
-                let slot = slot_counts.entry((*from, *to, *round)).or_insert(0);
-                *slot += 1;
-                if *slot == 2 {
+                let slot = slot_payloads.entry((*from, *to, *round)).or_default();
+                // A repeated slot with the *same* (recorded) payload is a
+                // duplicate delivery; with different or unrecorded
+                // payloads it is a schedule collision.
+                if payload.is_some() && slot.contains(payload) {
+                    report.duplicate_findings.push(format!(
+                        "edge {from}->{to} delivered the same payload twice in round {round}"
+                    ));
+                } else if slot.len() == 1 {
                     report.collision_findings.push(format!(
                         "edge {from}->{to} carried multiple messages in round {round}"
                     ));
                 }
+                slot.push(*payload);
             }
             TraceEvent::ViolationDetected { round, node, kind } => {
                 report.recorded_violations += 1;
@@ -310,12 +335,14 @@ mod tests {
                 from: 0,
                 to: 1,
                 bits: 8,
+                payload: None,
             },
             TraceEvent::MessageSent {
                 round: 0,
                 from: 1,
                 to: 0,
                 bits: 8,
+                payload: None,
             },
             wave(0, 10),
             wave(1, 12),
@@ -336,12 +363,14 @@ mod tests {
                 from: 0,
                 to: 1,
                 bits: 8,
+                payload: None,
             },
             TraceEvent::MessageSent {
                 round: 3,
                 from: 0,
                 to: 1,
                 bits: 8,
+                payload: None,
             },
         ];
         let report = check(&events);
@@ -354,21 +383,50 @@ mod tests {
                 from: 0,
                 to: 1,
                 bits: 8,
+                payload: None,
             },
             TraceEvent::MessageSent {
                 round: 3,
                 from: 1,
                 to: 0,
                 bits: 8,
+                payload: None,
             },
             TraceEvent::MessageSent {
                 round: 4,
                 from: 0,
                 to: 1,
                 bits: 8,
+                payload: None,
             },
         ]);
         assert!(ok.ok(), "{ok}");
+    }
+
+    #[test]
+    fn detects_duplicate_delivery_of_same_payload() {
+        // Regression: a repeated (edge, round, payload) event must fail
+        // the check as a duplicate delivery, not pass silently.
+        let sent = |payload| TraceEvent::MessageSent {
+            round: 3,
+            from: 0,
+            to: 1,
+            bits: 8,
+            payload,
+        };
+        let dup = check(&[sent(Some(77)), sent(Some(77))]);
+        assert!(!dup.ok(), "{dup}");
+        assert_eq!(dup.duplicate_findings.len(), 1);
+        assert!(dup.collision_findings.is_empty());
+        assert!(format!("{dup}").contains("duplicate delivery"), "{dup}");
+        // Same slot, *different* payloads: that is a schedule collision.
+        let collision = check(&[sent(Some(77)), sent(Some(78))]);
+        assert!(!collision.ok());
+        assert_eq!(collision.collision_findings.len(), 1);
+        assert!(collision.duplicate_findings.is_empty());
+        // Three copies: each extra identical copy is its own finding.
+        let triple = check(&[sent(Some(9)), sent(Some(9)), sent(Some(9))]);
+        assert_eq!(triple.duplicate_findings.len(), 2);
     }
 
     #[test]

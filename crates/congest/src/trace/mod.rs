@@ -101,6 +101,12 @@ pub enum TraceEvent {
         to: NodeId,
         /// Payload size in bits.
         bits: usize,
+        /// Content hash of the payload, recorded only by fault-injected
+        /// runs (so fault-free traces stay byte-identical to older ones).
+        /// Lets the offline checker tell an injected duplicate delivery —
+        /// same `(from, to, round)` *and* same payload — from a schedule
+        /// collision carrying different payloads.
+        payload: Option<u64>,
     },
     /// A CONGEST constraint was violated (also counted in
     /// [`crate::NetMetrics`]).
@@ -314,12 +320,17 @@ pub fn encode_event(event: &TraceEvent, out: &mut String) {
             from,
             to,
             bits,
+            payload,
         } => {
             let _ = write!(
                 out,
                 "{{\"ev\":\"message_sent\",\"round\":{round},\"from\":{from},\
-                 \"to\":{to},\"bits\":{bits}}}"
+                 \"to\":{to},\"bits\":{bits}"
             );
+            if let Some(p) = payload {
+                let _ = write!(out, ",\"payload\":{p}");
+            }
+            out.push('}');
         }
         TraceEvent::ViolationDetected { round, node, kind } => match kind {
             ViolationKind::Collision { port } => {
@@ -440,6 +451,7 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
             from: obj.u64_field("from")? as NodeId,
             to: obj.u64_field("to")? as NodeId,
             bits: obj.u64_field("bits")? as usize,
+            payload: obj.opt_u64_field("payload")?,
         }),
         "violation" => {
             let kind = match obj.str_field("kind")? {
@@ -518,6 +530,16 @@ mod json {
             match self.get(key)? {
                 Value::Num(n) => Ok(*n),
                 _ => Err(format!("field {key:?} is not a number")),
+            }
+        }
+
+        /// Like `u64_field` but tolerates the field being absent
+        /// entirely (optional trace extensions).
+        pub fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, String> {
+            match self.fields.iter().find(|(k, _)| *k == key) {
+                None => Ok(None),
+                Some((_, Value::Num(n))) => Ok(Some(*n)),
+                Some(_) => Err(format!("field {key:?} is not a number")),
             }
         }
 
@@ -685,6 +707,14 @@ mod tests {
                 from: 0,
                 to: 1,
                 bits: 32,
+                payload: None,
+            },
+            TraceEvent::MessageSent {
+                round: 0,
+                from: 1,
+                to: 0,
+                bits: 8,
+                payload: Some(0xdead_beef_cafe),
             },
             TraceEvent::ViolationDetected {
                 round: 1,

@@ -315,6 +315,7 @@ pub fn analyze(events: &[TraceEvent], top_k: usize) -> TraceStats {
                 from,
                 to,
                 bits,
+                ..
             } => {
                 let bits = *bits as u64;
                 total_bits += bits;
@@ -501,6 +502,7 @@ mod tests {
             from,
             to,
             bits,
+            payload: None,
         }
     }
 

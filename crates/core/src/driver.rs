@@ -4,9 +4,10 @@
 use crate::node::{AlgoOptions, DistBcNode};
 use crate::sampling::SourceSelection;
 use crate::schedule::{PhaseSchedule, Scheduling};
+use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::trace::{TraceEvent, TraceSink};
 use bc_congest::{
-    Budget, Config, CongestError, EdgeCut, Enforcement, NetMetrics, Network, PhaseStat,
+    Budget, Config, CongestError, EdgeCut, Enforcement, FaultPlan, NetMetrics, Network, PhaseStat,
     ProfileReport, Profiler,
 };
 use bc_graph::{algo, Graph};
@@ -47,6 +48,18 @@ pub struct DistBcConfig {
     /// work this round (on by default; observationally free). Turn off to
     /// force every node through `round()` each round.
     pub skip_idle: bool,
+    /// Inject network faults (drops, duplicates, corruption, delays,
+    /// crashes) per this plan. Without [`DistBcConfig::reliable`] the
+    /// protocol sees the raw faulty network and will generally fail
+    /// (stall or decode error) — useful for chaos testing the failure
+    /// modes themselves.
+    pub faults: Option<FaultPlan>,
+    /// Run every node behind the [`Reliable`] transport
+    /// ([`crate::transport`]): the per-message budget is raised by
+    /// [`HEADER_BITS`], the round limit is scaled for retransmissions, and
+    /// the result is bit-identical to a fault-free run for any
+    /// non-crashing fault plan.
+    pub reliable: bool,
 }
 
 impl Default for DistBcConfig {
@@ -62,6 +75,8 @@ impl Default for DistBcConfig {
             sources: SourceSelection::default(),
             targets: None,
             skip_idle: true,
+            faults: None,
+            reliable: false,
         }
     }
 }
@@ -272,19 +287,32 @@ fn run_impl(
         sources: config.sources.clone(),
         targets: config.targets.clone(),
     };
+    let engine_budget = if config.reliable {
+        // Frames wrap each protocol message in a HEADER_BITS-bit header;
+        // the inner protocol still respects the configured budget.
+        match config.budget.resolve(n) {
+            Some(b) => Budget::Bits(b + HEADER_BITS),
+            None => Budget::Unlimited,
+        }
+    } else {
+        config.budget
+    };
     let engine_cfg = Config {
-        budget: config.budget,
+        budget: engine_budget,
         enforcement: config.enforcement,
         cut: config.cut.clone(),
         skip_idle: config.skip_idle,
+        faults: config.faults.clone(),
     };
-    let mut net = Network::new(g, engine_cfg, |v, _| DistBcNode::new(n, v, opts.clone()));
     if let Some(s) = sink.as_deref_mut() {
         s.event(&TraceEvent::Topology {
             n,
             edges: g.edges().collect(),
         });
-        if config.scheduling != Scheduling::Adaptive {
+        // A reliable run's trace records physical transport frames whose
+        // rounds drift past the virtual schedule under faults, so no
+        // schedule is declared and the checker skips its window checks.
+        if config.scheduling != Scheduling::Adaptive && !config.reliable {
             s.event(&TraceEvent::Schedule {
                 counting_start: sched.counting_start,
                 reduce_start: sched.reduce_start,
@@ -293,22 +321,74 @@ fn run_impl(
             });
         }
     }
-    if let Some(s) = sink.take() {
-        net.set_trace_sink(s);
-    }
-    if profile {
-        net.set_profiler(Profiler::new());
-    }
-    let max_rounds = sched.max_rounds();
-    let report = if config.threads > 1 {
-        net.run_parallel(max_rounds, config.threads)?
+    let max_rounds = if config.reliable {
+        // Fault-free reliable runs pipeline one virtual round per physical
+        // round; under faults every loss stalls its edge for up to an RTO.
+        // The limit only guards non-termination, so scale generously.
+        sched.max_rounds() * 8 + 64
     } else {
-        net.run(max_rounds)?
+        sched.max_rounds()
     };
-    let sink = net.take_trace_sink();
-    let profiler = net.take_profiler();
-    let metrics = net.metrics().clone();
-    let nodes = net.into_nodes();
+    let (report, sink, profiler, metrics, nodes, transport) = if config.reliable {
+        let rcfg = ReliableConfig {
+            rto: config.faults.as_ref().map_or(3, |f| f.max_delay + 2),
+        };
+        let mut net = Network::new(g, engine_cfg, |v, gg| {
+            Reliable::new(DistBcNode::new(n, v, opts.clone()), gg.degree(v), rcfg)
+        });
+        if let Some(s) = sink.take() {
+            net.set_trace_sink(s);
+        }
+        if profile {
+            net.set_profiler(Profiler::new());
+        }
+        let report = if config.threads > 1 {
+            net.run_parallel(max_rounds, config.threads)?
+        } else {
+            net.run(max_rounds)?
+        };
+        let sink = net.take_trace_sink();
+        let profiler = net.take_profiler();
+        let metrics = net.metrics().clone();
+        let mut totals = TransportStats::default();
+        let nodes: Vec<DistBcNode> = net
+            .into_nodes()
+            .into_iter()
+            .map(|r| {
+                totals.merge(&r.stats());
+                r.into_inner()
+            })
+            .collect();
+        (report, sink, profiler, metrics, nodes, totals)
+    } else {
+        let mut net = Network::new(g, engine_cfg, |v, _| DistBcNode::new(n, v, opts.clone()));
+        if let Some(s) = sink.take() {
+            net.set_trace_sink(s);
+        }
+        if profile {
+            net.set_profiler(Profiler::new());
+        }
+        let report = if config.threads > 1 {
+            net.run_parallel(max_rounds, config.threads)?
+        } else {
+            net.run(max_rounds)?
+        };
+        let sink = net.take_trace_sink();
+        let profiler = net.take_profiler();
+        let metrics = net.metrics().clone();
+        let nodes = net.into_nodes();
+        (
+            report,
+            sink,
+            profiler,
+            metrics,
+            nodes,
+            TransportStats::default(),
+        )
+    };
+    let mut metrics = metrics;
+    metrics.messages_retransmitted = transport.retransmits;
+    metrics.messages_deduped = transport.deduped;
 
     let betweenness = nodes.iter().map(|nd| nd.betweenness()).collect();
     let sample_size = nodes[0].source_count();
@@ -355,11 +435,14 @@ fn run_impl(
         ]
     };
     let profile = profiler.map(|p| {
-        let engine = if config.threads > 1 {
+        let mut engine = if config.threads > 1 {
             format!("parallel({})", config.threads)
         } else {
             "serial".to_string()
         };
+        if config.reliable {
+            engine.push_str("+reliable");
+        }
         let phases: Vec<(String, u64, u64)> = if config.scheduling == Scheduling::Adaptive {
             Vec::new()
         } else {
@@ -378,7 +461,14 @@ fn run_impl(
                 ("D:aggregation".to_string(), sched.agg_start, report.rounds),
             ]
         };
-        p.report(&engine, &phases)
+        let mut rep = p.report(&engine, &phases);
+        rep.messages_retransmitted = transport.retransmits;
+        rep.messages_deduped = transport.deduped;
+        rep.faults_injected = metrics.faults_dropped
+            + metrics.faults_duplicated
+            + metrics.faults_corrupted
+            + metrics.faults_delayed;
+        rep
     });
     Ok((
         DistBcResult {

@@ -51,6 +51,7 @@ mod driver;
 mod node;
 mod sampling;
 mod schedule;
+pub mod transport;
 
 pub use codec::{Codec, DecodeError, ProtocolMsg};
 pub use driver::{
@@ -61,3 +62,4 @@ pub use driver::{
 pub use node::{AggInfo, AlgoOptions, DistBcNode};
 pub use sampling::{source_mask, SourceSelection};
 pub use schedule::{PhaseSchedule, Scheduling};
+pub use transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};

@@ -1,0 +1,698 @@
+//! Reliable transport over lossy CONGEST links.
+//!
+//! The simulator's fault layer ([`bc_congest::faults`]) can drop,
+//! duplicate, reorder (via delays), and corrupt messages. This module
+//! wraps any [`Protocol`] in [`Reliable`], a per-edge sliding-window
+//! transport that restores the synchronous abstraction on top of such a
+//! network: the wrapped protocol executes exactly the *virtual* rounds it
+//! would execute on a lossless network, with exactly the same inboxes, so
+//! its final state is bit-identical to a fault-free run.
+//!
+//! # Wire protocol
+//!
+//! Each physical CONGEST message carries one *frame*:
+//!
+//! ```text
+//! | checksum:8 | ack_only:1 | has_payload:1 | halted:1 | vround:16 | ack:16 | payload:* |
+//! ```
+//!
+//! * `checksum` — XOR-fold of every bit after it. Any single-bit
+//!   corruption is detected (each body bit feeds exactly one checksum
+//!   bit), and a mismatching frame is silently discarded — the
+//!   retransmission machinery recovers it, so corruption degrades into
+//!   loss and never reaches the inner protocol's decoder.
+//! * `ack` — cumulative: the number of contiguous frames received on this
+//!   edge, piggybacked on every frame (including retransmissions and
+//!   ack-only frames).
+//! * `vround` — the virtual round the payload belongs to. The transport
+//!   sends exactly one frame per virtual round per edge — an *empty*
+//!   frame (`has_payload = 0`) when the inner protocol had nothing to
+//!   say — so virtual rounds double as per-edge sequence numbers and a
+//!   receiver can distinguish "nothing was sent" from "the message was
+//!   lost".
+//! * `halted` — set on a node's final frame for an edge: a promise that
+//!   no frame with a higher `vround` will ever be sent on it, letting the
+//!   peer run ahead without waiting. This requires [`Protocol::is_halted`]
+//!   to be *stable* (a halted protocol stays halted and sends nothing) —
+//!   true for `DistBcNode` and every protocol in this workspace.
+//!
+//! # Execution model
+//!
+//! Virtual round `v` of the inner protocol runs once the frame for
+//! virtual round `v − 1` has arrived from every neighbor (or the
+//! neighbor's halted promise covers it), mirroring the synchronous
+//! engine's sent-in-`r`, delivered-in-`r + 1` rule. On a fault-free
+//! network this pipelines perfectly — one virtual round per physical
+//! round. Under faults the transport retransmits the oldest unacknowledged
+//! frame once per [`ReliableConfig::rto`] physical rounds, and a run costs
+//! roughly `1 / (1 − p)` physical rounds per virtual round at drop
+//! probability `p`.
+//!
+//! Crash-recover windows compose with this: a crashed node loses the
+//! frames delivered while it was down, but its transport state survives,
+//! so peers' retransmissions repair the gap after recovery. Crash-*stop*
+//! failures are not masked — peers retransmit forever and the engine
+//! reports [`bc_congest::CongestError::RoundLimit`].
+
+use bc_congest::{Message, Protocol, RoundCtx};
+use bc_numeric::bits::BitWriter;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Frame-header overhead in bits: checksum (8) + flags (3) + vround (16)
+/// \+ cumulative ack (16). A reliable run needs its per-message budget
+/// raised by this amount over the inner protocol's budget.
+pub const HEADER_BITS: usize = 43;
+
+/// Largest virtual round / ack the 16-bit frame fields can carry.
+const SEQ_LIMIT: u64 = 1 << 16;
+
+/// Tuning knobs for [`Reliable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Retransmission timeout in physical rounds: the oldest
+    /// unacknowledged frame on an edge is resent once it has been
+    /// outstanding this long. Should exceed the network's round-trip
+    /// (2 plus the fault layer's maximum delivery delay).
+    pub rto: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig { rto: 3 }
+    }
+}
+
+/// Transport counters for one node, harvested by the driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Physical frames sent (first transmissions + retransmissions +
+    /// ack-only frames).
+    pub frames_sent: u64,
+    /// Frames resent after a retransmission timeout.
+    pub retransmits: u64,
+    /// Pure-acknowledgment frames (no sequence number; never themselves
+    /// acknowledged, so two idle peers cannot ack-ping-pong forever).
+    pub ack_only_frames: u64,
+    /// Received frames discarded as duplicates of an already-received
+    /// virtual round.
+    pub deduped: u64,
+    /// Received frames discarded for a checksum mismatch (corruption).
+    pub checksum_drops: u64,
+}
+
+impl TransportStats {
+    /// Accumulates `other` into `self` (driver-side aggregation).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.retransmits += other.retransmits;
+        self.ack_only_frames += other.ack_only_frames;
+        self.deduped += other.deduped;
+        self.checksum_drops += other.checksum_drops;
+    }
+}
+
+/// A decoded frame.
+struct Frame {
+    ack_only: bool,
+    halted: bool,
+    vround: u64,
+    ack: u64,
+    payload: Option<Message>,
+}
+
+/// One queued outbound frame awaiting acknowledgment.
+struct OutFrame {
+    vround: u64,
+    halted: bool,
+    payload: Option<Message>,
+    /// Physical round of the last transmission (`None` = never sent).
+    last_sent: Option<u64>,
+}
+
+/// Per-port (per-incident-edge) transport state.
+struct PortState {
+    /// Outbound frames not yet cumulatively acknowledged, oldest first.
+    out: VecDeque<OutFrame>,
+    /// Peer's cumulative ack: frames with `vround < acked_upto` are done.
+    acked_upto: u64,
+    /// Received frames not yet consumed by the inner protocol, keyed by
+    /// virtual round (holds out-of-order arrivals too).
+    frames: BTreeMap<u64, (Option<Message>, bool)>,
+    /// Number of contiguous virtual rounds received — doubles as the
+    /// cumulative ack we send.
+    expected: u64,
+    /// First virtual round the peer promised never to send (its halted
+    /// frame's `vround + 1`).
+    peer_halted_from: Option<u64>,
+    /// A sequenced frame arrived since we last sent anything; if no
+    /// regular frame goes out this round, an ack-only frame will.
+    owes_ack: bool,
+}
+
+impl PortState {
+    fn new() -> Self {
+        PortState {
+            out: VecDeque::new(),
+            acked_upto: 0,
+            frames: BTreeMap::new(),
+            expected: 0,
+            peer_halted_from: None,
+            owes_ack: false,
+        }
+    }
+}
+
+/// Wraps a [`Protocol`] in the reliable transport. Run it on a faulty
+/// [`bc_congest::Network`] (with the engine budget raised by
+/// [`HEADER_BITS`]) and the inner protocol's final state is bit-identical
+/// to a fault-free run of the bare protocol.
+pub struct Reliable<P> {
+    inner: P,
+    cfg: ReliableConfig,
+    /// Next inner virtual round to execute.
+    vr: u64,
+    inner_halted: bool,
+    ports: Vec<PortState>,
+    stats: TransportStats,
+    /// Recycled inbox staging buffer for nested rounds.
+    scratch: Vec<(usize, Message)>,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Wraps `inner` for a node with `degree` incident edges.
+    pub fn new(inner: P, degree: usize, cfg: ReliableConfig) -> Self {
+        Reliable {
+            inner,
+            cfg,
+            vr: 0,
+            inner_halted: false,
+            ports: (0..degree).map(|_| PortState::new()).collect(),
+            stats: TransportStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the transport, returning the inner protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Virtual (inner-protocol) rounds executed so far.
+    pub fn virtual_rounds(&self) -> u64 {
+        self.vr
+    }
+
+    /// This node's transport counters.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// True when every port has the frame for virtual round `vr − 1` (or
+    /// a halted promise covering it), so inner round `vr` can run.
+    fn executable(&self) -> bool {
+        let vr = self.vr;
+        if vr == 0 {
+            return true;
+        }
+        self.ports
+            .iter()
+            .all(|ps| ps.expected >= vr || ps.peer_halted_from.is_some_and(|p| p < vr))
+    }
+
+    fn process_frame(&mut self, port: usize, raw: &Message) {
+        let Some(frame) = decode(raw) else {
+            self.stats.checksum_drops += 1;
+            return;
+        };
+        let ps = &mut self.ports[port];
+        if frame.ack > ps.acked_upto {
+            ps.acked_upto = frame.ack;
+            while ps.out.front().is_some_and(|f| f.vround < ps.acked_upto) {
+                ps.out.pop_front();
+            }
+        }
+        if frame.ack_only {
+            return;
+        }
+        ps.owes_ack = true;
+        if frame.vround < ps.expected || ps.frames.contains_key(&frame.vround) {
+            self.stats.deduped += 1;
+            return;
+        }
+        ps.frames
+            .insert(frame.vround, (frame.payload, frame.halted));
+        while let Some(halted) = ps.frames.get(&ps.expected).map(|e| e.1) {
+            if halted {
+                ps.peer_halted_from = Some(ps.expected + 1);
+            }
+            ps.expected += 1;
+        }
+    }
+
+    /// Runs every inner virtual round whose inbox is complete and queues
+    /// the resulting frames.
+    fn advance_inner(&mut self, ctx: &mut RoundCtx<'_>) {
+        while !self.inner_halted && self.executable() {
+            let vr = self.vr;
+            assert!(vr < SEQ_LIMIT, "virtual round exceeds 16-bit frame field");
+            let mut inbox = std::mem::take(&mut self.scratch);
+            inbox.clear();
+            if vr > 0 {
+                for (port, ps) in self.ports.iter_mut().enumerate() {
+                    if let Some((Some(m), _)) = ps.frames.remove(&(vr - 1)) {
+                        inbox.push((port, m));
+                    }
+                }
+            }
+            let sends = ctx.nested_round(vr, &mut self.inner, &inbox);
+            inbox.clear();
+            self.scratch = inbox;
+            self.inner_halted = self.inner.is_halted();
+            let mut per_port: Vec<Option<Message>> = vec![None; self.ports.len()];
+            for (port, m) in sends {
+                assert!(
+                    per_port[port].is_none(),
+                    "nested protocol sent two messages on port {port} in one round \
+                     (CONGEST violation)"
+                );
+                per_port[port] = Some(m);
+            }
+            for (port, payload) in per_port.into_iter().enumerate() {
+                self.ports[port].out.push_back(OutFrame {
+                    vround: vr,
+                    halted: self.inner_halted,
+                    payload,
+                    last_sent: None,
+                });
+            }
+            self.vr = vr + 1;
+        }
+    }
+
+    /// Emits at most one physical frame per port: a never-sent frame
+    /// first, else an RTO retransmission of the oldest unacked frame,
+    /// else an ack-only frame if one is owed.
+    fn emit_frames(&mut self, ctx: &mut RoundCtx<'_>, now: u64) {
+        for port in 0..self.ports.len() {
+            let ps = &mut self.ports[port];
+            let ack = ps.expected;
+            assert!(ack < SEQ_LIMIT, "cumulative ack exceeds 16-bit frame field");
+            if let Some(f) = ps.out.iter_mut().find(|f| f.last_sent.is_none()) {
+                f.last_sent = Some(now);
+                let msg = encode(&Frame {
+                    ack_only: false,
+                    halted: f.halted,
+                    vround: f.vround,
+                    ack,
+                    payload: f.payload.clone(),
+                });
+                ps.owes_ack = false;
+                self.stats.frames_sent += 1;
+                ctx.send(port, msg);
+                continue;
+            }
+            let rto = self.cfg.rto;
+            if let Some(f) = ps.out.front_mut() {
+                if f.last_sent.is_some_and(|t| now >= t + rto) {
+                    f.last_sent = Some(now);
+                    let msg = encode(&Frame {
+                        ack_only: false,
+                        halted: f.halted,
+                        vround: f.vround,
+                        ack,
+                        payload: f.payload.clone(),
+                    });
+                    ps.owes_ack = false;
+                    self.stats.frames_sent += 1;
+                    self.stats.retransmits += 1;
+                    ctx.send(port, msg);
+                    continue;
+                }
+            }
+            if ps.owes_ack {
+                let msg = encode(&Frame {
+                    ack_only: true,
+                    halted: false,
+                    vround: 0,
+                    ack,
+                    payload: None,
+                });
+                ps.owes_ack = false;
+                self.stats.frames_sent += 1;
+                self.stats.ack_only_frames += 1;
+                ctx.send(port, msg);
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+        let now = ctx.round();
+        for (port, raw) in inbox {
+            self.process_frame(*port, raw);
+        }
+        self.advance_inner(ctx);
+        self.emit_frames(ctx, now);
+    }
+
+    /// Halted once the inner protocol halted, every outbound frame is
+    /// acknowledged, and no ack is owed. Receiving a peer's retransmission
+    /// briefly un-halts the node so it can re-acknowledge.
+    fn is_halted(&self) -> bool {
+        self.inner_halted
+            && self
+                .ports
+                .iter()
+                .all(|ps| ps.out.is_empty() && !ps.owes_ack)
+    }
+}
+
+fn fold_checksum(acc: u64) -> u64 {
+    let mut x = acc;
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x & 0xff
+}
+
+/// XOR-fold of a bit stream read in `min(64, remaining)`-bit chunks —
+/// both sides chunk identically, so the fold is well-defined.
+fn checksum_bits(r: &mut bc_numeric::bits::BitReader<'_>, mut rem: usize) -> u64 {
+    let mut acc = 0u64;
+    while rem > 0 {
+        let w = rem.min(64);
+        acc ^= r.read(w as u32);
+        rem -= w;
+    }
+    fold_checksum(acc)
+}
+
+fn encode(f: &Frame) -> Message {
+    let mut body = BitWriter::new();
+    body.push(f.ack_only as u64, 1);
+    body.push(f.payload.is_some() as u64, 1);
+    body.push(f.halted as u64, 1);
+    body.push(f.vround, 16);
+    body.push(f.ack, 16);
+    if let Some(p) = &f.payload {
+        let buf = p.payload();
+        let mut r = buf.reader();
+        let mut rem = buf.bit_len();
+        while rem > 0 {
+            let w = rem.min(64);
+            body.push(r.read(w as u32), w as u32);
+            rem -= w;
+        }
+    }
+    let body = body.finish();
+    let checksum = checksum_bits(&mut body.reader(), body.bit_len());
+    let mut out = BitWriter::new();
+    out.push(checksum, 8);
+    let mut r = body.reader();
+    let mut rem = body.bit_len();
+    while rem > 0 {
+        let w = rem.min(64);
+        out.push(r.read(w as u32), w as u32);
+        rem -= w;
+    }
+    Message::new(out.finish())
+}
+
+/// Decodes a frame; `None` means the frame is malformed or fails its
+/// checksum and must be treated as lost.
+fn decode(msg: &Message) -> Option<Frame> {
+    let total = msg.bit_len();
+    if total < HEADER_BITS {
+        return None;
+    }
+    let buf = msg.payload();
+    let mut r = buf.reader();
+    let stored = r.read(8);
+    let computed = {
+        let mut rr = buf.reader();
+        let _ = rr.read(8);
+        checksum_bits(&mut rr, total - 8)
+    };
+    if computed != stored {
+        return None;
+    }
+    let ack_only = r.read(1) == 1;
+    let has_payload = r.read(1) == 1;
+    let halted = r.read(1) == 1;
+    let vround = r.read(16);
+    let ack = r.read(16);
+    let payload_bits = total - HEADER_BITS;
+    let payload = if has_payload {
+        let mut w = BitWriter::new();
+        let mut rem = payload_bits;
+        while rem > 0 {
+            let width = rem.min(64);
+            w.push(r.read(width as u32), width as u32);
+            rem -= width;
+        }
+        Some(Message::new(w.finish()))
+    } else {
+        if payload_bits != 0 {
+            return None;
+        }
+        None
+    };
+    Some(Frame {
+        ack_only,
+        halted,
+        vround,
+        ack,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_congest::faults::{corrupt_message, FaultPlan};
+    use bc_congest::{Budget, Config, Network};
+    use bc_graph::{generators, Graph, NodeId};
+
+    fn frame_roundtrip(f: Frame) {
+        let msg = encode(&f);
+        assert_eq!(
+            msg.bit_len() - f.payload.as_ref().map_or(0, |p| p.bit_len()),
+            HEADER_BITS
+        );
+        let d = decode(&msg).expect("valid frame decodes");
+        assert_eq!(d.ack_only, f.ack_only);
+        assert_eq!(d.halted, f.halted);
+        assert_eq!(d.vround, f.vround);
+        assert_eq!(d.ack, f.ack);
+        match (&d.payload, &f.payload) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.bit_len(), b.bit_len());
+                let mut ra = a.payload().reader();
+                let mut rb = b.payload().reader();
+                let mut rem = a.bit_len();
+                while rem > 0 {
+                    let w = rem.min(64);
+                    assert_eq!(ra.read(w as u32), rb.read(w as u32));
+                    rem -= w;
+                }
+            }
+            _ => panic!("payload presence mismatch"),
+        }
+    }
+
+    fn payload(bits: &[(u64, u32)]) -> Message {
+        let mut w = BitWriter::new();
+        for &(v, width) in bits {
+            w.push(v, width);
+        }
+        Message::new(w.finish())
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        frame_roundtrip(Frame {
+            ack_only: true,
+            halted: false,
+            vround: 0,
+            ack: 17,
+            payload: None,
+        });
+        frame_roundtrip(Frame {
+            ack_only: false,
+            halted: true,
+            vround: 65_535,
+            ack: 65_535,
+            payload: None,
+        });
+        frame_roundtrip(Frame {
+            ack_only: false,
+            halted: false,
+            vround: 12,
+            ack: 3,
+            payload: Some(payload(&[(0xdead_beef, 32), (5, 3)])),
+        });
+        // Zero-length payloads are representable and distinct from "no
+        // payload".
+        frame_roundtrip(Frame {
+            ack_only: false,
+            halted: false,
+            vround: 1,
+            ack: 1,
+            payload: Some(payload(&[])),
+        });
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let msg = encode(&Frame {
+            ack_only: false,
+            halted: false,
+            vround: 40,
+            ack: 39,
+            payload: Some(payload(&[(0x1234_5678_9abc_def0, 64), (0x2a, 7)])),
+        });
+        for bit in 0..msg.bit_len() as u64 {
+            let corrupted = corrupt_message(&msg, bit);
+            assert!(
+                decode(&corrupted).is_none(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert!(decode(&payload(&[(0, 10)])).is_none());
+        assert!(decode(&payload(&[])).is_none());
+    }
+
+    /// The flooding protocol used across the engine test suites.
+    struct Flood {
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl Protocol for Flood {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+            if ctx.round() == 0 && ctx.id() == 0 {
+                self.dist = Some(0);
+            }
+            for (_, m) in inbox {
+                let d = m.payload().reader().read(32);
+                if self.dist.is_none() {
+                    self.dist = Some(d + 1);
+                }
+            }
+            if let (Some(d), false) = (self.dist, self.announced) {
+                self.announced = true;
+                let mut w = BitWriter::new();
+                w.push(d, 32);
+                ctx.broadcast(&Message::new(w.finish()));
+            }
+        }
+
+        fn is_halted(&self) -> bool {
+            self.announced
+        }
+    }
+
+    fn reliable_flood(v: NodeId, g: &Graph) -> Reliable<Flood> {
+        Reliable::new(
+            Flood {
+                dist: None,
+                announced: false,
+            },
+            g.degree(v),
+            ReliableConfig::default(),
+        )
+    }
+
+    fn faulty_config(plan: FaultPlan) -> Config {
+        Config {
+            budget: Budget::Unlimited,
+            faults: Some(plan),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn lossless_reliable_flood_matches_bare_run() {
+        let g = generators::erdos_renyi_connected(24, 0.12, 9);
+        let mut bare = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        bare.run(10_000).unwrap();
+        let mut net = Network::new(&g, Config::default(), reliable_flood);
+        net.run(10_000).unwrap();
+        let mut totals = TransportStats::default();
+        for v in g.nodes() {
+            assert_eq!(net.node(v).inner().dist, bare.node(v).dist, "node {v}");
+            totals.merge(&net.node(v).stats());
+        }
+        assert_eq!(totals.retransmits, 0, "lossless run retransmitted");
+        assert_eq!(totals.deduped, 0);
+        assert_eq!(totals.checksum_drops, 0);
+    }
+
+    #[test]
+    fn flood_survives_heavy_drop_dup_and_reorder() {
+        let g = generators::erdos_renyi_connected(20, 0.15, 3);
+        let mut bare = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        bare.run(10_000).unwrap();
+        for seed in 0..4 {
+            let plan = FaultPlan {
+                drop: 0.2,
+                duplicate: 0.15,
+                delay: 0.2,
+                max_delay: 3,
+                ..FaultPlan::seeded(seed)
+            };
+            let mut net = Network::new(&g, faulty_config(plan), reliable_flood);
+            let report = net.run(50_000).unwrap();
+            let mut retransmits = 0;
+            for v in g.nodes() {
+                assert_eq!(
+                    net.node(v).inner().dist,
+                    bare.node(v).dist,
+                    "seed {seed} node {v}"
+                );
+                retransmits += net.node(v).stats().retransmits;
+            }
+            assert!(retransmits > 0, "seed {seed}: faults caused no retransmits");
+            assert!(report.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn flood_survives_pure_corruption() {
+        let g = generators::cycle(12);
+        let mut bare = Network::new(&g, Config::default(), |_, _| Flood {
+            dist: None,
+            announced: false,
+        });
+        bare.run(10_000).unwrap();
+        let plan = FaultPlan {
+            corrupt: 0.3,
+            ..FaultPlan::seeded(11)
+        };
+        let mut net = Network::new(&g, faulty_config(plan), reliable_flood);
+        net.run(50_000).unwrap();
+        let mut checksum_drops = 0;
+        for v in g.nodes() {
+            assert_eq!(net.node(v).inner().dist, bare.node(v).dist, "node {v}");
+            checksum_drops += net.node(v).stats().checksum_drops;
+        }
+        assert!(checksum_drops > 0, "corruption never reached the checksum");
+    }
+}

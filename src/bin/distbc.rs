@@ -16,7 +16,7 @@
 
 use distbc::brandes;
 use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink};
-use distbc::congest::{PhaseStat, ProfileReport};
+use distbc::congest::{Enforcement, FaultPlan, PhaseStat, ProfileReport};
 use distbc::core::{
     run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
     run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, Scheduling, SourceSelection,
@@ -47,6 +47,9 @@ enum Command {
         json: bool,
         threads: usize,
         skip_idle: bool,
+        faults: Option<FaultPlan>,
+        reliable: bool,
+        best_effort: bool,
     },
     Gadget {
         kind: GadgetKind,
@@ -94,12 +97,17 @@ const USAGE: &str = "usage:
                      [--stress] [--top K] [--csv] [--mantissa-bits L]
                      [--sequential | --adaptive] [--threads N] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
+                     [--faults PLAN [--fault-seed N]] [--reliable] [--best-effort]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
   distbc trace-stats FILE [--csv | --json] [--top K]
 
 generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
-                 ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine  figure1";
+                 ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine  figure1
+fault PLANs:     comma-separated, e.g. seed=7,drop=0.1,dup=0.05,corrupt=0.01,
+                 delay=0.2:3,crash=4@10..20  (crash=V@A.. = crash-stop).
+                 --faults needs --reliable (exact results via retransmission) or
+                 --best-effort (observe the raw failure; enforcement downgraded)";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -124,6 +132,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut json = false;
     let mut threads = 0usize;
     let mut skip_idle = true;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut reliable = false;
+    let mut best_effort = false;
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -163,6 +175,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "bad --threads value".to_string())?
             }
             "--no-idle-skip" => skip_idle = false,
+            "--faults" => {
+                let spec = value("--faults")?;
+                faults = Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --faults: {e}"))?);
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|_| "bad --fault-seed value".to_string())?,
+                )
+            }
+            "--reliable" => reliable = true,
+            "--best-effort" => best_effort = true,
             "--planted" => planted = true,
             "--top" => {
                 top = Some(
@@ -206,21 +231,58 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "info" => Ok(Command::Info {
             source: source.ok_or("info needs --input or --generate")?,
         }),
-        "centrality" => Ok(Command::Centrality {
-            source: source.ok_or("centrality needs --input or --generate")?,
-            algorithm,
-            stress,
-            top,
-            csv,
-            mantissa_bits,
-            scheduling,
-            trace,
-            metrics,
-            profile,
-            json,
-            threads,
-            skip_idle,
-        }),
+        "centrality" => {
+            let distributed = matches!(algorithm, Algorithm::Distributed | Algorithm::Sampled(_));
+            if (trace.is_some() || metrics || profile) && !distributed {
+                return Err(
+                    "--trace/--metrics/--profile require --algorithm distributed or sampled:K"
+                        .into(),
+                );
+            }
+            if json && !profile {
+                return Err("--json requires --profile (or use trace-stats --json)".into());
+            }
+            if (faults.is_some() || reliable) && !distributed {
+                return Err(
+                    "--faults/--reliable require --algorithm distributed or sampled:K".into(),
+                );
+            }
+            if fault_seed.is_some() && faults.is_none() {
+                return Err("--fault-seed requires --faults".into());
+            }
+            if best_effort && faults.is_none() {
+                return Err("--best-effort requires --faults".into());
+            }
+            if faults.is_some() && !reliable && !best_effort {
+                return Err(
+                    "--faults without --reliable would fail under strict CONGEST \
+                            enforcement; add --reliable for exact results over the lossy \
+                            network, or --best-effort to observe the raw failure"
+                        .into(),
+                );
+            }
+            if let (Some(plan), Some(seed)) = (faults.as_mut(), fault_seed) {
+                plan.seed = seed;
+            }
+            Ok(Command::Centrality {
+                source: source.ok_or("centrality needs --input or --generate")?,
+                algorithm,
+                stress,
+                top,
+                csv,
+                mantissa_bits,
+                scheduling,
+                trace,
+                metrics,
+                profile,
+                json,
+                threads,
+                skip_idle,
+                faults,
+                reliable,
+                best_effort,
+            })
+        }
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
             n: n.ok_or("gadget needs --n")?,
@@ -395,17 +457,11 @@ fn cmd_centrality(
     json: bool,
     threads: usize,
     skip_idle: bool,
+    faults: Option<&FaultPlan>,
+    reliable: bool,
+    best_effort: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
-    let distributed = matches!(algorithm, Algorithm::Distributed | Algorithm::Sampled(_));
-    if (trace_path.is_some() || metrics || profile) && !distributed {
-        return Err(
-            "--trace/--metrics/--profile require --algorithm distributed or sampled:K".into(),
-        );
-    }
-    if json && !profile {
-        return Err("--json requires --profile (or use trace-stats --json)".into());
-    }
     let mut stress_vals: Option<Vec<f64>> = None;
     let bc: Vec<f64> = match algorithm {
         Algorithm::Brandes => brandes::betweenness_f64(&g),
@@ -425,6 +481,15 @@ fn cmd_centrality(
                 },
                 threads,
                 skip_idle,
+                faults: faults.cloned(),
+                reliable,
+                // --best-effort: record CONGEST violations instead of
+                // aborting, so a raw faulty run can be observed end to end.
+                enforcement: if best_effort {
+                    Enforcement::Record
+                } else {
+                    Enforcement::Strict
+                },
                 ..DistBcConfig::default()
             };
             // Adaptive --metrics has no provisioned boundaries; record the
@@ -468,6 +533,19 @@ fn cmd_centrality(
                 out.metrics.max_message_bits,
                 out.metrics.congest_compliant()
             );
+            if faults.is_some() || reliable {
+                let m = &out.metrics;
+                eprintln!(
+                    "# reliability: {} dropped, {} duplicated, {} corrupted, {} delayed; \
+                     {} retransmitted, {} deduped",
+                    m.faults_dropped,
+                    m.faults_duplicated,
+                    m.faults_corrupted,
+                    m.faults_delayed,
+                    m.messages_retransmitted,
+                    m.messages_deduped
+                );
+            }
             if let Some(report) = &profile_report {
                 if json {
                     println!("{}", report.to_json());
@@ -598,8 +676,10 @@ fn main() -> ExitCode {
     let cmd = match parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
+            // Usage and flag-combination errors exit 2; runtime failures
+            // (I/O, protocol errors) exit 1.
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match &cmd {
@@ -622,6 +702,9 @@ fn main() -> ExitCode {
             json,
             threads,
             skip_idle,
+            faults,
+            reliable,
+            best_effort,
         } => cmd_centrality(
             source,
             algorithm,
@@ -636,6 +719,9 @@ fn main() -> ExitCode {
             *json,
             *threads,
             *skip_idle,
+            faults.as_ref(),
+            *reliable,
+            *best_effort,
         ),
         Command::Gadget {
             kind,
@@ -715,8 +801,105 @@ mod tests {
                 json: false,
                 threads: 4,
                 skip_idle: false,
+                faults: None,
+                reliable: false,
+                best_effort: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--faults",
+            "drop=0.1,dup=0.05",
+            "--fault-seed",
+            "42",
+            "--reliable",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality {
+                faults: Some(plan),
+                reliable,
+                best_effort,
+                ..
+            } => {
+                assert_eq!(plan.seed, 42, "--fault-seed overrides the plan seed");
+                assert!((plan.drop - 0.1).abs() < 1e-12);
+                assert!((plan.duplicate - 0.05).abs() < 1e-12);
+                assert!(reliable);
+                assert!(!best_effort);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_incompatible_fault_flag_combos() {
+        // --faults needs --reliable or --best-effort.
+        assert!(p(&["centrality", "--generate", "path:8", "--faults", "drop=0.1"]).is_err());
+        // --fault-seed / --best-effort are meaningless without --faults.
+        assert!(p(&["centrality", "--generate", "path:8", "--fault-seed", "3"]).is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--best-effort"]).is_err());
+        // fault injection is a distributed-engine feature.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "brandes",
+            "--faults",
+            "drop=0.1",
+            "--reliable",
+        ])
+        .is_err());
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "brandes",
+            "--reliable",
+        ])
+        .is_err());
+        // malformed plan specs are caught at parse time.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--faults",
+            "drop=lots",
+            "--reliable",
+        ])
+        .is_err());
+        // the --best-effort escape hatch allows a raw faulty run.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--faults",
+            "drop=0.1",
+            "--best-effort",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn non_distributed_flag_combos_rejected_at_parse_time() {
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "brandes",
+            "--profile",
+        ])
+        .is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--json"]).is_err());
     }
 
     #[test]

@@ -162,6 +162,65 @@ fn profile_human_output() {
     assert!(text.contains("B:counting"), "{text}");
 }
 
+/// Fault flags: incompatible combinations are usage errors (exit 2,
+/// distinct from runtime failures at exit 1), and a reliable run over a
+/// lossy plan reproduces the fault-free output exactly.
+#[test]
+fn fault_flags_usage_errors_and_reliable_chaos_run() {
+    // --faults without --reliable (or --best-effort) is rejected at parse
+    // time with the usage exit code.
+    let bad = distbc(&[
+        "centrality",
+        "--generate",
+        "path:10",
+        "--faults",
+        "drop=0.1",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    // --fault-seed without --faults likewise.
+    let bad = distbc(&["centrality", "--generate", "path:10", "--fault-seed", "7"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    // A malformed plan spec is also a usage error, not a runtime one.
+    let bad = distbc(&[
+        "centrality",
+        "--generate",
+        "path:10",
+        "--faults",
+        "drop=lots",
+        "--reliable",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    // End-to-end chaos: the reliable transport makes the lossy run print
+    // byte-identical centralities, and the stderr summary reports the
+    // repair traffic.
+    let clean = distbc(&[
+        "centrality",
+        "--generate",
+        "er:24:0.12:5",
+        "--algorithm",
+        "distributed",
+        "--csv",
+    ]);
+    assert!(clean.status.success(), "{clean:?}");
+    let chaos = distbc(&[
+        "centrality",
+        "--generate",
+        "er:24:0.12:5",
+        "--algorithm",
+        "distributed",
+        "--csv",
+        "--faults",
+        "seed=9,drop=0.15,dup=0.1,delay=0.2:3",
+        "--reliable",
+    ]);
+    assert!(chaos.status.success(), "{chaos:?}");
+    assert_eq!(stdout(&chaos), stdout(&clean));
+    let err = String::from_utf8_lossy(&chaos.stderr).into_owned();
+    assert!(err.contains("retransmitted"), "{err}");
+    assert!(err.contains("dropped"), "{err}");
+}
+
 /// `--metrics` under `--adaptive` derives phase windows from the trace
 /// (satellite: the old stderr apology is gone).
 #[test]
