@@ -53,9 +53,13 @@ fn push_row(rep: &mut ExperimentReport, family: &str, n: usize, profile: &Profil
 }
 
 /// Runs E16: engine throughput across families and thread counts, with
-/// the `BENCH_engine.json` artifact for the CI regression guard.
+/// the `BENCH_engine.json` artifact for the CI regression guard. Full
+/// runs sweep n ∈ {64, 256}: 64 is where serial wins (the historical
+/// baseline), 256 is where the sharded parallel engine starts paying —
+/// baselining only the small size would let a parallel regression hide
+/// (E18 sweeps the ratio itself).
 pub fn run(quick: bool) -> ExperimentReport {
-    let n = if quick { 24 } else { 64 };
+    let sizes: &[usize] = if quick { &[24] } else { &[64, 256] };
     let reps = if quick { 1 } else { 3 };
     let mut rep = ExperimentReport::new(
         "E16",
@@ -72,7 +76,7 @@ pub fn run(quick: bool) -> ExperimentReport {
         ],
     );
     let mut json_entries: Vec<String> = Vec::new();
-    for (family, g) in families(n) {
+    for (family, g) in sizes.iter().flat_map(|&n| families(n)) {
         let gn = g.n();
         // Reference: serial with idle skipping off — every node steps
         // every round, the pre-active-set behaviour.

@@ -9,6 +9,7 @@ pub mod e14_apsp_pipeline;
 pub mod e15_profile;
 pub mod e16_engine;
 pub mod e17_faults;
+pub mod e18_scaling;
 pub mod e1_figure1;
 pub mod e2_correctness;
 pub mod e3_rounds;

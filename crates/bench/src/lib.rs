@@ -36,7 +36,7 @@ impl fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
-/// Runs an experiment by id (`"e1"`…`"e17"`), at reduced scale if `quick`.
+/// Runs an experiment by id (`"e1"`…`"e18"`), at reduced scale if `quick`.
 ///
 /// # Errors
 ///
@@ -69,6 +69,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
         "e15" => vec![experiments::e15_profile::run(quick)],
         "e16" => vec![experiments::e16_engine::run(quick)],
         "e17" => vec![experiments::e17_faults::run(quick)],
+        "e18" => vec![experiments::e18_scaling::run(quick)],
         other => {
             return Err(UnknownExperiment {
                 id: other.to_string(),
@@ -78,8 +79,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E17 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+/// E11–E18 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];

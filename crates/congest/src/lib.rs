@@ -72,6 +72,7 @@ pub mod faults;
 mod message;
 mod metrics;
 mod network;
+pub mod partition;
 pub mod profile;
 pub mod trace;
 
@@ -81,6 +82,7 @@ pub use metrics::{EdgeCut, NetMetrics, PhaseStat};
 pub use network::{
     Budget, Config, CongestError, Enforcement, Network, Protocol, RoundCtx, RunReport,
 };
+pub use partition::{Partition, ShardMap, ShardSkew};
 pub use profile::{PhaseSpan, ProfileReport, Profiler, RoundSpan, SyncStats, WorkerStats};
 
 #[cfg(test)]

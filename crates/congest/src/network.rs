@@ -22,20 +22,29 @@
 //!   [`Protocol::idle_at`] returns `true` is not stepped at all (sound
 //!   because `idle_at` promises the step would be a no-op); disable via
 //!   [`Config::skip_idle`] as a correctness escape hatch;
-//! - **a persistent worker pool** — [`Network::run_parallel`] spawns its
-//!   workers once per run and feeds them rounds over channels, instead of
-//!   spawning and joining threads every round. Outputs are still merged in
-//!   node-id order, keeping parallel traces byte-identical to serial.
+//! - **a sharded data plane** — [`Network::run_parallel`] spawns a
+//!   persistent pool of workers, each *owning* one shard of node states and
+//!   inboxes for the whole run (assignment chosen by
+//!   [`Config::partition`]). Workers validate and route their own sends
+//!   directly into per-destination outboxes; at the next round barrier each
+//!   destination drains its peers' batches, so message payloads never pass
+//!   through the main thread. Only compact summaries (trace-event buffers,
+//!   fault-delayed sends, error/panic attribution) return to the main
+//!   thread, which k-way-merges them in ascending node-id order — keeping
+//!   parallel traces and metrics byte-identical to serial for every worker
+//!   count and every partition strategy.
 
 use crate::faults::{self, FaultPlan};
 use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
+use crate::partition::{Partition, ShardMap};
 use crate::profile::{Profiler, RoundSpan};
 use crate::trace::{ProtocolDetail, TraceEvent, TraceSink, ViolationKind};
 use bc_graph::{Graph, NodeId};
 use bc_numeric::bits::id_bits;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -92,6 +101,11 @@ pub struct Config {
     /// delay, plus node crash windows (see [`crate::faults`]). `None`
     /// (the default) is the ideal fault-free network.
     pub faults: Option<FaultPlan>,
+    /// Node→worker assignment strategy for [`Network::run_parallel`].
+    /// Observable output (states, metrics, traces) is identical for every
+    /// strategy; only how evenly the per-round work spreads across the
+    /// pool changes. Ignored by the serial engine.
+    pub partition: Partition,
 }
 
 impl Default for Config {
@@ -102,6 +116,7 @@ impl Default for Config {
             cut: None,
             skip_idle: true,
             faults: None,
+            partition: Partition::default(),
         }
     }
 }
@@ -520,7 +535,11 @@ impl<P: Protocol> Network<P> {
             for (target, port, msg) in take_due(&mut self.delayed, round) {
                 let inbox = &mut self.inboxes[target as usize];
                 inbox.push((port, msg));
-                inbox.sort_unstable_by_key(|&(port, _)| port);
+                // Stable: equal-port entries (Record-mode collisions, fault
+                // duplicates) keep arrival order — normal before delayed —
+                // which is the canonical order the parallel engine's shard
+                // drain reproduces.
+                inbox.sort_by_key(|&(port, _)| port);
             }
         }
         self.metrics.begin_round(round);
@@ -631,7 +650,9 @@ impl<P: Protocol> Network<P> {
             return Err(err.clone());
         }
         for &t in &touched {
-            spare[t as usize].sort_unstable_by_key(|&(port, _)| port);
+            // Stable for the same reason as the delayed-message insertion
+            // above: staging order breaks equal-port ties canonically.
+            spare[t as usize].sort_by_key(|&(port, _)| port);
         }
         touched.clear();
         self.touched = touched;
@@ -645,115 +666,562 @@ impl<P: Protocol> Network<P> {
                 compute_ns,
                 inbox_messages,
                 nodes_stepped,
-                worker_busy_ns: Vec::new(),
+                ..RoundSpan::default()
             });
         }
         Ok(())
     }
 }
 
-/// Recycled per-worker reply buffers: `(index, sends, events)`.
-type ReplyBufs = (
-    Vec<(NodeId, u32, u32)>,
-    Vec<(usize, Message)>,
-    Vec<ProtocolDetail>,
-);
+/// One routed message in flight between workers: `(destination's local
+/// index within its shard, reverse port, payload)`.
+type LaneEntry = (u32, usize, Message);
 
-/// One round's work order shipped to a pool worker. The buffers round-trip:
-/// the worker returns them (refilled) in its [`WorkerReply`] and the main
-/// thread sends them back with the next `Step`.
+/// One round's worth of cross-shard messages on one directed worker→worker
+/// lane. Exactly one batch (possibly empty) crosses each lane per round —
+/// that invariant is what lets the receiver's drain double as the round
+/// barrier.
+type LaneBatch = Vec<LaneEntry>;
+
+/// What a worker loop hands back to the main thread when it exits: the
+/// shard's node states, per-node inboxes, and its [`NetMetrics`] partial.
+type ShardHandoff<P> = (Vec<P>, Vec<Vec<(usize, Message)>>, NetMetrics);
+
+/// Recycled buffers that round-trip between the main thread and a worker:
+/// shipped empty with each `Step`, returned filled in the [`WorkerReply`].
+#[derive(Default)]
+struct StepBufs {
+    /// `(node, events emitted)` per stepped node that produced trace
+    /// events, ascending by node id; payloads are flattened into `events`
+    /// in the same order.
+    index: Vec<(NodeId, u32)>,
+    events: Vec<TraceEvent>,
+    /// Fault-delayed sends staged this round, tagged with their sender:
+    /// `(sender, due round, target, port, message)`, ascending by sender.
+    delayed: Vec<(NodeId, u64, NodeId, usize, Message)>,
+}
+
+/// One round's work order shipped to a shard worker.
 enum WorkerCmd {
     Step {
         round: u64,
         tracing: bool,
         profiling: bool,
-        skip_idle: bool,
-        /// This worker's chunk of current-round inboxes (returned cleared).
-        inboxes: Vec<Vec<(usize, Message)>>,
-        index: Vec<(NodeId, u32, u32)>,
-        sends: Vec<(usize, Message)>,
-        events: Vec<ProtocolDetail>,
+        /// Fault-delayed messages due this round for this worker's nodes,
+        /// as `(local index, port, message)` in canonical injection order.
+        inject: Vec<(u32, usize, Message)>,
+        bufs: StepBufs,
     },
-    Finish,
+    /// Shut down. `deliver` says whether to drain the final round's lanes
+    /// into the owned inboxes first (`true` on quiescence / round limit,
+    /// matching the serial engine's post-swap state; `false` on abort,
+    /// where the serial engine discards the round's deliveries too).
+    Finish { deliver: bool },
 }
 
-/// One round's results from a pool worker.
+/// One round's summary from a shard worker. Message payloads are *not*
+/// here — they went directly to their destination workers over the lanes.
 struct WorkerReply {
-    /// `(node, staged sends, staged events)` counts per stepped node that
-    /// produced output, in node-id order. The payloads are flattened into
-    /// `sends` / `events` in the same order.
-    index: Vec<(NodeId, u32, u32)>,
-    sends: Vec<(usize, Message)>,
-    events: Vec<ProtocolDetail>,
-    inboxes: Vec<Vec<(usize, Message)>>,
+    bufs: StepBufs,
+    /// First constraint violation in this shard's step order (= its
+    /// lowest-id violating node); the main thread picks the globally
+    /// lowest across shards, which is the one the serial engine reports.
+    first_error: Option<CongestError>,
+    /// First `round()` panic in the shard; nodes after it were not stepped
+    /// and its own output was discarded.
+    panic: Option<(NodeId, String)>,
+    /// Messages this worker delivered for the next round (intra + cross).
+    routed: u64,
+    /// Of `routed`, messages that stayed within this worker's own shard.
+    intra: u64,
+    /// Of `routed`, messages routed to a different worker's shard.
+    cross: u64,
     busy_ns: u64,
     compute_ns: u64,
+    /// Time spent draining peer lanes and routing/validating sends.
+    route_ns: u64,
     inbox_messages: u64,
     nodes_stepped: u64,
     all_halted: bool,
-    /// First `round()` panic in the chunk; nodes after it were not stepped
-    /// and its own output was discarded.
-    panic: Option<(NodeId, String)>,
 }
 
-/// Body of one persistent pool worker: owns a contiguous chunk of node
-/// states (`base..base + nodes.len()`), steps it per `Step` command in
-/// node-id order, and returns the states on `Finish` / channel close.
-fn pool_worker<P: Protocol>(
-    base: NodeId,
-    mut nodes: Vec<P>,
-    graph: &Graph,
-    faults: Option<&FaultPlan>,
-    rx: mpsc::Receiver<WorkerCmd>,
-    tx: mpsc::Sender<WorkerReply>,
-) -> Vec<P> {
-    let mut stage_sends: Vec<(usize, Message)> = Vec::new();
-    let mut stage_events: Vec<ProtocolDetail> = Vec::new();
-    while let Ok(cmd) = rx.recv() {
-        let WorkerCmd::Step {
-            round,
-            tracing,
-            profiling,
-            skip_idle,
-            mut inboxes,
-            mut index,
-            mut sends,
-            mut events,
-        } = cmd
-        else {
-            break;
+/// A sense-reversing spin barrier for the free-running round loop.
+///
+/// Workers cross it twice per round, so the wait must stay in the
+/// sub-microsecond range when the pool actually runs in parallel:
+/// arrivals spin briefly on the generation counter before falling back to
+/// `yield_now`. When the pool is *oversubscribed* (more workers than the
+/// host has cores — detected once at construction) spinning can only
+/// steal the quantum the straggler needs to arrive, so the wait yields
+/// immediately instead.
+///
+/// `wait` returns `true` for exactly one caller per crossing: the *last*
+/// arriver, which makes it the natural leader for work that must observe
+/// every worker's round contribution (the continue/stop verdict).
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+    /// Spin iterations before each check falls back to `yield_now`; zero
+    /// when oversubscribed.
+    spins: u32,
+}
+
+impl SpinBarrier {
+    const SPINS_BEFORE_YIELD: u32 = 4096;
+
+    fn new(total: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        Self {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+            spins: if total <= cores {
+                Self::SPINS_BEFORE_YIELD
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Blocks until all `total` workers have arrived; returns `true` for
+    /// the last arriver (the leader of this crossing).
+    fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < self.spins {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+/// The free-running loop's verdict after each round, published by the
+/// barrier leader. Order mirrors the orchestrated path's checks: abort
+/// (panic / strict violation) beats quiescence beats the round limit.
+const VERDICT_CONTINUE: u8 = 0;
+const VERDICT_QUIESCENT: u8 = 1;
+const VERDICT_ROUND_LIMIT: u8 = 2;
+const VERDICT_ABORT: u8 = 3;
+
+/// Shared state of the free-running data plane: per-round accumulators
+/// workers publish before barrier crossing one, and the verdict the
+/// leader derives from them between the two crossings.
+struct RoundSync {
+    barrier: SpinBarrier,
+    /// Messages routed this round, summed across workers (the parallel
+    /// `pending` of the orchestrated path's quiescence check).
+    routed: AtomicU64,
+    /// AND across workers of "my whole shard has halted".
+    all_halted: AtomicBool,
+    /// Any worker observed a node panic (or, under strict enforcement, a
+    /// constraint violation) this round.
+    fatal: AtomicBool,
+    verdict: AtomicU8,
+}
+
+impl RoundSync {
+    fn new(workers: usize) -> Self {
+        Self {
+            barrier: SpinBarrier::new(workers),
+            routed: AtomicU64::new(0),
+            all_halted: AtomicBool::new(true),
+            fatal: AtomicBool::new(false),
+            verdict: AtomicU8::new(VERDICT_CONTINUE),
+        }
+    }
+}
+
+/// One worker's per-round profiling sample from a free-running run,
+/// assembled into [`RoundSpan`]s by the main thread after the join.
+struct ProfRow {
+    busy_ns: u64,
+    compute_ns: u64,
+    route_ns: u64,
+    inbox_messages: u64,
+    nodes_stepped: u64,
+    intra: u64,
+    cross: u64,
+}
+
+/// What a free-running worker reports at join time, replacing the
+/// per-round [`WorkerReply`] stream of the orchestrated path.
+struct FreeRunStats {
+    /// Rounds this worker committed (identical across workers — they run
+    /// in lockstep and an aborted round commits nowhere).
+    rounds: u64,
+    /// Strict-mode violation from the aborting round, if that is why the
+    /// run stopped (canonicalized across workers by the main thread).
+    first_error: Option<CongestError>,
+    /// Node panic from the aborting round, if any.
+    panic: Option<(NodeId, String)>,
+    /// One row per committed round when profiling.
+    prof: Vec<ProfRow>,
+    /// Worker 0 only: wall time of each committed round, measured from
+    /// its own round start to the verdict barrier.
+    round_wall_ns: Vec<u64>,
+}
+
+/// Buffers a worker's trace events for the main thread's canonical merge.
+struct BufSink(Vec<TraceEvent>);
+
+impl TraceSink for BufSink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.0.push(event.clone());
+    }
+}
+
+/// The node id a violation is attributed to (used to pick the canonical —
+/// lowest — violation across shards).
+fn error_node(err: &CongestError) -> NodeId {
+    match err {
+        CongestError::Collision { node, .. }
+        | CongestError::Oversized { node, .. }
+        | CongestError::NodePanic { node, .. } => *node,
+        CongestError::RoundLimit { .. } => NodeId::MAX,
+    }
+}
+
+/// One persistent worker of the sharded data plane. Owns its shard's node
+/// states and inboxes for the whole run; exchanges message batches with
+/// peer workers directly over the lane mesh and reports only summaries
+/// (trace buffers, delayed sends, errors, counters) to the main thread.
+struct ShardWorker<'a, P> {
+    me: usize,
+    map: &'a ShardMap,
+    graph: &'a Graph,
+    budget_bits: Option<usize>,
+    cut: Option<&'a EdgeCut>,
+    faults: Option<&'a FaultPlan>,
+    skip_idle: bool,
+    /// Node states of this shard, ascending by node id.
+    nodes: Vec<P>,
+    /// Current-round inboxes, parallel to `nodes`.
+    inboxes: Vec<Vec<(usize, Message)>>,
+    /// This worker's metric partial; merged into the run metrics once at
+    /// shutdown ([`NetMetrics::merge`] is commutative over disjoint node
+    /// sets).
+    metrics: NetMetrics,
+    stage_sends: Vec<(usize, Message)>,
+    stage_events: Vec<ProtocolDetail>,
+    port_scratch: Vec<u8>,
+    /// Untagged fault-delay staging for `account_sends`; drained per node
+    /// into the sender-tagged reply buffer.
+    delayed_scratch: Vec<(u64, NodeId, usize, Message)>,
+    /// Next-round deliveries to this worker's own nodes (the intra-shard
+    /// fast path — the self-lane never touches a channel).
+    pending_intra: LaneBatch,
+    /// Per-destination outboxes for the current round (`out[me]` unused).
+    out: Vec<LaneBatch>,
+    /// Local indices whose inbox went non-empty this round (sorted once
+    /// after all deliveries).
+    touched: Vec<u32>,
+    /// False until the first `Step`: the initial inboxes arrive pre-filled
+    /// and pre-sorted with the shard, not over the lanes.
+    lanes_live: bool,
+    /// `lane_tx[d]` sends this worker's batch for destination `d`.
+    lane_tx: Vec<Option<mpsc::Sender<LaneBatch>>>,
+    /// `lane_rx[s]` receives the batch worker `s` sent to this worker.
+    lane_rx: Vec<Option<mpsc::Receiver<LaneBatch>>>,
+    /// `back_tx[s]` returns worker `s`'s drained batch buffer to it.
+    back_tx: Vec<Option<mpsc::Sender<LaneBatch>>>,
+    /// `back_rx[d]` receives this worker's own buffers back from `d`.
+    back_rx: Vec<Option<mpsc::Receiver<LaneBatch>>>,
+}
+
+impl<P: Protocol> ShardWorker<'_, P> {
+    /// Command loop: one [`WorkerCmd::Step`] per round until
+    /// [`WorkerCmd::Finish`] (or channel close), then hand the shard's
+    /// states, inboxes, and metric partial back to the main thread.
+    fn run(
+        mut self,
+        rx: mpsc::Receiver<WorkerCmd>,
+        tx: mpsc::Sender<WorkerReply>,
+    ) -> ShardHandoff<P> {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                WorkerCmd::Step {
+                    round,
+                    tracing,
+                    profiling,
+                    inject,
+                    bufs,
+                } => {
+                    let reply = self.step(round, tracing, profiling, inject, bufs);
+                    if tx.send(reply).is_err() {
+                        break;
+                    }
+                }
+                WorkerCmd::Finish { deliver } => {
+                    if deliver && self.lanes_live {
+                        // One batch per peer lane is still in flight from
+                        // the final stepped round; deliver it so the
+                        // returned inboxes match the serial engine's
+                        // post-swap state.
+                        self.drain_lanes();
+                        for &local in &self.touched {
+                            self.inboxes[local as usize].sort_by_key(|&(port, _)| port);
+                        }
+                        self.touched.clear();
+                    }
+                    break;
+                }
+            }
+        }
+        (self.nodes, self.inboxes, self.metrics)
+    }
+
+    /// Free-running loop for runs with no trace sink and no fault plan:
+    /// the worker steps rounds back to back, synchronizing with its peers
+    /// over two [`SpinBarrier`] crossings per round instead of a
+    /// command/reply round trip through the main thread.
+    ///
+    /// The first crossing guarantees every worker's accumulators (routed
+    /// count, halt flag, fatal flag) are published; its leader derives the
+    /// verdict and resets the accumulators. The second crossing publishes
+    /// the verdict. Lane batches are always sent *before* the first
+    /// crossing, so the next round's lane `recv` finds its batch already
+    /// waiting and never parks — in steady state no thread touches a futex.
+    ///
+    /// Observable behaviour (states, metrics, error attribution, round
+    /// count) is identical to the orchestrated path: the same `step` runs,
+    /// and the leader applies the same checks in the same order.
+    fn run_free(
+        mut self,
+        sync: &RoundSync,
+        start_round: u64,
+        max_rounds: u64,
+        profiling: bool,
+        strict: bool,
+    ) -> (ShardHandoff<P>, FreeRunStats) {
+        let mut stats = FreeRunStats {
+            rounds: 0,
+            first_error: None,
+            panic: None,
+            prof: Vec::new(),
+            round_wall_ns: Vec::new(),
         };
-        index.clear();
-        sends.clear();
-        events.clear();
+        let mut bufs = StepBufs::default();
+        let mut round = start_round;
+        let deliver = loop {
+            let round_start = (profiling && self.me == 0).then(Instant::now);
+            let reply = self.step(round, false, profiling, Vec::new(), bufs);
+            if reply.panic.is_some() || (strict && reply.first_error.is_some()) {
+                sync.fatal.store(true, Ordering::Release);
+            }
+            sync.routed.fetch_add(reply.routed, Ordering::AcqRel);
+            if !reply.all_halted {
+                sync.all_halted.store(false, Ordering::Release);
+            }
+            if sync.barrier.wait() {
+                // Leader: every worker's contribution is in. Decide, reset
+                // the accumulators for the next round (peers are parked at
+                // the second crossing, so this cannot race), publish.
+                let verdict = if sync.fatal.load(Ordering::Acquire) {
+                    VERDICT_ABORT
+                } else if sync.routed.load(Ordering::Acquire) == 0
+                    && sync.all_halted.load(Ordering::Acquire)
+                {
+                    VERDICT_QUIESCENT
+                } else if round + 1 >= max_rounds {
+                    VERDICT_ROUND_LIMIT
+                } else {
+                    VERDICT_CONTINUE
+                };
+                sync.routed.store(0, Ordering::Relaxed);
+                sync.all_halted.store(true, Ordering::Relaxed);
+                sync.verdict.store(verdict, Ordering::Release);
+            }
+            sync.barrier.wait();
+            let verdict = sync.verdict.load(Ordering::Acquire);
+            bufs = reply.bufs;
+            if verdict == VERDICT_ABORT {
+                // An aborted round commits nowhere (the orchestrated path
+                // breaks before its round increment and profiler record);
+                // keep only the error attribution for the join.
+                stats.panic = reply.panic;
+                if strict {
+                    stats.first_error = reply.first_error;
+                }
+                break false;
+            }
+            stats.rounds += 1;
+            if profiling {
+                stats.prof.push(ProfRow {
+                    busy_ns: reply.busy_ns,
+                    compute_ns: reply.compute_ns,
+                    route_ns: reply.route_ns,
+                    inbox_messages: reply.inbox_messages,
+                    nodes_stepped: reply.nodes_stepped,
+                    intra: reply.intra,
+                    cross: reply.cross,
+                });
+                if let Some(t0) = round_start {
+                    stats.round_wall_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            match verdict {
+                VERDICT_CONTINUE => round += 1,
+                _ => break true, // quiescent or round limit: clean ending
+            }
+        };
+        if deliver && self.lanes_live {
+            // Same final drain as `WorkerCmd::Finish { deliver: true }`:
+            // the last stepped round's batches are still in flight.
+            self.drain_lanes();
+            for &local in &self.touched {
+                self.inboxes[local as usize].sort_by_key(|&(port, _)| port);
+            }
+            self.touched.clear();
+        }
+        ((self.nodes, self.inboxes, self.metrics), stats)
+    }
+
+    /// Moves every peer's in-flight batch (and the worker's own intra-shard
+    /// staging) into the owned inboxes, recording which went non-empty.
+    /// Blocks until each peer's batch for the round has arrived — this is
+    /// the data-plane half of the round barrier.
+    fn drain_lanes(&mut self) {
+        for src in 0..self.map.len() {
+            if src == self.me {
+                let mut batch = std::mem::take(&mut self.pending_intra);
+                for (local, port, msg) in batch.drain(..) {
+                    let inbox = &mut self.inboxes[local as usize];
+                    if inbox.is_empty() {
+                        self.touched.push(local);
+                    }
+                    inbox.push((port, msg));
+                }
+                self.pending_intra = batch;
+            } else if let Some(rx) = &self.lane_rx[src] {
+                let Ok(mut batch) = rx.recv() else { continue };
+                for (local, port, msg) in batch.drain(..) {
+                    let inbox = &mut self.inboxes[local as usize];
+                    if inbox.is_empty() {
+                        self.touched.push(local);
+                    }
+                    inbox.push((port, msg));
+                }
+                // Return the emptied buffer to its sender for reuse.
+                if let Some(btx) = &self.back_tx[src] {
+                    let _ = btx.send(batch);
+                }
+            }
+        }
+    }
+
+    /// Executes one round over this worker's shard.
+    fn step(
+        &mut self,
+        round: u64,
+        tracing: bool,
+        profiling: bool,
+        mut inject: Vec<(u32, usize, Message)>,
+        bufs: StepBufs,
+    ) -> WorkerReply {
         let busy_start = profiling.then(Instant::now);
+        self.metrics.begin_round(round);
+        let mut route_ns = 0u64;
+
+        // Delivery: drain the previous round's lanes, then the main
+        // thread's fault-delayed injections (in that order — the serial
+        // engine also appends delayed messages after normal ones), then
+        // sort each touched inbox stably by port.
+        let t = profiling.then(Instant::now);
+        if self.lanes_live {
+            self.drain_lanes();
+        }
+        for (local, port, msg) in inject.drain(..) {
+            let inbox = &mut self.inboxes[local as usize];
+            // `touched` tracks empty→non-empty transitions; an inbox that
+            // was pre-filled when the run started (re-entry mid-flight)
+            // must be marked explicitly so it still gets sorted.
+            if inbox.is_empty() || !self.touched.contains(&local) {
+                self.touched.push(local);
+            }
+            inbox.push((port, msg));
+        }
+        for &local in &self.touched {
+            self.inboxes[local as usize].sort_by_key(|&(port, _)| port);
+        }
+        self.touched.clear();
+        // Restock outboxes from buffers peers have returned.
+        for d in 0..self.out.len() {
+            if let Some(brx) = &self.back_rx[d] {
+                if let Ok(buf) = brx.try_recv() {
+                    debug_assert!(buf.is_empty());
+                    self.out[d] = buf;
+                }
+            }
+        }
+        if let Some(t) = t {
+            route_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        // Step the shard in ascending node-id order, validating and
+        // routing each node's sends immediately (worker-side
+        // `account_sends` — no payload ever visits the main thread).
+        let me = self.me;
+        let map = self.map;
+        let graph = self.graph;
+        let shard = &map.shards()[me];
+        let metrics = &mut self.metrics;
+        let port_scratch = &mut self.port_scratch;
+        let delayed_scratch = &mut self.delayed_scratch;
+        let pending_intra = &mut self.pending_intra;
+        let out = &mut self.out;
+        let stage_sends = &mut self.stage_sends;
+        let stage_events = &mut self.stage_events;
+        let StepBufs {
+            mut index,
+            events,
+            mut delayed,
+        } = bufs;
+        index.clear();
+        delayed.clear();
+        let mut sink = BufSink(events);
+        sink.0.clear();
+        let mut first_error: Option<CongestError> = None;
+        let mut panic: Option<(NodeId, String)> = None;
         let mut compute_ns = 0u64;
         let mut inbox_messages = 0u64;
         let mut nodes_stepped = 0u64;
-        let mut panic = None;
-        for (i, node) in nodes.iter_mut().enumerate() {
+        let (mut routed, mut intra, mut cross) = (0u64, 0u64, 0u64);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let v = shard[i];
             // Crash handling mirrors the serial engine: a down node is not
             // stepped and loses its inbox for the round.
-            if faults.is_some_and(|p| p.crashed(base + i as NodeId, round)) {
-                inboxes[i].clear();
+            if self.faults.is_some_and(|p| p.crashed(v, round)) {
+                self.inboxes[i].clear();
                 continue;
             }
-            let inbox = &inboxes[i];
-            if inbox.is_empty() && skip_idle && node.idle_at(round) {
+            let inbox = &self.inboxes[i];
+            if inbox.is_empty() && self.skip_idle && node.idle_at(round) {
                 continue;
             }
             nodes_stepped += 1;
             if profiling {
                 inbox_messages += inbox.len() as u64;
             }
-            let v = base + i as NodeId;
             let mut ctx = RoundCtx::with_buffers(
                 v,
                 round,
                 graph,
                 tracing,
-                std::mem::take(&mut stage_sends),
-                std::mem::take(&mut stage_events),
+                std::mem::take(stage_sends),
+                std::mem::take(stage_events),
             );
             let t = profiling.then(Instant::now);
             let outcome = catch_unwind(AssertUnwindSafe(|| node.round(&mut ctx, inbox)));
@@ -763,10 +1231,52 @@ fn pool_worker<P: Protocol>(
             let (mut node_sends, mut node_events) = (ctx.sends, ctx.events);
             match outcome {
                 Ok(()) => {
-                    if !node_sends.is_empty() || !node_events.is_empty() {
-                        index.push((v, node_sends.len() as u32, node_events.len() as u32));
-                        sends.append(&mut node_sends);
-                        events.append(&mut node_events);
+                    let t = profiling.then(Instant::now);
+                    let events_before = sink.0.len();
+                    if tracing {
+                        for detail in node_events.drain(..) {
+                            sink.0.push(TraceEvent::Protocol {
+                                round,
+                                node: v,
+                                detail,
+                            });
+                        }
+                    }
+                    account_sends(
+                        v,
+                        round,
+                        node_sends.drain(..),
+                        graph,
+                        self.budget_bits,
+                        self.cut,
+                        metrics,
+                        port_scratch,
+                        |target, reverse_port, msg| {
+                            routed += 1;
+                            let entry = (map.local_of(target) as u32, reverse_port, msg);
+                            let dest = map.shard_of(target);
+                            if dest == me {
+                                intra += 1;
+                                pending_intra.push(entry);
+                            } else {
+                                cross += 1;
+                                out[dest].push(entry);
+                            }
+                        },
+                        &mut first_error,
+                        tracing.then_some(&mut sink),
+                        self.faults,
+                        delayed_scratch,
+                    );
+                    for (due, target, port, msg) in delayed_scratch.drain(..) {
+                        delayed.push((v, due, target, port, msg));
+                    }
+                    let n_events = (sink.0.len() - events_before) as u32;
+                    if n_events > 0 {
+                        index.push((v, n_events));
+                    }
+                    if let Some(t) = t {
+                        route_ns += t.elapsed().as_nanos() as u64;
                     }
                 }
                 Err(payload) => {
@@ -775,43 +1285,66 @@ fn pool_worker<P: Protocol>(
                     panic = Some((v, panic_message(payload)));
                 }
             }
-            stage_sends = node_sends;
-            stage_events = node_events;
-            inboxes[i].clear();
+            *stage_sends = node_sends;
+            *stage_events = node_events;
+            self.inboxes[i].clear();
             if panic.is_some() {
                 break;
             }
         }
-        let all_halted = nodes.iter().all(|p| p.is_halted());
-        let busy_ns = busy_start
-            .map(|t| t.elapsed().as_nanos() as u64)
-            .unwrap_or(0);
-        let reply = WorkerReply {
-            index,
-            sends,
-            events,
-            inboxes,
-            busy_ns,
+        let all_halted = self.nodes.iter().all(|p| p.is_halted());
+
+        // Publish this round's batches — exactly one per peer, empty or
+        // not, which is what gives the next round's drain its barrier.
+        let t = profiling.then(Instant::now);
+        for (d, slot) in out.iter_mut().enumerate() {
+            if d == me {
+                continue;
+            }
+            if let Some(tx) = &self.lane_tx[d] {
+                let _ = tx.send(std::mem::take(slot));
+            }
+        }
+        self.lanes_live = true;
+        if let Some(t) = t {
+            route_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        WorkerReply {
+            bufs: StepBufs {
+                index,
+                events: sink.0,
+                delayed,
+            },
+            first_error,
+            panic,
+            routed,
+            intra,
+            cross,
+            busy_ns: busy_start
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0),
             compute_ns,
+            route_ns,
             inbox_messages,
             nodes_stepped,
             all_halted,
-            panic,
-        };
-        if tx.send(reply).is_err() {
-            break;
         }
     }
-    nodes
 }
 
 impl<P: Protocol + Send> Network<P> {
     /// Runs like [`Network::run`] but steps each round's nodes on a
-    /// persistent pool of `threads` workers, fed per-round via channels.
-    /// The result (node states, metrics, message order, traces) is
-    /// identical to the serial engine: within a round node steps are
-    /// independent, worker outputs are merged in node-id order, and
-    /// inboxes are canonically sorted by port.
+    /// persistent pool of up to `threads` shard workers (one per shard of
+    /// [`Config::partition`]; never more than one per node).
+    ///
+    /// Workers exchange message payloads directly over a worker→worker
+    /// lane mesh and validate their own sends; the main thread only
+    /// orchestrates rounds and k-way-merges the workers' summaries
+    /// (trace events, fault-delayed sends, violations) in ascending
+    /// node-id order. The result — node states, metrics, message order,
+    /// traces — is identical to the serial engine for every `threads`
+    /// value and every partition strategy.
     ///
     /// # Errors
     ///
@@ -834,19 +1367,35 @@ impl<P: Protocol + Send> Network<P> {
         }
 
         let n = self.graph.n();
-        let chunk = n.div_ceil(threads).max(1);
-        // The pool owns the node states and inbox buffers for the whole
-        // run, split into contiguous per-worker chunks; everything is
-        // reassembled into `self` before returning.
-        let mut node_chunks: Vec<Vec<P>> = split_chunks(std::mem::take(&mut self.nodes), chunk);
-        let mut chunk_inboxes = split_chunks(std::mem::take(&mut self.inboxes), chunk);
-        let mut chunk_next = split_chunks(std::mem::take(&mut self.spare), chunk);
-        let workers = node_chunks.len();
+        let map = self.config.partition.shard_map(&self.graph, threads);
+        let workers = map.len();
+
+        // Scatter node states and current inboxes to their shards (in
+        // ascending id order, so scatter position = shard-local index).
+        // Workers own them for the whole run and hand them back at Finish.
+        let mut shard_nodes: Vec<Vec<P>> = map
+            .shards()
+            .iter()
+            .map(|s| Vec::with_capacity(s.len()))
+            .collect();
+        let mut shard_inboxes: Vec<Vec<Vec<(usize, Message)>>> = map
+            .shards()
+            .iter()
+            .map(|s| Vec::with_capacity(s.len()))
+            .collect();
+        for (v, (node, inbox)) in std::mem::take(&mut self.nodes)
+            .into_iter()
+            .zip(std::mem::take(&mut self.inboxes))
+            .enumerate()
+        {
+            let s = map.shard_of(v as NodeId);
+            shard_nodes[s].push(node);
+            shard_inboxes[s].push(inbox);
+        }
 
         let graph = &self.graph;
         let metrics = &mut self.metrics;
         let profiler = &mut self.profiler;
-        let port_scratch = &mut self.port_scratch;
         let round_ref = &mut self.round;
         let budget_bits = self.budget_bits;
         let enforcement = self.config.enforcement;
@@ -855,56 +1404,206 @@ impl<P: Protocol + Send> Network<P> {
         let faults = self.config.faults.as_ref();
         let delayed = &mut self.delayed;
         let mut sink = self.sink.take();
+        let map_ref = &map;
 
-        let result = crossbeam::thread::scope(|scope| {
+        // With no trace sink and no fault plan there is nothing for the
+        // main thread to merge or inject each round, so workers can
+        // free-run over the spin barrier instead of paying two futex
+        // wakeups per round on the command/reply channels. Tracing and
+        // fault runs keep the orchestrated path.
+        let free_running = sink.is_none() && faults.is_none() && delayed.is_empty();
+        let sync = RoundSync::new(workers);
+        let sync_ref = &sync;
+
+        let (run_result, handoff) = crossbeam::thread::scope(|scope| {
+            // Build the k×k lane mesh. Each directed worker pair gets a
+            // data lane (one batch per round) and a back lane returning
+            // the drained buffer for reuse. Grids are indexed
+            // [owner][peer].
+            let make_grid = || -> Vec<Vec<Option<mpsc::Sender<LaneBatch>>>> {
+                (0..workers)
+                    .map(|_| (0..workers).map(|_| None).collect())
+                    .collect()
+            };
+            let make_rx_grid = || -> Vec<Vec<Option<mpsc::Receiver<LaneBatch>>>> {
+                (0..workers)
+                    .map(|_| (0..workers).map(|_| None).collect())
+                    .collect()
+            };
+            let mut lane_tx = make_grid();
+            let mut lane_rx = make_rx_grid();
+            let mut back_tx = make_grid();
+            let mut back_rx = make_rx_grid();
+            for s in 0..workers {
+                for d in 0..workers {
+                    if s == d {
+                        continue;
+                    }
+                    let (tx, rx) = mpsc::channel::<LaneBatch>();
+                    lane_tx[s][d] = Some(tx);
+                    lane_rx[d][s] = Some(rx);
+                    let (tx, rx) = mpsc::channel::<LaneBatch>();
+                    back_tx[d][s] = Some(tx);
+                    back_rx[s][d] = Some(rx);
+                }
+            }
+
+            let mut pool = Vec::with_capacity(workers);
+            for w in 0..workers {
+                pool.push(ShardWorker {
+                    me: w,
+                    map: map_ref,
+                    graph,
+                    budget_bits,
+                    cut,
+                    faults,
+                    skip_idle,
+                    nodes: std::mem::take(&mut shard_nodes[w]),
+                    inboxes: std::mem::take(&mut shard_inboxes[w]),
+                    metrics: NetMetrics::default(),
+                    stage_sends: Vec::new(),
+                    stage_events: Vec::new(),
+                    port_scratch: Vec::new(),
+                    delayed_scratch: Vec::new(),
+                    pending_intra: Vec::new(),
+                    out: (0..workers).map(|_| Vec::new()).collect(),
+                    touched: Vec::new(),
+                    lanes_live: false,
+                    lane_tx: std::mem::take(&mut lane_tx[w]),
+                    lane_rx: std::mem::take(&mut lane_rx[w]),
+                    back_tx: std::mem::take(&mut back_tx[w]),
+                    back_rx: std::mem::take(&mut back_rx[w]),
+                });
+            }
+
+            if free_running {
+                let profiling = profiler.is_some();
+                let strict = matches!(enforcement, Enforcement::Strict);
+                let start_round = *round_ref;
+                let handles: Vec<_> = pool
+                    .into_iter()
+                    .map(|worker| {
+                        scope.spawn(move |_| {
+                            worker.run_free(sync_ref, start_round, max_rounds, profiling, strict)
+                        })
+                    })
+                    .collect();
+                let mut handoff = Vec::with_capacity(workers);
+                let mut stats = Vec::with_capacity(workers);
+                for h in handles {
+                    let (shard, s) = h.join().expect("pool worker thread died");
+                    handoff.push(shard);
+                    stats.push(s);
+                }
+                // Workers run in lockstep, so every worker committed the
+                // same number of rounds; fold them into the run exactly as
+                // the orchestrated loop would have, one round at a time.
+                let committed = stats[0].rounds;
+                debug_assert!(stats.iter().all(|s| s.rounds == committed));
+                *round_ref += committed;
+                if committed > 0 {
+                    metrics.rounds = *round_ref;
+                }
+                if let Some(p) = profiler.as_mut() {
+                    for r in 0..committed as usize {
+                        let mut worker_busy_ns = Vec::with_capacity(workers);
+                        let mut worker_route_ns = Vec::with_capacity(workers);
+                        let mut compute_ns = 0u64;
+                        let mut inbox_messages = 0u64;
+                        let mut nodes_stepped = 0u64;
+                        let (mut cross, mut intra) = (0u64, 0u64);
+                        for s in &stats {
+                            let row = &s.prof[r];
+                            worker_busy_ns.push(row.busy_ns);
+                            worker_route_ns.push(row.route_ns);
+                            compute_ns += row.compute_ns;
+                            inbox_messages += row.inbox_messages;
+                            nodes_stepped += row.nodes_stepped;
+                            cross += row.cross;
+                            intra += row.intra;
+                        }
+                        p.record_round(RoundSpan {
+                            round: start_round + r as u64,
+                            total_ns: stats[0].round_wall_ns[r],
+                            compute_ns,
+                            inbox_messages,
+                            nodes_stepped,
+                            worker_busy_ns,
+                            worker_route_ns,
+                            cross_shard_messages: cross,
+                            intra_shard_messages: intra,
+                        });
+                    }
+                }
+                // Canonical abort attribution, same as the orchestrated
+                // path: lowest-id panicking node wins; under strict
+                // enforcement the lowest-id violation below it is next.
+                let first_panic: Option<(NodeId, String)> = stats
+                    .iter()
+                    .filter_map(|s| s.panic.clone())
+                    .min_by_key(|&(v, _)| v);
+                let clip = first_panic.as_ref().map_or(NodeId::MAX, |&(v, _)| v);
+                let first_error: Option<CongestError> = stats
+                    .iter()
+                    .filter_map(|s| s.first_error.as_ref())
+                    .filter(|e| error_node(e) < clip)
+                    .min_by_key(|e| error_node(e))
+                    .cloned();
+                let run_result = if let Some((node, message)) = first_panic {
+                    Err(CongestError::NodePanic {
+                        node,
+                        round: *round_ref,
+                        message,
+                    })
+                } else if let Some(err) = first_error {
+                    Err(err)
+                } else if sync_ref.verdict.load(Ordering::Acquire) == VERDICT_ROUND_LIMIT {
+                    Err(CongestError::RoundLimit { max_rounds })
+                } else {
+                    Ok(RunReport { rounds: *round_ref })
+                };
+                return (run_result, handoff);
+            }
+
             let mut cmd_txs = Vec::with_capacity(workers);
             let mut reply_rxs = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
-            let mut base = 0 as NodeId;
-            for nodes in node_chunks.drain(..) {
+            for worker in pool {
                 let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
                 let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
-                let b = base;
-                base += nodes.len() as NodeId;
-                handles.push(
-                    scope.spawn(move |_| pool_worker(b, nodes, graph, faults, cmd_rx, reply_tx)),
-                );
+                handles.push(scope.spawn(move |_| worker.run(cmd_rx, reply_tx)));
                 cmd_txs.push(cmd_tx);
                 reply_rxs.push(reply_rx);
             }
-            let mut reply_bufs: Vec<ReplyBufs> = (0..workers)
-                .map(|_| (Vec::new(), Vec::new(), Vec::new()))
-                .collect();
-            // Next-inbox slots touched this round, as (worker, local index).
-            let mut touched: Vec<(usize, usize)> = Vec::new();
+
+            let mut step_bufs: Vec<Option<StepBufs>> =
+                (0..workers).map(|_| Some(StepBufs::default())).collect();
+            let mut inject_bufs: Vec<Vec<(u32, usize, Message)>> =
+                (0..workers).map(|_| Vec::new()).collect();
 
             let run_result = loop {
                 let round = *round_ref;
+                // Group due fault-delayed messages per destination shard,
+                // preserving injection order within each.
                 if !delayed.is_empty() {
                     for (target, port, msg) in take_due(delayed, round) {
-                        let (tw, tl) = (target as usize / chunk, target as usize % chunk);
-                        let slot = &mut chunk_inboxes[tw][tl];
-                        slot.push((port, msg));
-                        slot.sort_unstable_by_key(|&(port, _)| port);
+                        inject_bufs[map_ref.shard_of(target)].push((
+                            map_ref.local_of(target) as u32,
+                            port,
+                            msg,
+                        ));
                     }
                 }
-                metrics.begin_round(round);
                 let tracing = sink.is_some();
                 let profiling = profiler.is_some();
                 let round_start = profiling.then(Instant::now);
-                // Ship the round to every worker before doing main-thread
-                // work, so workers step while the main thread traces.
                 for (w, tx) in cmd_txs.iter().enumerate() {
-                    let (index, sends, events) = std::mem::take(&mut reply_bufs[w]);
                     let cmd = WorkerCmd::Step {
                         round,
                         tracing,
                         profiling,
-                        skip_idle,
-                        inboxes: std::mem::take(&mut chunk_inboxes[w]),
-                        index,
-                        sends,
-                        events,
+                        inject: std::mem::take(&mut inject_bufs[w]),
+                        bufs: step_bufs[w].take().expect("step buffers in rotation"),
                     };
                     tx.send(cmd).expect("pool worker alive");
                 }
@@ -915,106 +1614,105 @@ impl<P: Protocol + Send> Network<P> {
                     .iter()
                     .map(|rx| rx.recv().expect("pool worker alive"))
                     .collect();
-                // Chunks hold ascending node-id ranges and a worker stops
-                // at its first panic, so the first panic in worker order is
-                // the lowest-id panicking node — the one the serial engine
-                // would have hit.
-                let first_panic = replies
+
+                // Canonical abort attribution: the serial engine stops at
+                // the lowest-id panicking node and never observes anything
+                // later nodes did, so merges below are clipped to ids
+                // strictly under it.
+                let first_panic: Option<(NodeId, String)> = replies
                     .iter()
-                    .enumerate()
-                    .find_map(|(w, r)| r.panic.as_ref().map(|(v, m)| (w, *v, m.clone())));
-                let mut first_error: Option<CongestError> = None;
+                    .filter_map(|r| r.panic.clone())
+                    .min_by_key(|&(v, _)| v);
+                let clip = first_panic.as_ref().map_or(NodeId::MAX, |&(v, _)| v);
+                let first_error: Option<CongestError> = replies
+                    .iter()
+                    .filter_map(|r| r.first_error.as_ref())
+                    .filter(|e| error_node(e) < clip)
+                    .min_by_key(|e| error_node(e))
+                    .cloned();
+
+                // K-way merge of the workers' trace buffers in ascending
+                // node-id order (each worker's index is already ascending)
+                // — byte-identical to the serial event stream.
+                if let Some(s) = sink.as_deref_mut() {
+                    let mut cursor: Vec<(usize, usize)> = vec![(0, 0); replies.len()];
+                    loop {
+                        let mut best: Option<(NodeId, usize)> = None;
+                        for (w, rep) in replies.iter().enumerate() {
+                            if let Some(&(v, _)) = rep.bufs.index.get(cursor[w].0) {
+                                if v < clip && best.is_none_or(|(bv, _)| v < bv) {
+                                    best = Some((v, w));
+                                }
+                            }
+                        }
+                        let Some((_, w)) = best else { break };
+                        let (ip, ep) = cursor[w];
+                        let count = replies[w].bufs.index[ip].1 as usize;
+                        for e in &replies[w].bufs.events[ep..ep + count] {
+                            s.event(e);
+                        }
+                        cursor[w] = (ip + 1, ep + count);
+                    }
+                }
+                // Same merge for fault-delayed sends: ascending sender id
+                // reproduces the serial engine's injection order exactly.
+                {
+                    let mut cursor: Vec<usize> = vec![0; replies.len()];
+                    loop {
+                        let mut best: Option<(NodeId, usize)> = None;
+                        for (w, rep) in replies.iter().enumerate() {
+                            if let Some(&(sender, ..)) = rep.bufs.delayed.get(cursor[w]) {
+                                if sender < clip && best.is_none_or(|(bv, _)| sender < bv) {
+                                    best = Some((sender, w));
+                                }
+                            }
+                        }
+                        let Some((_, w)) = best else { break };
+                        let (_, due, target, port, msg) =
+                            replies[w].bufs.delayed[cursor[w]].clone();
+                        delayed.push((due, target, port, msg));
+                        cursor[w] += 1;
+                    }
+                }
+
                 let mut worker_busy_ns = Vec::new();
+                let mut worker_route_ns = Vec::new();
                 let mut compute_ns = 0u64;
                 let mut inbox_messages = 0u64;
                 let mut nodes_stepped = 0u64;
+                let (mut cross, mut intra) = (0u64, 0u64);
+                let mut pending = 0u64;
                 let mut all_halted = true;
-                for (w, rep) in replies.iter_mut().enumerate() {
-                    if profiling {
-                        worker_busy_ns.push(rep.busy_ns);
-                        compute_ns += rep.compute_ns;
-                        inbox_messages += rep.inbox_messages;
-                    }
+                for rep in &replies {
                     nodes_stepped += rep.nodes_stepped;
                     all_halted &= rep.all_halted;
-                    // Deliver and validate this chunk's output unless a
-                    // lower chunk panicked (the serial engine would never
-                    // have stepped these nodes).
-                    let process = first_panic.as_ref().is_none_or(|&(pw, _, _)| w <= pw);
-                    if process {
-                        let mut sends_iter = rep.sends.drain(..);
-                        let mut events_iter = rep.events.drain(..);
-                        for &(v, n_sends, n_events) in rep.index.iter() {
-                            for detail in events_iter.by_ref().take(n_events as usize) {
-                                if let Some(s) = sink.as_deref_mut() {
-                                    s.event(&TraceEvent::Protocol {
-                                        round,
-                                        node: v,
-                                        detail,
-                                    });
-                                }
-                            }
-                            account_sends(
-                                v,
-                                round,
-                                sends_iter.by_ref().take(n_sends as usize),
-                                graph,
-                                budget_bits,
-                                cut,
-                                metrics,
-                                port_scratch,
-                                |target, reverse_port, msg| {
-                                    let (tw, tl) =
-                                        (target as usize / chunk, target as usize % chunk);
-                                    let slot = &mut chunk_next[tw][tl];
-                                    if slot.is_empty() {
-                                        touched.push((tw, tl));
-                                    }
-                                    slot.push((reverse_port, msg));
-                                },
-                                &mut first_error,
-                                sink.as_deref_mut(),
-                                faults,
-                                delayed,
-                            );
-                        }
+                    pending += rep.routed;
+                    if profiling {
+                        worker_busy_ns.push(rep.busy_ns);
+                        worker_route_ns.push(rep.route_ns);
+                        compute_ns += rep.compute_ns;
+                        inbox_messages += rep.inbox_messages;
+                        cross += rep.cross;
+                        intra += rep.intra;
                     }
-                    // Recycle the reply buffers (sends/events may hold
-                    // unprocessed leftovers after a panic; the worker
-                    // clears all three on the next Step).
-                    reply_bufs[w] = (
-                        std::mem::take(&mut rep.index),
-                        std::mem::take(&mut rep.sends),
-                        std::mem::take(&mut rep.events),
-                    );
-                    chunk_inboxes[w] = std::mem::take(&mut rep.inboxes);
                 }
-                if let Some((_, v, message)) = first_panic {
-                    for &(tw, tl) in &touched {
-                        chunk_next[tw][tl].clear();
-                    }
-                    touched.clear();
+                for (w, rep) in replies.iter_mut().enumerate() {
+                    let mut bufs = std::mem::take(&mut rep.bufs);
+                    bufs.index.clear();
+                    bufs.events.clear();
+                    bufs.delayed.clear();
+                    step_bufs[w] = Some(bufs);
+                }
+                if let Some((node, message)) = first_panic {
                     break Err(CongestError::NodePanic {
-                        node: v,
+                        node,
                         round,
                         message,
                     });
                 }
                 if let (Some(err), Enforcement::Strict) = (&first_error, enforcement) {
-                    for &(tw, tl) in &touched {
-                        chunk_next[tw][tl].clear();
-                    }
-                    touched.clear();
                     break Err(err.clone());
                 }
-                let mut pending = 0usize;
-                for &(tw, tl) in &touched {
-                    let slot = &mut chunk_next[tw][tl];
-                    slot.sort_unstable_by_key(|&(port, _)| port);
-                    pending += slot.len();
-                }
-                touched.clear();
-                std::mem::swap(&mut chunk_inboxes, &mut chunk_next);
                 *round_ref += 1;
                 metrics.rounds = *round_ref;
                 if let (Some(t0), Some(p)) = (round_start, profiler.as_mut()) {
@@ -1025,6 +1723,9 @@ impl<P: Protocol + Send> Network<P> {
                         inbox_messages,
                         nodes_stepped,
                         worker_busy_ns,
+                        worker_route_ns,
+                        cross_shard_messages: cross,
+                        intra_shard_messages: intra,
                     });
                 }
                 if pending == 0 && all_halted && delayed.is_empty() {
@@ -1034,39 +1735,45 @@ impl<P: Protocol + Send> Network<P> {
                     break Err(CongestError::RoundLimit { max_rounds });
                 }
             };
-            // Shut the pool down and reclaim the node states (chunks come
-            // back in spawn order = ascending node-id order).
+
+            // Shut the pool down; on clean endings the workers drain the
+            // final in-flight lane batches into their inboxes first.
+            let deliver = matches!(&run_result, Ok(_) | Err(CongestError::RoundLimit { .. }));
             for tx in &cmd_txs {
-                let _ = tx.send(WorkerCmd::Finish);
+                let _ = tx.send(WorkerCmd::Finish { deliver });
             }
             drop(cmd_txs);
-            for h in handles {
-                node_chunks.push(h.join().expect("pool worker thread died"));
-            }
-            run_result
+            let handoff: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker thread died"))
+                .collect();
+            (run_result, handoff)
         })
         .expect("worker pool scope failed");
 
-        self.nodes = node_chunks.drain(..).flatten().collect();
-        self.inboxes = chunk_inboxes.into_iter().flatten().collect();
-        self.spare = chunk_next.into_iter().flatten().collect();
+        // Gather: reassemble id-ordered state and fold each worker's
+        // metric partial into the run metrics (merge is commutative, so
+        // gather order does not matter).
+        let mut nodes: Vec<Option<P>> = (0..n).map(|_| None).collect();
+        let mut inboxes: Vec<Vec<(usize, Message)>> = (0..n).map(|_| Vec::new()).collect();
+        for (w, (worker_nodes, worker_inboxes, worker_metrics)) in handoff.into_iter().enumerate() {
+            self.metrics.merge(&worker_metrics);
+            for ((i, node), inbox) in worker_nodes.into_iter().enumerate().zip(worker_inboxes) {
+                let v = map.shards()[w][i] as usize;
+                nodes[v] = Some(node);
+                inboxes[v] = inbox;
+            }
+        }
+        self.nodes = nodes
+            .into_iter()
+            .map(|slot| slot.expect("every node returned by exactly one worker"))
+            .collect();
+        self.inboxes = inboxes;
         debug_assert_eq!(self.nodes.len(), n);
         debug_assert!(self.spare.iter().all(|i| i.is_empty()));
         self.sink = sink;
-        result
+        run_result
     }
-}
-
-/// Splits `items` into contiguous chunks of `chunk` elements (the last may
-/// be shorter), preserving order.
-fn split_chunks<T>(mut items: Vec<T>, chunk: usize) -> Vec<Vec<T>> {
-    let mut chunks = Vec::with_capacity(items.len().div_ceil(chunk.max(1)));
-    while !items.is_empty() {
-        let rest = items.split_off(chunk.min(items.len()));
-        chunks.push(items);
-        items = rest;
-    }
-    chunks
 }
 
 /// Renders a `catch_unwind` payload (usually a `&str` or `String` from

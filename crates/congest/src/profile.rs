@@ -47,9 +47,20 @@ pub struct RoundSpan {
     /// rest; 0 for α-synchronizer pulses, which track deliveries instead).
     pub nodes_stepped: u64,
     /// Per-worker busy nanoseconds (parallel engine only; empty
-    /// otherwise). Worker `i` always owns the same contiguous node chunk,
+    /// otherwise). Worker `i` owns the same node shard for the whole run,
     /// so the vector is comparable across rounds.
     pub worker_busy_ns: Vec<u64>,
+    /// Per-worker nanoseconds spent in the message data plane — draining
+    /// peer lane batches and validating/routing staged sends (parallel
+    /// engine only; empty otherwise). A subset of the worker's busy time.
+    pub worker_route_ns: Vec<u64>,
+    /// Messages routed to a node owned by a *different* worker (parallel
+    /// engine only). Cross-shard traffic is what the partition strategy
+    /// tries to keep cheap relative to `intra_shard_messages`.
+    pub cross_shard_messages: u64,
+    /// Messages routed within the sending worker's own shard (parallel
+    /// engine only).
+    pub intra_shard_messages: u64,
 }
 
 /// Pulse-skew and queue counters specific to the α-synchronizer.
@@ -178,12 +189,14 @@ impl Profiler {
             .filter(|&w| w > 1)?;
         let mut busy_total = 0u64;
         let mut critical_total = 0u64;
+        let mut route_total = 0u64;
         for span in &self.spans {
             if span.worker_busy_ns.is_empty() {
                 continue;
             }
             busy_total += span.worker_busy_ns.iter().sum::<u64>();
             critical_total += span.worker_busy_ns.iter().copied().max().unwrap_or(0);
+            route_total += span.worker_route_ns.iter().sum::<u64>();
         }
         let ideal = critical_total.saturating_mul(workers as u64);
         let utilization = if ideal == 0 {
@@ -201,6 +214,7 @@ impl Profiler {
             workers,
             busy_ns: busy_total,
             critical_path_ns: critical_total,
+            route_ns: route_total,
             utilization,
             imbalance,
         })
@@ -230,6 +244,8 @@ impl Profiler {
                 .max()
                 .unwrap_or(0),
             nodes_stepped: self.spans.iter().map(|s| s.nodes_stepped).sum(),
+            cross_shard_messages: self.spans.iter().map(|s| s.cross_shard_messages).sum(),
+            intra_shard_messages: self.spans.iter().map(|s| s.intra_shard_messages).sum(),
             phases: phases
                 .iter()
                 .map(|(name, start, end)| self.phase_span(name.clone(), *start, *end))
@@ -275,6 +291,10 @@ pub struct WorkerStats {
     /// Sum over rounds of the slowest worker's busy time — the parallel
     /// section's critical path.
     pub critical_path_ns: u64,
+    /// Total nanoseconds all workers spent in the message data plane
+    /// (lane draining plus send validation/routing) — the engine-overhead
+    /// share of `busy_ns` that scales with traffic, not node compute.
+    pub route_ns: u64,
     /// `busy / (workers · critical path)` ∈ (0, 1]: how evenly the
     /// per-round node work fills the worker pool.
     pub utilization: f64,
@@ -305,6 +325,12 @@ pub struct ProfileReport {
     /// Sum over rounds of nodes actually stepped (the round engines skip
     /// idle nodes; `rounds · n` minus this is work the engine avoided).
     pub nodes_stepped: u64,
+    /// Messages the parallel engine routed across worker shards (0 for
+    /// serial / α-sync runs).
+    pub cross_shard_messages: u64,
+    /// Messages the parallel engine routed within the sending worker's
+    /// own shard (0 for serial / α-sync runs).
+    pub intra_shard_messages: u64,
     /// Per-phase spans (empty when phase boundaries are unknown).
     pub phases: Vec<PhaseSpan>,
     /// Parallel-worker statistics (parallel engine only).
@@ -352,6 +378,11 @@ impl ProfileReport {
             self.max_inbox_depth,
             self.nodes_stepped
         );
+        let _ = write!(
+            out,
+            ",\"cross_shard_messages\":{},\"intra_shard_messages\":{}",
+            self.cross_shard_messages, self.intra_shard_messages
+        );
         out.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -376,8 +407,8 @@ impl ProfileReport {
             let _ = write!(
                 out,
                 ",\"workers\":{{\"workers\":{},\"busy_ns\":{},\"critical_path_ns\":{},\
-                 \"utilization\":{:.4},\"imbalance\":{:.4}}}",
-                w.workers, w.busy_ns, w.critical_path_ns, w.utilization, w.imbalance
+                 \"route_ns\":{},\"utilization\":{:.4},\"imbalance\":{:.4}}}",
+                w.workers, w.busy_ns, w.critical_path_ns, w.route_ns, w.utilization, w.imbalance
             );
         }
         if let Some(s) = &self.sync {
@@ -440,11 +471,19 @@ impl fmt::Display for ProfileReport {
             writeln!(
                 f,
                 "workers: {} threads, utilization {:.1}%, imbalance {:.2}x, \
-                 critical path {:.3} ms",
+                 critical path {:.3} ms, routing {:.3} ms",
                 w.workers,
                 100.0 * w.utilization,
                 w.imbalance,
                 ms(w.critical_path_ns),
+                ms(w.route_ns),
+            )?;
+        }
+        if self.cross_shard_messages > 0 || self.intra_shard_messages > 0 {
+            writeln!(
+                f,
+                "data plane: {} intra-shard + {} cross-shard messages",
+                self.intra_shard_messages, self.cross_shard_messages,
             )?;
         }
         if let Some(s) = &self.sync {
@@ -565,6 +604,42 @@ mod tests {
         assert!(json.contains("\"workers\":{"));
         assert!(json.contains("\"sync\":{"));
         assert!(json.contains("\"phases\":["));
+    }
+
+    #[test]
+    fn route_and_shard_counters_flow_into_report() {
+        let mut p = Profiler::new();
+        p.record_round(RoundSpan {
+            round: 0,
+            total_ns: 100,
+            compute_ns: 60,
+            worker_busy_ns: vec![40, 40],
+            worker_route_ns: vec![10, 5],
+            cross_shard_messages: 3,
+            intra_shard_messages: 7,
+            ..RoundSpan::default()
+        });
+        p.record_round(RoundSpan {
+            round: 1,
+            total_ns: 100,
+            compute_ns: 60,
+            worker_busy_ns: vec![40, 40],
+            worker_route_ns: vec![2, 3],
+            cross_shard_messages: 1,
+            intra_shard_messages: 9,
+            ..RoundSpan::default()
+        });
+        let rep = p.report("parallel(2)", &[]);
+        assert_eq!(rep.cross_shard_messages, 4);
+        assert_eq!(rep.intra_shard_messages, 16);
+        assert_eq!(rep.workers.unwrap().route_ns, 20);
+        let json = rep.to_json();
+        assert!(json.contains("\"cross_shard_messages\":4"));
+        assert!(json.contains("\"intra_shard_messages\":16"));
+        assert!(json.contains("\"route_ns\":20"));
+        let text = rep.to_string();
+        assert!(text.contains("routing 0.000 ms") || text.contains("routing"));
+        assert!(text.contains("data plane: 16 intra-shard + 4 cross-shard"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use super::check;
 use super::{ProtocolDetail, TraceEvent};
+use crate::partition::Partition;
 use bc_graph::{algo, Graph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -75,6 +76,23 @@ pub struct EdgeStat {
     pub utilization: f64,
 }
 
+/// How evenly one partition strategy would have spread the observed
+/// per-node send load over a worker pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSkew {
+    /// Strategy label (`"contiguous"` / `"degree"`).
+    pub strategy: &'static str,
+    /// Worker count evaluated.
+    pub threads: usize,
+    /// Heaviest shard's message count.
+    pub max_load: u64,
+    /// Mean shard message count.
+    pub mean_load: f64,
+    /// `max / mean` ≥ 1 — the slowest worker's stretch factor. 1.0 is a
+    /// perfectly balanced assignment.
+    pub skew: f64,
+}
+
 /// Message load of one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundLoad {
@@ -106,6 +124,12 @@ pub struct TraceStats {
     pub hot_edges: Vec<EdgeStat>,
     /// Top-K rounds by message count, descending.
     pub peak_rounds: Vec<RoundLoad>,
+    /// Per-shard load skew each partition strategy would have produced
+    /// for the observed per-node send loads, at a few worker counts.
+    /// Empty when the trace carries no topology. Schedule-aware skew is
+    /// not reported here: its weights live in the protocol layer, which
+    /// this crate cannot see.
+    pub shard_skew: Vec<PartitionSkew>,
     /// DFS token hops observed (phase B's serial backbone).
     pub token_hops: u64,
     /// First and last round with token activity, when any.
@@ -208,6 +232,18 @@ impl TraceStats {
                 r.round, r.messages, r.bits
             );
         }
+        out.push_str("],\"shard_skew\":[");
+        for (i, s) in self.shard_skew.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"strategy\":\"{}\",\"threads\":{},\"max_load\":{},\
+                 \"mean_load\":{:.2},\"skew\":{:.4}}}",
+                s.strategy, s.threads, s.max_load, s.mean_load, s.skew
+            );
+        }
         out.push_str("]}");
         out
     }
@@ -285,6 +321,16 @@ impl fmt::Display for TraceStats {
                     f,
                     "  round {:>6} {:>8} msgs {:>10} bits",
                     r.round, r.messages, r.bits
+                )?;
+            }
+        }
+        if !self.shard_skew.is_empty() {
+            writeln!(f, "partition load skew (max/mean send load per shard):")?;
+            for s in &self.shard_skew {
+                writeln!(
+                    f,
+                    "  {:>10} x{:<2} {:>8} max {:>10.1} mean  skew {:.2}",
+                    s.strategy, s.threads, s.max_load, s.mean_load, s.skew
                 )?;
             }
         }
@@ -432,6 +478,36 @@ pub fn analyze(events: &[TraceEvent], top_k: usize) -> TraceStats {
     peak_rounds.sort_by(|a, b| b.messages.cmp(&a.messages).then(a.round.cmp(&b.round)));
     peak_rounds.truncate(top_k);
 
+    // How each static partition strategy would have spread the observed
+    // per-node send load over a worker pool — the trace-side view of the
+    // parallel engine's sharding choice.
+    let mut shard_skew = Vec::new();
+    if let Some(g) = &topology {
+        let mut node_sent = vec![0u64; g.n()];
+        for event in events {
+            if let TraceEvent::MessageSent { from, .. } = event {
+                if (*from as usize) < node_sent.len() {
+                    node_sent[*from as usize] += 1;
+                }
+            }
+        }
+        for strategy in [Partition::Contiguous, Partition::DegreeBalanced] {
+            for threads in [2usize, 4, 8] {
+                if threads > g.n() {
+                    continue;
+                }
+                let s = strategy.shard_map(g, threads).skew(&node_sent);
+                shard_skew.push(PartitionSkew {
+                    strategy: strategy.label(),
+                    threads,
+                    max_load: s.max_load,
+                    mean_load: s.mean_load,
+                    skew: s.skew,
+                });
+            }
+        }
+    }
+
     TraceStats {
         events: events.len(),
         rounds: report.rounds,
@@ -441,6 +517,7 @@ pub fn analyze(events: &[TraceEvent], top_k: usize) -> TraceStats {
         total_slack,
         hot_edges,
         peak_rounds,
+        shard_skew,
         token_hops,
         token_span,
         check_ok: report.ok(),
@@ -627,6 +704,35 @@ mod tests {
         assert_eq!(adaptive_phase_bounds(&events), Some((7, 20, 31)));
         assert_eq!(adaptive_phase_bounds(&events[..3]), None);
         assert_eq!(adaptive_phase_bounds(&[]), None);
+    }
+
+    #[test]
+    fn shard_skew_reported_per_strategy_and_thread_count() {
+        // Node 0 does all the sending: contiguous chunking leaves its
+        // whole load on shard 0, so skew = threads; degree balancing
+        // can't fix a single-node hot spot either, but both rows must be
+        // present and well-formed.
+        let mut events = vec![path5_topology()];
+        for r in 0..4 {
+            events.push(TraceEvent::RoundStart { round: r });
+            events.push(sent(r, 0, 1, 8));
+        }
+        let stats = analyze(&events, 3);
+        // threads 8 > n=5 is skipped ⇒ 2 strategies × {2, 4}.
+        assert_eq!(stats.shard_skew.len(), 4);
+        assert!(stats
+            .shard_skew
+            .iter()
+            .any(|s| s.strategy == "contiguous" && s.threads == 2));
+        assert!(stats.shard_skew.iter().all(|s| s.skew >= 1.0));
+        assert!(stats.shard_skew.iter().all(|s| s.max_load == 4));
+        let json = stats.to_json();
+        assert!(
+            json.contains("\"shard_skew\":[{\"strategy\":\"contiguous\""),
+            "{json}"
+        );
+        let text = stats.to_string();
+        assert!(text.contains("partition load skew"), "{text}");
     }
 
     #[test]

@@ -2,17 +2,111 @@
 //! betweenness-centrality execution.
 
 use crate::node::{AlgoOptions, DistBcNode};
-use crate::sampling::SourceSelection;
+use crate::sampling::{source_mask, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::trace::{TraceEvent, TraceSink};
 use bc_congest::{
-    Budget, Config, CongestError, EdgeCut, Enforcement, FaultPlan, NetMetrics, Network, PhaseStat,
-    ProfileReport, Profiler,
+    Budget, Config, CongestError, EdgeCut, Enforcement, FaultPlan, NetMetrics, Network, Partition,
+    PhaseStat, ProfileReport, Profiler,
 };
-use bc_graph::{algo, Graph};
+use bc_graph::{algo, Graph, NodeId};
 use bc_numeric::FpParams;
 use std::fmt;
+
+/// Node→worker partitioning strategy for the parallel round engine
+/// (`threads > 1`); maps onto [`bc_congest::Partition`].
+///
+/// Partitioning never changes observable output — results, metrics, and
+/// traces are bit-identical across strategies — only how evenly the
+/// per-round work spreads across the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Contiguous equal-count id chunks (the historical default).
+    #[default]
+    Contiguous,
+    /// Degree-balanced shards via LPT greedy packing.
+    DegreeBalanced,
+    /// Shards balanced by each node's provisioned `T_s(u)` schedule
+    /// density ([`PhaseSchedule::partition_weights`]): degree-proportional
+    /// wave/aggregation traffic plus per-source bookkeeping.
+    ScheduleAware,
+}
+
+impl PartitionStrategy {
+    /// Short label for logs and profile headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::DegreeBalanced => "degree",
+            PartitionStrategy::ScheduleAware => "schedule",
+        }
+    }
+
+    /// Parses the CLI spelling (`contiguous` | `degree` | `schedule`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "contiguous" => Some(PartitionStrategy::Contiguous),
+            "degree" => Some(PartitionStrategy::DegreeBalanced),
+            "schedule" => Some(PartitionStrategy::ScheduleAware),
+            _ => None,
+        }
+    }
+
+    /// Resolves to the engine-level [`Partition`], deriving schedule-aware
+    /// weights from the graph, the phase schedule, and the source set.
+    fn to_engine(self, g: &Graph, sched: &PhaseSchedule, sources: &SourceSelection) -> Partition {
+        match self {
+            PartitionStrategy::Contiguous => Partition::Contiguous,
+            PartitionStrategy::DegreeBalanced => Partition::DegreeBalanced,
+            PartitionStrategy::ScheduleAware => {
+                let degrees: Vec<usize> = (0..g.n()).map(|v| g.degree(v as NodeId)).collect();
+                let mask = source_mask(sources, g.n());
+                Partition::ScheduleAware(sched.partition_weights(&degrees, &mask).into())
+            }
+        }
+    }
+}
+
+/// Node count at or above which the parallel engine starts paying off
+/// (given enough cores — see [`auto_threads`]).
+///
+/// E18's scaling sweep shows the sharded data plane losing to serial on
+/// every family at n = 64 and 128 (per-round barrier cost dominates);
+/// n = 256 is where per-round compute grows large enough to amortize the
+/// two barrier crossings. `--threads auto` uses this threshold.
+pub const AUTO_THREADS_MIN_NODES: usize = 192;
+
+/// [`auto_threads`] with the core count passed explicitly (testable
+/// without depending on the host): serial (0) below
+/// [`AUTO_THREADS_MIN_NODES`] or when fewer than two cores are available
+/// — parallel workers cannot beat serial wall-clock without real
+/// parallelism, only pay barrier overhead — otherwise up to four workers
+/// (the sweet spot in E18's thread sweep; 8 workers add barrier cost
+/// faster than useful parallelism at these sizes), capped at the core
+/// count so the pool is never oversubscribed.
+///
+/// ```
+/// use bc_core::{auto_threads_for, AUTO_THREADS_MIN_NODES};
+/// assert_eq!(auto_threads_for(64, 8), 0); // below the size threshold
+/// assert_eq!(auto_threads_for(AUTO_THREADS_MIN_NODES, 1), 0); // no parallelism
+/// assert_eq!(auto_threads_for(256, 2), 2); // capped at the core count
+/// assert_eq!(auto_threads_for(256, 16), 4); // E18's sweet spot
+/// ```
+pub fn auto_threads_for(n: usize, cores: usize) -> usize {
+    if n < AUTO_THREADS_MIN_NODES || cores < 2 {
+        0
+    } else {
+        cores.min(4)
+    }
+}
+
+/// Thread count `--threads auto` resolves to for an `n`-node graph on
+/// this host (detected via `std::thread::available_parallelism`).
+pub fn auto_threads(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    auto_threads_for(n, cores)
+}
 
 /// Configuration for [`run_distributed_bc`].
 #[derive(Debug, Clone)]
@@ -30,6 +124,9 @@ pub struct DistBcConfig {
     pub budget: Budget,
     /// Worker threads for the round engine; `0` or `1` runs serially.
     pub threads: usize,
+    /// Node→worker partitioning for the parallel engine (ignored when
+    /// running serially). Never changes observable output.
+    pub partition: PartitionStrategy,
     /// Optional edge cut across which bit flow is measured (experiment E8).
     pub cut: Option<EdgeCut>,
     /// Also compute stress centrality (Eq. 3) in the same pass — the
@@ -70,6 +167,7 @@ impl Default for DistBcConfig {
             enforcement: Enforcement::default(),
             budget: Budget::default(),
             threads: 0,
+            partition: PartitionStrategy::default(),
             cut: None,
             compute_stress: false,
             sources: SourceSelection::default(),
@@ -303,6 +401,7 @@ fn run_impl(
         cut: config.cut.clone(),
         skip_idle: config.skip_idle,
         faults: config.faults.clone(),
+        partition: config.partition.to_engine(g, &sched, &config.sources),
     };
     if let Some(s) = sink.as_deref_mut() {
         s.event(&TraceEvent::Topology {
@@ -440,6 +539,10 @@ fn run_impl(
         } else {
             "serial".to_string()
         };
+        if config.threads > 1 && config.partition != PartitionStrategy::Contiguous {
+            engine.push('+');
+            engine.push_str(config.partition.label());
+        }
         if config.reliable {
             engine.push_str("+reliable");
         }

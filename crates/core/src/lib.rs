@@ -55,9 +55,10 @@ pub mod transport;
 
 pub use codec::{Codec, DecodeError, ProtocolMsg};
 pub use driver::{
-    run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
-    run_distributed_bc_traced_profiled, run_distributed_bc_weighted, run_distributed_closeness,
-    run_distributed_diameter, DistBcConfig, DistBcError, DistBcResult, WeightedDistBcResult,
+    auto_threads, auto_threads_for, run_distributed_bc, run_distributed_bc_profiled,
+    run_distributed_bc_traced, run_distributed_bc_traced_profiled, run_distributed_bc_weighted,
+    run_distributed_closeness, run_distributed_diameter, DistBcConfig, DistBcError, DistBcResult,
+    PartitionStrategy, WeightedDistBcResult, AUTO_THREADS_MIN_NODES,
 };
 pub use node::{AggInfo, AlgoOptions, DistBcNode};
 pub use sampling::{source_mask, SourceSelection};

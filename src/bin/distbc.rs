@@ -18,8 +18,9 @@ use distbc::brandes;
 use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink};
 use distbc::congest::{Enforcement, FaultPlan, PhaseStat, ProfileReport};
 use distbc::core::{
-    run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
-    run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, Scheduling, SourceSelection,
+    auto_threads, run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
+    run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, PartitionStrategy, Scheduling,
+    SourceSelection, AUTO_THREADS_MIN_NODES,
 };
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
@@ -45,7 +46,8 @@ enum Command {
         metrics: bool,
         profile: bool,
         json: bool,
-        threads: usize,
+        threads: ThreadSpec,
+        partition: PartitionStrategy,
         skip_idle: bool,
         faults: Option<FaultPlan>,
         reliable: bool,
@@ -75,6 +77,14 @@ enum GraphSource {
     Generate(String),
 }
 
+/// `--threads` argument: a fixed worker count, or `auto` (resolved from
+/// the node count after the graph is loaded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ThreadSpec {
+    Fixed(usize),
+    Auto,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Algorithm {
     Distributed,
@@ -95,7 +105,8 @@ const USAGE: &str = "usage:
   distbc centrality  --input FILE | --generate SPEC
                      [--algorithm distributed|brandes|exact|naive|sampled:K]
                      [--stress] [--top K] [--csv] [--mantissa-bits L]
-                     [--sequential | --adaptive] [--threads N] [--no-idle-skip]
+                     [--sequential | --adaptive] [--threads N|auto]
+                     [--partition contiguous|degree|schedule] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
                      [--faults PLAN [--fault-seed N]] [--reliable] [--best-effort]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
@@ -130,7 +141,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut metrics = false;
     let mut profile = false;
     let mut json = false;
-    let mut threads = 0usize;
+    let mut threads = ThreadSpec::Fixed(0);
+    let mut partition = PartitionStrategy::default();
     let mut skip_idle = true;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
@@ -170,9 +182,17 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--sequential" => scheduling = Scheduling::Sequential,
             "--adaptive" => scheduling = Scheduling::Adaptive,
             "--threads" => {
-                threads = value("--threads")?
-                    .parse()
-                    .map_err(|_| "bad --threads value".to_string())?
+                let v = value("--threads")?;
+                threads = if v == "auto" {
+                    ThreadSpec::Auto
+                } else {
+                    ThreadSpec::Fixed(v.parse().map_err(|_| "bad --threads value".to_string())?)
+                };
+            }
+            "--partition" => {
+                let v = value("--partition")?;
+                partition = PartitionStrategy::parse(&v)
+                    .ok_or_else(|| format!("unknown --partition {v:?}"))?;
             }
             "--no-idle-skip" => skip_idle = false,
             "--faults" => {
@@ -277,6 +297,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 profile,
                 json,
                 threads,
+                partition,
                 skip_idle,
                 faults,
                 reliable,
@@ -455,13 +476,39 @@ fn cmd_centrality(
     metrics: bool,
     profile: bool,
     json: bool,
-    threads: usize,
+    threads: ThreadSpec,
+    partition: PartitionStrategy,
     skip_idle: bool,
     faults: Option<&FaultPlan>,
     reliable: bool,
     best_effort: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
+    let threads = match threads {
+        ThreadSpec::Fixed(t) => t,
+        ThreadSpec::Auto => {
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            let t = auto_threads(g.n());
+            eprintln!(
+                "# --threads auto: n={} {} {}, {} core{} -> {}",
+                g.n(),
+                if g.n() < AUTO_THREADS_MIN_NODES {
+                    "<"
+                } else {
+                    ">="
+                },
+                AUTO_THREADS_MIN_NODES,
+                cores,
+                if cores == 1 { "" } else { "s" },
+                if t > 1 {
+                    format!("parallel({t})")
+                } else {
+                    "serial".to_string()
+                }
+            );
+            t
+        }
+    };
     let mut stress_vals: Option<Vec<f64>> = None;
     let bc: Vec<f64> = match algorithm {
         Algorithm::Brandes => brandes::betweenness_f64(&g),
@@ -480,6 +527,7 @@ fn cmd_centrality(
                     _ => SourceSelection::All,
                 },
                 threads,
+                partition,
                 skip_idle,
                 faults: faults.cloned(),
                 reliable,
@@ -701,6 +749,7 @@ fn main() -> ExitCode {
             profile,
             json,
             threads,
+            partition,
             skip_idle,
             faults,
             reliable,
@@ -718,6 +767,7 @@ fn main() -> ExitCode {
             *profile,
             *json,
             *threads,
+            *partition,
             *skip_idle,
             faults.as_ref(),
             *reliable,
@@ -799,13 +849,53 @@ mod tests {
                 metrics: false,
                 profile: false,
                 json: false,
-                threads: 4,
+                threads: ThreadSpec::Fixed(4),
+                partition: PartitionStrategy::Contiguous,
                 skip_idle: false,
                 faults: None,
                 reliable: false,
                 best_effort: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_auto_and_partition() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--threads",
+            "auto",
+            "--partition",
+            "degree",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality {
+                threads, partition, ..
+            } => {
+                assert_eq!(threads, ThreadSpec::Auto);
+                assert_eq!(partition, PartitionStrategy::DegreeBalanced);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--partition",
+            "schedule",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality { partition, .. } => {
+                assert_eq!(partition, PartitionStrategy::ScheduleAware);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(p(&["centrality", "--generate", "path:8", "--partition", "x"]).is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--threads", "soon"]).is_err());
     }
 
     #[test]
