@@ -17,7 +17,13 @@
 //! absorbs runner noise while still catching engine-level slowdowns.
 //! E17's `--metric overhead_permille` is deterministic (a rounds ratio)
 //! and compares exactly across hosts.
+//!
+//! Both files must carry a top-level `"schema_version"` matching the
+//! version this binary was built against ([`bc_congest::SCHEMA_VERSION`]);
+//! a missing or unknown version exits 2 instead of silently comparing
+//! mismatched shapes.
 
+use bc_congest::SCHEMA_VERSION;
 use std::process::exit;
 
 /// One `(graph, engine) → metric` record scraped from a profiles file.
@@ -81,6 +87,24 @@ fn read_profiles(path: &str, metric: &str) -> Vec<Record> {
         eprintln!("bench_guard: cannot read {path}: {e}");
         exit(2);
     });
+    match number_after(&text, "\"schema_version\":") {
+        None => {
+            eprintln!(
+                "bench_guard: {path} has no schema_version field — refusing to compare \
+                 an unversioned artifact (expected schema_version {SCHEMA_VERSION})"
+            );
+            exit(2);
+        }
+        Some((v, _)) if v != u64::from(SCHEMA_VERSION) => {
+            eprintln!(
+                "bench_guard: {path} carries schema_version {v}, but this binary \
+                 understands schema_version {SCHEMA_VERSION} — regenerate the artifact \
+                 or update the baseline"
+            );
+            exit(2);
+        }
+        Some(_) => {}
+    }
     let records = parse_profiles(&text, metric);
     if records.is_empty() {
         eprintln!("bench_guard: {path} holds no (graph, engine, {metric}) records");
@@ -126,7 +150,7 @@ fn main() {
     let baseline = read_profiles(baseline_path, &metric);
 
     let mut compared = 0usize;
-    let mut regressions = 0usize;
+    let mut regressions: Vec<(Record, u64, f64)> = Vec::new();
     println!(
         "{:<20} {:<16} {:>12} {:>12} {:>7}",
         "graph",
@@ -145,7 +169,7 @@ fn main() {
         compared += 1;
         let ratio = f.value as f64 / b.value.max(1) as f64;
         let verdict = if ratio > threshold {
-            regressions += 1;
+            regressions.push((f.clone(), b.value, ratio));
             "REGRESSED"
         } else {
             "ok"
@@ -162,8 +186,24 @@ fn main() {
         );
         exit(1);
     }
-    println!("compared {compared} records, threshold {threshold}x, {regressions} regressed");
-    if regressions > 0 {
+    println!(
+        "compared {compared} records, threshold {threshold}x, {} regressed",
+        regressions.len()
+    );
+    if !regressions.is_empty() {
+        // A CI failure is read far from this table: spell out exactly what
+        // regressed, against which baseline file, and by how much.
+        for (f, base, ratio) in &regressions {
+            eprintln!(
+                "bench_guard: REGRESSED ({graph}, {engine}): {metric} {fresh} vs baseline \
+                 {base} in {baseline_path} — {ratio:.2}x exceeds the allowed {threshold}x \
+                 (max permitted: {max})",
+                graph = f.graph,
+                engine = f.engine,
+                fresh = f.value,
+                max = (*base as f64 * threshold) as u64,
+            );
+        }
         exit(1);
     }
 }

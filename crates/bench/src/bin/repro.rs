@@ -22,10 +22,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let artifacts_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--artifacts")
-        .map(|i| args.get(i + 1).expect("--artifacts needs a DIR").clone());
+    let artifacts_dir: Option<String> =
+        args.iter()
+            .position(|a| a == "--artifacts")
+            .map(|i| match args.get(i + 1) {
+                Some(dir) => dir.clone(),
+                None => {
+                    eprintln!("repro: --artifacts needs a DIR");
+                    std::process::exit(2);
+                }
+            });
     let mut skip_next = false;
     let ids: Vec<String> = args
         .iter()
@@ -86,18 +92,23 @@ fn fail(e: &bc_bench::UnknownExperiment) -> ! {
 /// Writes every experiment-attached artifact plus the aggregated
 /// `BENCH_rounds.json` into `dir` (created if missing).
 fn write_artifacts(dir: &Path, reports: &[ExperimentReport], quick: bool) {
-    std::fs::create_dir_all(dir).expect("create artifacts dir");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("repro: cannot create artifacts dir {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let write = |path: &Path, content: &str| {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {} ({} bytes)", path.display(), content.len());
+    };
     for r in reports {
         for (name, content) in &r.artifacts {
-            let path = dir.join(name);
-            std::fs::write(&path, content).expect("write artifact");
-            eprintln!("wrote {} ({} bytes)", path.display(), content.len());
+            write(&dir.join(name), content);
         }
     }
-    let rounds = rounds_json(reports, quick);
-    let path = dir.join("BENCH_rounds.json");
-    std::fs::write(&path, &rounds).expect("write BENCH_rounds.json");
-    eprintln!("wrote {} ({} bytes)", path.display(), rounds.len());
+    write(&dir.join("BENCH_rounds.json"), &rounds_json(reports, quick));
 }
 
 /// The aggregated perf-trajectory file: one record per distributed run
@@ -117,7 +128,8 @@ fn rounds_json(reports: &[ExperimentReport], quick: bool) -> String {
         }
     }
     format!(
-        "{{\"scale\":\"{}\",\"runs\":[{}]}}",
+        "{{\"schema_version\":{},\"scale\":\"{}\",\"runs\":[{}]}}",
+        bc_congest::SCHEMA_VERSION,
         if quick { "quick" } else { "full" },
         recs.join(",")
     )

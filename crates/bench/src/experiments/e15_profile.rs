@@ -11,7 +11,7 @@
 
 use crate::ExperimentReport;
 use bc_congest::asynchronous::{run_synchronized_profiled, AsyncConfig};
-use bc_congest::{ProfileReport, Profiler};
+use bc_congest::{ProfileReport, Profiler, SCHEMA_VERSION};
 use bc_core::{run_distributed_bc_profiled, AlgoOptions, DistBcConfig, DistBcNode};
 use bc_graph::{generators, Graph};
 use std::fmt::Write as _;
@@ -124,7 +124,8 @@ pub fn run(quick: bool) -> ExperimentReport {
             sync_profile.to_json()
         ));
     }
-    let mut artifact = String::from("{\"experiment\":\"E15\",\"profiles\":[");
+    let mut artifact =
+        format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"E15\",\"profiles\":[");
     let _ = write!(artifact, "{}", json_entries.join(","));
     artifact.push_str("]}");
     rep.add_artifact("BENCH_profile.json", artifact);
@@ -153,6 +154,7 @@ mod tests {
         assert_eq!(rep.perf.len(), 3);
         let (name, artifact) = &rep.artifacts[0];
         assert_eq!(name, "BENCH_profile.json");
+        assert!(artifact.starts_with("{\"schema_version\":1,"));
         assert!(artifact.contains("\"experiment\":\"E15\""));
         assert!(artifact.contains("\"engine\":\"serial\""));
         assert!(artifact.contains("\"engine\":\"parallel(4)\""));

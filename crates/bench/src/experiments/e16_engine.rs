@@ -10,9 +10,10 @@
 //! engines and thread counts before any row is emitted.
 
 use crate::ExperimentReport;
-use bc_congest::ProfileReport;
+use bc_congest::{ProfileReport, Telemetry, SCHEMA_VERSION};
 use bc_core::{run_distributed_bc_profiled, DistBcConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use super::e15_profile::families;
 
@@ -76,6 +77,7 @@ pub fn run(quick: bool) -> ExperimentReport {
         ],
     );
     let mut json_entries: Vec<String> = Vec::new();
+    let mut telemetry_entries: Vec<String> = Vec::new();
     for (family, g) in sizes.iter().flat_map(|&n| families(n)) {
         let gn = g.n();
         // Reference: serial with idle skipping off — every node steps
@@ -116,12 +118,42 @@ pub fn run(quick: bool) -> ExperimentReport {
                 "{{\"graph\":\"{family}\",\"profile\":{}}}",
                 profile.to_json()
             ));
+
+            // Same config with the always-on telemetry layer attached: the
+            // result must stay bit-identical, and the wall-clock ratio
+            // (1000 = parity, like E18's ratio_permille) quantifies the
+            // steady-state cost of leaving telemetry enabled by default.
+            let tel_cfg = DistBcConfig {
+                telemetry: Some(Arc::new(Telemetry::new(threads.max(1), 64))),
+                ..cfg.clone()
+            };
+            let (tel_out, tel_profile) = best_profile(&g, &tel_cfg, reps);
+            assert_eq!(
+                tel_out.betweenness, noskip_out.betweenness,
+                "{family}: telemetry-on run (threads={threads}) diverged from telemetry-off"
+            );
+            assert_eq!(
+                tel_out.metrics, noskip_out.metrics,
+                "{family}: telemetry-on metrics diverged"
+            );
+            let overhead_permille = tel_profile.wall_ns * 1000 / profile.wall_ns.max(1);
+            telemetry_entries.push(format!(
+                "{{\"graph\":\"{family}\",\"engine\":\"{}\",\"wall_ns\":{},\
+                 \"telemetry_wall_ns\":{},\"telemetry_overhead_permille\":{}}}",
+                profile.engine, profile.wall_ns, tel_profile.wall_ns, overhead_permille
+            ));
         }
     }
-    let mut artifact = String::from("{\"experiment\":\"E16\",\"profiles\":[");
+    let mut artifact =
+        format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"E16\",\"profiles\":[");
     let _ = write!(artifact, "{}", json_entries.join(","));
     artifact.push_str("]}");
     rep.add_artifact("BENCH_engine.json", artifact);
+    let mut tel_artifact =
+        format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"E16\",\"profiles\":[");
+    let _ = write!(tel_artifact, "{}", telemetry_entries.join(","));
+    tel_artifact.push_str("]}");
+    rep.add_artifact("BENCH_telemetry.json", tel_artifact);
     rep.note(
         "wall-clock columns are host-dependent; betweenness and CONGEST metrics are \
          asserted bit-identical across every engine and thread count before a row is \
@@ -131,6 +163,13 @@ pub fn run(quick: bool) -> ExperimentReport {
     rep.note(
         "step share = nodes stepped / (rounds x n); the serial/no-skip row is the \
          pre-active-set reference and is excluded from the BENCH_engine.json artifact"
+            .to_string(),
+    );
+    rep.note(
+        "BENCH_telemetry.json measures the same sweep with the always-on telemetry \
+         layer attached: telemetry_overhead_permille = telemetry wall / plain wall x \
+         1000 on the same host (1000 = parity, 1020 = 2% overhead); results are \
+         asserted bit-identical before the ratio is recorded"
             .to_string(),
     );
     rep
@@ -148,12 +187,23 @@ mod tests {
         assert_eq!(rep.perf.len(), 9);
         let (name, artifact) = &rep.artifacts[0];
         assert_eq!(name, "BENCH_engine.json");
+        assert!(artifact.starts_with("{\"schema_version\":1,"));
         assert!(artifact.contains("\"experiment\":\"E16\""));
         assert!(artifact.contains("\"engine\":\"serial\""));
         assert!(artifact.contains("\"engine\":\"parallel(2)\""));
         assert!(artifact.contains("\"engine\":\"parallel(4)\""));
         assert!(!artifact.contains("no-skip"));
         assert_eq!(artifact.matches("\"graph\":").count(), 9);
+        let (tel_name, tel_artifact) = &rep.artifacts[1];
+        assert_eq!(tel_name, "BENCH_telemetry.json");
+        assert!(tel_artifact.starts_with("{\"schema_version\":1,"));
+        assert_eq!(
+            tel_artifact
+                .matches("\"telemetry_overhead_permille\":")
+                .count(),
+            9
+        );
+        assert_eq!(tel_artifact.matches("\"graph\":").count(), 9);
         // Idle skipping leaves most (family, round) node slots unstepped.
         let stepped: Vec<&str> = rep
             .rows

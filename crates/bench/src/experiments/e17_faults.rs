@@ -16,7 +16,7 @@
 //! was slow.
 
 use crate::ExperimentReport;
-use bc_congest::FaultPlan;
+use bc_congest::{FaultPlan, SCHEMA_VERSION};
 use bc_core::{run_distributed_bc, run_distributed_bc_profiled, DistBcConfig};
 use std::fmt::Write as _;
 
@@ -95,7 +95,8 @@ pub fn run(quick: bool) -> ExperimentReport {
             ));
         }
     }
-    let mut artifact = String::from("{\"experiment\":\"E17\",\"profiles\":[");
+    let mut artifact =
+        format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"E17\",\"profiles\":[");
     let _ = write!(artifact, "{}", json_entries.join(","));
     artifact.push_str("]}");
     rep.add_artifact("BENCH_faults.json", artifact);
@@ -133,6 +134,7 @@ mod tests {
         assert_eq!(rep.perf.len(), 12);
         let (name, artifact) = &rep.artifacts[0];
         assert_eq!(name, "BENCH_faults.json");
+        assert!(artifact.starts_with("{\"schema_version\":1,"));
         assert!(artifact.contains("\"experiment\":\"E17\""));
         assert_eq!(artifact.matches("\"overhead_permille\":").count(), 12);
         assert!(artifact.contains("\"engine\":\"serial+reliable\""));

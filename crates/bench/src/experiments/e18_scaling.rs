@@ -22,6 +22,7 @@
 //! ratio measures pure data-plane overhead.
 
 use crate::ExperimentReport;
+use bc_congest::SCHEMA_VERSION;
 use bc_core::{run_distributed_bc_profiled, DistBcConfig, PartitionStrategy};
 use bc_graph::{generators, Graph};
 use std::fmt::Write as _;
@@ -154,7 +155,7 @@ pub fn run(quick: bool) -> ExperimentReport {
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let mut artifact = format!("{{\"experiment\":\"E18\",\"host_cores\":{cores},\"profiles\":[");
+    let mut artifact = format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"E18\",\"host_cores\":{cores},\"profiles\":[");
     let _ = write!(artifact, "{}", json_entries.join(","));
     artifact.push_str("]}");
     rep.add_artifact("BENCH_scaling.json", artifact);
@@ -192,6 +193,7 @@ mod tests {
         assert_eq!(rep.rows.len(), 8);
         let (name, artifact) = &rep.artifacts[0];
         assert_eq!(name, "BENCH_scaling.json");
+        assert!(artifact.starts_with("{\"schema_version\":1,"));
         assert!(artifact.contains("\"experiment\":\"E18\""));
         assert!(artifact.contains("\"host_cores\":"));
         assert!(artifact.contains("\"graph\":\"er-256\""));

@@ -26,12 +26,14 @@ use crate::faults::{self, FaultPlan};
 use crate::message::Message;
 use crate::network::{Protocol, RoundCtx};
 use crate::profile::Profiler;
+use crate::telemetry::{Counter, HistogramId, Telemetry};
 use crate::trace::{ProtocolDetail, TraceEvent, TraceSink};
 use bc_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the asynchronous transport.
@@ -107,6 +109,10 @@ struct Engine<'g, P> {
     control_messages: u64,
     sink: Option<Box<dyn TraceSink>>,
     profiler: Option<Profiler>,
+    /// Telemetry registry (single shard: the engine is single-threaded).
+    /// Writes counters only — never protocol state — so a telemetry-on run
+    /// is bit-identical to a telemetry-off run.
+    telemetry: Option<Arc<Telemetry>>,
     /// Fault plan applied at payload-delivery time (`None` = lossless).
     faults: Option<FaultPlan>,
     /// One past the highest pulse for which `RoundStart` was emitted.
@@ -118,9 +124,20 @@ struct Engine<'g, P> {
 
 impl<P: Protocol> Engine<'_, P> {
     fn send(&mut self, from: NodeId, port: usize, msg: SyncMsg) {
-        match msg {
-            SyncMsg::Payload { .. } => self.payload_messages += 1,
-            _ => self.control_messages += 1,
+        match &msg {
+            SyncMsg::Payload { inner, .. } => {
+                self.payload_messages += 1;
+                if let Some(t) = &self.telemetry {
+                    t.add(0, Counter::Messages, 1);
+                    t.add(0, Counter::MessageBits, inner.bit_len() as u64);
+                }
+            }
+            _ => {
+                self.control_messages += 1;
+                if let Some(t) = &self.telemetry {
+                    t.add(0, Counter::ControlMessages, 1);
+                }
+            }
         }
         let delay = self.rng.gen_range(1..=self.max_delay);
         let link = (from, port);
@@ -166,6 +183,16 @@ impl<P: Protocol> Engine<'_, P> {
                     s.event(&TraceEvent::RoundStart { round });
                 }
             }
+            if let Some(t) = &self.telemetry {
+                // Pulses overlap across nodes; the first node to *enter*
+                // pulse p+1 marks pulse p as committed for the flight
+                // recorder, mirroring the RoundStart trace events.
+                for round in self.rounds_announced..=pulse {
+                    if round > 0 {
+                        t.finish_round(round - 1);
+                    }
+                }
+            }
             self.rounds_announced = pulse + 1;
         }
         if self.faults.as_ref().is_some_and(|p| p.crashed(v, pulse)) {
@@ -179,6 +206,11 @@ impl<P: Protocol> Engine<'_, P> {
             node.announced_safe = false;
             self.maybe_announce_safe(v);
             return;
+        }
+        if let Some(t) = &self.telemetry {
+            t.add(0, Counter::NodesStepped, 1);
+            t.add(0, Counter::InboxMessages, inbox.len() as u64);
+            t.record(0, HistogramId::InboxDepth, inbox.len() as u64);
         }
         let node = &mut self.nodes[v as usize];
         let mut ctx = RoundCtx::with_buffers(
@@ -360,7 +392,38 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, None);
+    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, None, None);
+    (nodes, report)
+}
+
+/// Like [`run_synchronized`], but records payload/control message counts,
+/// nodes stepped, and inbox depths into `telemetry` as pulses execute, and
+/// commits a flight-recorder round each time the first node enters the
+/// next pulse. Pass `plan` to combine with fault injection. Telemetry
+/// writes counters only — node states and the [`AsyncReport`] are
+/// bit-identical to an untelemetered run.
+pub fn run_synchronized_telemetry<P, F>(
+    graph: &Graph,
+    cfg: AsyncConfig,
+    pulses: u64,
+    plan: Option<FaultPlan>,
+    factory: F,
+    telemetry: Arc<Telemetry>,
+) -> (Vec<P>, AsyncReport)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &Graph) -> P,
+{
+    let (nodes, report, _, _) = run_impl(
+        graph,
+        cfg,
+        pulses,
+        factory,
+        None,
+        None,
+        Some(telemetry),
+        plan,
+    );
     (nodes, report)
 }
 
@@ -382,7 +445,7 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, Some(plan));
+    let (nodes, report, _, _) = run_impl(graph, cfg, pulses, factory, None, None, None, Some(plan));
     (nodes, report)
 }
 
@@ -404,8 +467,16 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, _, profiler) =
-        run_impl(graph, cfg, pulses, factory, None, Some(profiler), None);
+    let (nodes, report, _, profiler) = run_impl(
+        graph,
+        cfg,
+        pulses,
+        factory,
+        None,
+        Some(profiler),
+        None,
+        None,
+    );
     (nodes, report, profiler.expect("profiler returned"))
 }
 
@@ -427,11 +498,12 @@ where
     P: Protocol,
     F: FnMut(NodeId, &Graph) -> P,
 {
-    let (nodes, report, sink, _) = run_impl(graph, cfg, pulses, factory, Some(sink), None, None);
+    let (nodes, report, sink, _) =
+        run_impl(graph, cfg, pulses, factory, Some(sink), None, None, None);
     (nodes, report, sink.expect("sink returned"))
 }
 
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_impl<P, F>(
     graph: &Graph,
     cfg: AsyncConfig,
@@ -439,6 +511,7 @@ fn run_impl<P, F>(
     mut factory: F,
     sink: Option<Box<dyn TraceSink>>,
     profiler: Option<Profiler>,
+    telemetry: Option<Arc<Telemetry>>,
     faults: Option<FaultPlan>,
 ) -> (
     Vec<P>,
@@ -477,6 +550,7 @@ where
         control_messages: 0,
         sink,
         profiler,
+        telemetry,
         faults,
         rounds_announced: 0,
         stage_sends: Vec::new(),
@@ -495,6 +569,12 @@ where
     }
     if let Some(p) = engine.profiler.as_mut() {
         p.finish_run();
+    }
+    if let Some(t) = &engine.telemetry {
+        // The last pulse has no successor to commit it; flush the tail.
+        for round in engine.rounds_announced.saturating_sub(1)..pulses {
+            t.finish_round(round);
+        }
     }
     let report = AsyncReport {
         virtual_time: engine.now,

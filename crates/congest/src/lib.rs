@@ -74,6 +74,7 @@ mod metrics;
 mod network;
 pub mod partition;
 pub mod profile;
+pub mod telemetry;
 pub mod trace;
 
 pub use faults::{CrashWindow, FaultDecision, FaultPlan};
@@ -83,7 +84,10 @@ pub use network::{
     Budget, Config, CongestError, Enforcement, Network, Protocol, RoundCtx, RunReport,
 };
 pub use partition::{Partition, ShardMap, ShardSkew};
-pub use profile::{PhaseSpan, ProfileReport, Profiler, RoundSpan, SyncStats, WorkerStats};
+pub use profile::{
+    PhaseSpan, ProfileReport, Profiler, RoundSpan, Straggler, SyncStats, WorkerStats,
+};
+pub use telemetry::{Counter, Postmortem, Telemetry, TelemetryHandle, SCHEMA_VERSION};
 
 #[cfg(test)]
 mod tests {

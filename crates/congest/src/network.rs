@@ -39,6 +39,7 @@ use crate::message::Message;
 use crate::metrics::{EdgeCut, NetMetrics};
 use crate::partition::{Partition, ShardMap};
 use crate::profile::{Profiler, RoundSpan};
+use crate::telemetry::{Telemetry, TelemetryHandle};
 use crate::trace::{ProtocolDetail, TraceEvent, TraceSink, ViolationKind};
 use bc_graph::{Graph, NodeId};
 use bc_numeric::bits::id_bits;
@@ -396,6 +397,7 @@ pub struct Network<P> {
     round: u64,
     sink: Option<Box<dyn TraceSink>>,
     profiler: Option<Profiler>,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl<P> fmt::Debug for Network<P> {
@@ -435,6 +437,7 @@ impl<P: Protocol> Network<P> {
             round: 0,
             sink: None,
             profiler: None,
+            telemetry: None,
         }
     }
 
@@ -466,6 +469,27 @@ impl<P: Protocol> Network<P> {
     /// Removes and returns the profiler, stopping recording.
     pub fn take_profiler(&mut self) -> Option<Profiler> {
         self.profiler.take()
+    }
+
+    /// Attaches a shared telemetry registry; subsequent rounds batch
+    /// counter/histogram updates into it (one update per worker per
+    /// round) and commit each round into its flight recorder. Carries
+    /// the same observational-freeness guarantee as the profiler:
+    /// results, metrics, and traces are bit-identical with telemetry on
+    /// or off, on every engine. Returns the previously attached
+    /// registry.
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: std::sync::Arc<Telemetry>,
+    ) -> Option<std::sync::Arc<Telemetry>> {
+        self.telemetry
+            .replace(TelemetryHandle::new(telemetry, 0))
+            .map(|h| h.registry().clone())
+    }
+
+    /// Detaches and returns the telemetry registry, stopping recording.
+    pub fn take_telemetry(&mut self) -> Option<std::sync::Arc<Telemetry>> {
+        self.telemetry.take().map(|h| h.registry().clone())
     }
 
     /// The simulated graph.
@@ -551,6 +575,7 @@ impl<P: Protocol> Network<P> {
         }
         let tracing = sink.is_some();
         let profiling = self.profiler.is_some();
+        let counting_inboxes = profiling || self.telemetry.is_some();
         let round_start = profiling.then(Instant::now);
         let mut compute_ns = 0u64;
         let mut inbox_messages = 0u64;
@@ -580,7 +605,7 @@ impl<P: Protocol> Network<P> {
                 std::mem::take(&mut self.stage_sends),
                 std::mem::take(&mut self.stage_events),
             );
-            if profiling {
+            if counting_inboxes {
                 inbox_messages += inbox.len() as u64;
             }
             let t = profiling.then(Instant::now);
@@ -668,6 +693,10 @@ impl<P: Protocol> Network<P> {
                 nodes_stepped,
                 ..RoundSpan::default()
             });
+        }
+        if let Some(h) = self.telemetry.as_mut() {
+            h.on_round(&self.metrics, nodes_stepped, inbox_messages, 0, 0);
+            h.registry().finish_round(round);
         }
         Ok(())
     }
@@ -939,6 +968,8 @@ struct ShardWorker<'a, P> {
     back_tx: Vec<Option<mpsc::Sender<LaneBatch>>>,
     /// `back_rx[d]` receives this worker's own buffers back from `d`.
     back_rx: Vec<Option<mpsc::Receiver<LaneBatch>>>,
+    /// Per-worker telemetry shard; one batched update per round.
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl<P: Protocol> ShardWorker<'_, P> {
@@ -1042,6 +1073,14 @@ impl<P: Protocol> ShardWorker<'_, P> {
                 };
                 sync.routed.store(0, Ordering::Relaxed);
                 sync.all_halted.store(true, Ordering::Relaxed);
+                // The leader observed every worker's round contribution;
+                // commit it into the shared flight recorder (aborted
+                // rounds commit nowhere, matching the orchestrated path).
+                if verdict != VERDICT_ABORT {
+                    if let Some(h) = &self.telemetry {
+                        h.registry().finish_round(round);
+                    }
+                }
                 sync.verdict.store(verdict, Ordering::Release);
             }
             sync.barrier.wait();
@@ -1132,6 +1171,7 @@ impl<P: Protocol> ShardWorker<'_, P> {
         bufs: StepBufs,
     ) -> WorkerReply {
         let busy_start = profiling.then(Instant::now);
+        let counting_inboxes = profiling || self.telemetry.is_some();
         self.metrics.begin_round(round);
         let mut route_ns = 0u64;
 
@@ -1212,7 +1252,7 @@ impl<P: Protocol> ShardWorker<'_, P> {
                 continue;
             }
             nodes_stepped += 1;
-            if profiling {
+            if counting_inboxes {
                 inbox_messages += inbox.len() as u64;
             }
             let mut ctx = RoundCtx::with_buffers(
@@ -1310,6 +1350,10 @@ impl<P: Protocol> ShardWorker<'_, P> {
             route_ns += t.elapsed().as_nanos() as u64;
         }
 
+        if let Some(h) = self.telemetry.as_mut() {
+            h.on_round(&self.metrics, nodes_stepped, inbox_messages, intra, cross);
+        }
+
         WorkerReply {
             bufs: StepBufs {
                 index,
@@ -1404,6 +1448,7 @@ impl<P: Protocol + Send> Network<P> {
         let faults = self.config.faults.as_ref();
         let delayed = &mut self.delayed;
         let mut sink = self.sink.take();
+        let telemetry = self.telemetry.as_ref().map(|h| h.registry().clone());
         let map_ref = &map;
 
         // With no trace sink and no fault plan there is nothing for the
@@ -1473,6 +1518,9 @@ impl<P: Protocol + Send> Network<P> {
                     lane_rx: std::mem::take(&mut lane_rx[w]),
                     back_tx: std::mem::take(&mut back_tx[w]),
                     back_rx: std::mem::take(&mut back_rx[w]),
+                    telemetry: telemetry
+                        .as_ref()
+                        .map(|t| TelemetryHandle::new(t.clone(), w)),
                 });
             }
 
@@ -1715,6 +1763,9 @@ impl<P: Protocol + Send> Network<P> {
                 }
                 *round_ref += 1;
                 metrics.rounds = *round_ref;
+                if let Some(t) = &telemetry {
+                    t.finish_round(round);
+                }
                 if let (Some(t0), Some(p)) = (round_start, profiler.as_mut()) {
                     p.record_round(RoundSpan {
                         round,

@@ -26,6 +26,7 @@
 //! host, not the algorithm — which is why they live here and never in
 //! [`crate::NetMetrics`].
 
+use crate::telemetry::{SCHEMA_VERSION, STRAGGLER_FACTOR};
 use std::fmt;
 use std::time::Instant;
 
@@ -255,8 +256,92 @@ impl Profiler {
             messages_retransmitted: 0,
             messages_deduped: 0,
             faults_injected: 0,
+            stragglers: detect_stragglers(&self.spans),
+            round_spans: self.spans.clone(),
         }
     }
+}
+
+/// Flags rounds whose worker busy time or inbox depth exceeds a robust
+/// baseline (median × [`STRAGGLER_FACTOR`]), worst offenders first.
+///
+/// Two baselines are used: within each round, a worker is a straggler
+/// when its busy time exceeds the round's median worker busy time × k
+/// (load imbalance); across rounds, a round is an inbox-depth anomaly
+/// when its delivered-message count exceeds the run's median × k.
+/// Absolute floors (200 µs busy, 32 messages) keep noise on tiny rounds
+/// from being flagged.
+fn detect_stragglers(spans: &[RoundSpan]) -> Vec<Straggler> {
+    const BUSY_FLOOR_NS: u64 = 200_000;
+    const INBOX_FLOOR: u64 = 32;
+    let mut out = Vec::new();
+    for span in spans {
+        if span.worker_busy_ns.len() > 1 {
+            let mut sorted = span.worker_busy_ns.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            for (w, &busy) in span.worker_busy_ns.iter().enumerate() {
+                if median > 0
+                    && busy > BUSY_FLOOR_NS
+                    && busy > median.saturating_mul(STRAGGLER_FACTOR)
+                {
+                    out.push(Straggler {
+                        kind: "worker_busy",
+                        round: span.round,
+                        worker: Some(w),
+                        value: busy,
+                        baseline: median,
+                    });
+                }
+            }
+        }
+    }
+    let mut inboxes: Vec<u64> = spans.iter().map(|s| s.inbox_messages).collect();
+    inboxes.sort_unstable();
+    let median = inboxes.get(inboxes.len() / 2).copied().unwrap_or(0);
+    if median > 0 && spans.len() >= 8 {
+        for span in spans {
+            if span.inbox_messages >= INBOX_FLOOR
+                && span.inbox_messages > median.saturating_mul(STRAGGLER_FACTOR)
+            {
+                out.push(Straggler {
+                    kind: "inbox_depth",
+                    round: span.round,
+                    worker: None,
+                    value: span.inbox_messages,
+                    baseline: median,
+                });
+            }
+        }
+    }
+    // Worst offenders first, bounded so a pathological run cannot bloat
+    // the report.
+    out.sort_by(|a, b| {
+        let ra = a.value as u128 * b.baseline.max(1) as u128;
+        let rb = b.value as u128 * a.baseline.max(1) as u128;
+        rb.cmp(&ra)
+    });
+    out.truncate(16);
+    out
+}
+
+/// One straggler/anomaly flagged by the robust-baseline detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Straggler {
+    /// What exceeded its baseline: `"worker_busy"` (one worker's busy
+    /// time vs the round's median worker), `"inbox_depth"` (a round's
+    /// delivered messages vs the run's median round), or
+    /// `"retransmit_rate"` (flagged live by the telemetry flight
+    /// recorder).
+    pub kind: &'static str,
+    /// Round the anomaly occurred in.
+    pub round: u64,
+    /// Offending worker for `worker_busy`; `None` otherwise.
+    pub worker: Option<usize>,
+    /// The observed value (nanoseconds or messages).
+    pub value: u64,
+    /// The robust baseline (median) it was compared against.
+    pub baseline: u64,
 }
 
 /// Wall-clock summary of one phase window, produced by
@@ -345,6 +430,14 @@ pub struct ProfileReport {
     /// Fault events injected by the network layer (drops + duplicates +
     /// corruptions + delays; 0 for lossless runs).
     pub faults_injected: u64,
+    /// Rounds/workers whose busy time or inbox depth exceeded the robust
+    /// baseline (median × k), worst first, capped at 16.
+    pub stragglers: Vec<Straggler>,
+    /// The raw per-round spans the report was built from; feeds the
+    /// Perfetto exporter and is *not* serialized by [`to_json`].
+    ///
+    /// [`to_json`]: ProfileReport::to_json
+    pub round_spans: Vec<RoundSpan>,
 }
 
 fn ms(ns: u64) -> f64 {
@@ -368,7 +461,8 @@ impl ProfileReport {
         let mut out = String::with_capacity(256);
         let _ = write!(
             out,
-            "{{\"engine\":\"{}\",\"rounds\":{},\"wall_ns\":{},\"compute_ns\":{},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\
+             \"engine\":\"{}\",\"rounds\":{},\"wall_ns\":{},\"compute_ns\":{},\
              \"overhead_ns\":{},\"max_inbox_depth\":{},\"nodes_stepped\":{}",
             self.engine,
             self.rounds,
@@ -424,7 +518,146 @@ impl ProfileReport {
             ",\"messages_retransmitted\":{},\"messages_deduped\":{},\"faults_injected\":{}",
             self.messages_retransmitted, self.messages_deduped, self.faults_injected
         );
-        out.push('}');
+        out.push_str(",\"stragglers\":[");
+        for (i, s) in self.stragglers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"round\":{},\"worker\":{},\"value\":{},\"baseline\":{}}}",
+                s.kind,
+                s.round,
+                s.worker.map_or(-1, |w| w as i64),
+                s.value,
+                s.baseline
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the run as Chrome/Perfetto Trace Event JSON (the
+    /// `--perfetto FILE` payload; open at <https://ui.perfetto.dev>).
+    ///
+    /// Layout: tid 0 carries the phase spans with the round spans nested
+    /// inside them (exact cumulative timestamps, so containment — and
+    /// therefore Perfetto's nesting — is structural, not approximate);
+    /// tid `10 + w` carries worker `w`'s busy span per round with its
+    /// lane-routing slice nested inside; a counter track plots per-round
+    /// inbox messages.
+    pub fn to_perfetto_json(&self) -> String {
+        use std::fmt::Write as _;
+        // ns → µs with sub-µs precision preserved; the Trace Event
+        // format's `ts`/`dur` unit is microseconds.
+        fn us(ns: u64) -> f64 {
+            ns as f64 / 1e3
+        }
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        );
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"distbc [{}]\"}}}}",
+            self.engine
+        );
+        let _ = write!(
+            out,
+            ",{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"rounds\"}}}}"
+        );
+        let n_workers = self
+            .round_spans
+            .iter()
+            .map(|s| s.worker_busy_ns.len())
+            .max()
+            .unwrap_or(0);
+        for w in 0..n_workers {
+            let _ = write!(
+                out,
+                ",{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}",
+                10 + w
+            );
+        }
+        // Phase spans sit on the same virtual timeline as the rounds:
+        // a phase [start, end) begins at the cumulative duration of all
+        // rounds before `start`, so every round event is strictly
+        // contained in its phase event.
+        let starts: Vec<u64> = {
+            let mut acc = 0u64;
+            self.round_spans
+                .iter()
+                .map(|s| {
+                    let t = acc;
+                    acc += s.total_ns;
+                    t
+                })
+                .collect()
+        };
+        let total_ns: u64 = self.round_spans.iter().map(|s| s.total_ns).sum();
+        for p in &self.phases {
+            let lo = starts.get(p.start as usize).copied().unwrap_or(total_ns);
+            let hi = starts.get(p.end as usize).copied().unwrap_or(total_ns);
+            let _ = write!(
+                out,
+                ",{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"cat\":\"phase\",\"name\":\"{}\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"rounds\":{}}}}}",
+                p.name,
+                us(lo),
+                us(hi.saturating_sub(lo)),
+                p.rounds
+            );
+        }
+        for (span, &t0) in self.round_spans.iter().zip(&starts) {
+            let _ = write!(
+                out,
+                ",{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"cat\":\"round\",\"name\":\"round {}\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"inbox\":{},\"stepped\":{}}}}}",
+                span.round,
+                us(t0),
+                us(span.total_ns),
+                span.inbox_messages,
+                span.nodes_stepped
+            );
+            for (w, &busy) in span.worker_busy_ns.iter().enumerate() {
+                if busy == 0 {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"cat\":\"worker\",\
+                     \"name\":\"busy r{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
+                    10 + w,
+                    span.round,
+                    us(t0),
+                    us(busy.min(span.total_ns))
+                );
+                let route = span.worker_route_ns.get(w).copied().unwrap_or(0);
+                if route > 0 {
+                    let _ = write!(
+                        out,
+                        ",{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"cat\":\"lane\",\
+                         \"name\":\"route r{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
+                        10 + w,
+                        span.round,
+                        us(t0),
+                        us(route.min(busy))
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                ",{{\"ph\":\"C\",\"pid\":0,\"name\":\"inbox messages\",\"ts\":{:.3},\
+                 \"args\":{{\"messages\":{}}}}}",
+                us(t0),
+                span.inbox_messages
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -500,6 +733,24 @@ impl fmt::Display for ProfileReport {
                 f,
                 "reliability: {} faults injected, {} retransmits, {} duplicates discarded",
                 self.faults_injected, self.messages_retransmitted, self.messages_deduped,
+            )?;
+        }
+        if !self.stragglers.is_empty() {
+            let s = &self.stragglers[0];
+            write!(
+                f,
+                "stragglers: {} flagged (worst: {} round {}",
+                self.stragglers.len(),
+                s.kind,
+                s.round
+            )?;
+            if let Some(w) = s.worker {
+                write!(f, " worker {w}")?;
+            }
+            writeln!(
+                f,
+                ", {:.1}x the median baseline)",
+                s.value as f64 / s.baseline.max(1) as f64
             )?;
         }
         Ok(())
@@ -604,6 +855,109 @@ mod tests {
         assert!(json.contains("\"workers\":{"));
         assert!(json.contains("\"sync\":{"));
         assert!(json.contains("\"phases\":["));
+        assert!(json.starts_with("{\"schema_version\":1,"));
+        assert!(json.contains("\"stragglers\":["));
+    }
+
+    #[test]
+    fn straggler_detector_flags_busy_worker_and_deep_inbox() {
+        let mut p = Profiler::new();
+        // One worker 10x the round's median busy time, over the floor.
+        p.record_round(span(
+            0,
+            3_000_000,
+            0,
+            4,
+            &[250_000, 2_500_000, 260_000, 240_000],
+        ));
+        // Enough quiet rounds to establish an inbox-depth baseline…
+        for r in 1..9 {
+            p.record_round(span(r, 100_000, 0, 4, &[90_000, 90_000, 90_000, 90_000]));
+        }
+        // …then one round with a 25x inbox spike.
+        p.record_round(span(9, 100_000, 0, 100, &[90_000, 90_000, 90_000, 90_000]));
+        let rep = p.report("parallel(4)", &[]);
+        assert!(
+            rep.stragglers
+                .iter()
+                .any(|s| s.kind == "worker_busy" && s.round == 0 && s.worker == Some(1)),
+            "missing worker_busy straggler in {:?}",
+            rep.stragglers
+        );
+        assert!(
+            rep.stragglers
+                .iter()
+                .any(|s| s.kind == "inbox_depth" && s.round == 9 && s.worker.is_none()),
+            "missing inbox_depth straggler in {:?}",
+            rep.stragglers
+        );
+        let json = rep.to_json();
+        assert!(json.contains("\"kind\":\"worker_busy\""));
+        assert!(rep.to_string().contains("stragglers:"));
+    }
+
+    #[test]
+    fn straggler_detector_stays_quiet_on_balanced_runs() {
+        let mut p = Profiler::new();
+        for r in 0..10 {
+            p.record_round(span(
+                r,
+                1_000_000,
+                0,
+                40,
+                &[450_000, 460_000, 440_000, 455_000],
+            ));
+        }
+        let rep = p.report("parallel(4)", &[]);
+        assert!(rep.stragglers.is_empty(), "{:?}", rep.stragglers);
+    }
+
+    #[test]
+    fn perfetto_export_nests_rounds_inside_phases() {
+        let mut p = Profiler::new();
+        p.record_round(RoundSpan {
+            round: 0,
+            total_ns: 2_000,
+            compute_ns: 1_500,
+            inbox_messages: 3,
+            worker_busy_ns: vec![1_800, 900],
+            worker_route_ns: vec![200, 100],
+            ..RoundSpan::default()
+        });
+        p.record_round(RoundSpan {
+            round: 1,
+            total_ns: 3_000,
+            compute_ns: 2_000,
+            inbox_messages: 5,
+            worker_busy_ns: vec![2_500, 2_400],
+            worker_route_ns: vec![0, 300],
+            ..RoundSpan::default()
+        });
+        let phases = vec![
+            ("A:tree".to_string(), 0, 1),
+            ("B:counting".to_string(), 1, 2),
+        ];
+        let rep = p.report("parallel(2)", &phases);
+        let json = rep.to_perfetto_json();
+        assert!(json.starts_with("{\"schema_version\":1,"));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Phase A covers exactly round 0: [0, 2) µs; round 1 starts where
+        // phase B starts.
+        assert!(json.contains("\"name\":\"A:tree\",\"ts\":0.000,\"dur\":2.000"));
+        assert!(json.contains("\"name\":\"B:counting\",\"ts\":2.000,\"dur\":3.000"));
+        assert!(json.contains("\"name\":\"round 1\",\"ts\":2.000,\"dur\":3.000"));
+        // Worker busy spans are clamped into their round, lanes into busy.
+        assert!(json.contains("\"cat\":\"worker\",\"name\":\"busy r0\",\"ts\":0.000,\"dur\":1.800"));
+        assert!(json.contains("\"cat\":\"lane\",\"name\":\"route r0\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        // Every event object is well-formed enough to balance braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in perfetto json"
+        );
     }
 
     #[test]

@@ -1,0 +1,949 @@
+//! Always-on run telemetry: a lock-free registry of typed counters and
+//! log-bucketed histograms, a per-round flight recorder, and crash
+//! postmortems.
+//!
+//! Every engine (serial, pooled-parallel, α-synchronizer), the reliable
+//! transport, and the fault injector can share one [`Telemetry`] registry
+//! through an `Arc`. Writers never lock: counters and histogram buckets
+//! are per-shard relaxed atomics (one shard per pool worker, shard 0 for
+//! the serial engine and the synchronizer, `node % shards` for transport
+//! ports), aggregated only when a reader calls [`Telemetry::snapshot`].
+//! The engines batch their updates to *one* [`TelemetryHandle::on_round`]
+//! call per worker per round — deltas are computed against the metrics
+//! the engines already maintain — so steady-state overhead is a handful
+//! of relaxed atomic adds per round, cheap enough to leave on by default.
+//!
+//! Telemetry carries the same observational-freeness guarantee as the
+//! profiler: attaching it changes no protocol-visible output (results,
+//! rounds, metrics, traces) on any engine. `tests/telemetry.rs` asserts
+//! this bit for bit, including faulty + reliable runs.
+//!
+//! The flight recorder ([`Telemetry::finish_round`]) keeps the last
+//! [`Telemetry::ring_capacity`] rounds of per-round deltas in a ring.
+//! On `NodePanic`, `RoundLimit`, or abort the CLI dumps the ring plus a
+//! full counter snapshot as `postmortem.json`
+//! ([`Telemetry::postmortem_json`] / [`Postmortem::parse`]); the watch
+//! thread persists the same snapshot periodically so even a `SIGKILL`/
+//! Ctrl-C leaves the last few seconds of evidence on disk.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::NetMetrics;
+
+/// Version stamped into every JSON artifact this workspace emits
+/// (`BENCH_*.json`, profile reports, trace-stats, Perfetto traces,
+/// postmortems). Consumers such as `bench_guard` reject other versions
+/// instead of silently comparing mismatched shapes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A round is flagged as a straggler/anomaly when a per-round quantity
+/// exceeds `STRAGGLER_FACTOR ×` its robust baseline (the median).
+pub const STRAGGLER_FACTOR: u64 = 4;
+
+/// Number of log₂ buckets per histogram (bucket `i` holds values whose
+/// bit length is `i`; bucket 0 holds the value 0).
+const HIST_BUCKETS: usize = 65;
+
+/// Typed counters of the registry. Labels are stable snake_case strings
+/// used in snapshots and postmortems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Rounds (or synchronizer pulses) committed.
+    Rounds,
+    /// Messages accepted for delivery.
+    Messages,
+    /// Total payload bits of those messages.
+    MessageBits,
+    /// Messages routed inside one pool shard.
+    IntraShardMessages,
+    /// Messages routed across the worker lane mesh.
+    CrossShardMessages,
+    /// Node `round()` invocations (idle-skipped nodes excluded).
+    NodesStepped,
+    /// Messages delivered into inboxes.
+    InboxMessages,
+    /// Fault injector: messages dropped.
+    FaultsDropped,
+    /// Fault injector: messages bit-corrupted.
+    FaultsCorrupted,
+    /// Fault injector: messages duplicated.
+    FaultsDuplicated,
+    /// Fault injector: messages delayed.
+    FaultsDelayed,
+    /// Reliable transport: data frames sent (first transmission).
+    FramesSent,
+    /// Reliable transport: retransmitted frames.
+    Retransmits,
+    /// Reliable transport: pure-ack frames.
+    AckOnlyFrames,
+    /// Reliable transport: duplicate frames discarded.
+    FramesDeduped,
+    /// Reliable transport: frames dropped on checksum mismatch.
+    ChecksumDrops,
+    /// α-synchronizer: control (safe/ack) messages.
+    ControlMessages,
+    /// Rounds flagged as stragglers/anomalies by the flight recorder.
+    StragglerRounds,
+}
+
+/// All counters, in label order. Keep in sync with [`Counter`].
+pub const COUNTERS: [(Counter, &str); 18] = [
+    (Counter::Rounds, "rounds"),
+    (Counter::Messages, "messages"),
+    (Counter::MessageBits, "message_bits"),
+    (Counter::IntraShardMessages, "intra_shard_messages"),
+    (Counter::CrossShardMessages, "cross_shard_messages"),
+    (Counter::NodesStepped, "nodes_stepped"),
+    (Counter::InboxMessages, "inbox_messages"),
+    (Counter::FaultsDropped, "faults_dropped"),
+    (Counter::FaultsCorrupted, "faults_corrupted"),
+    (Counter::FaultsDuplicated, "faults_duplicated"),
+    (Counter::FaultsDelayed, "faults_delayed"),
+    (Counter::FramesSent, "frames_sent"),
+    (Counter::Retransmits, "retransmits"),
+    (Counter::AckOnlyFrames, "ack_only_frames"),
+    (Counter::FramesDeduped, "frames_deduped"),
+    (Counter::ChecksumDrops, "checksum_drops"),
+    (Counter::ControlMessages, "control_messages"),
+    (Counter::StragglerRounds, "straggler_rounds"),
+];
+
+const NUM_COUNTERS: usize = COUNTERS.len();
+
+/// Typed histograms of the registry (log₂-bucketed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistogramId {
+    /// Messages delivered into inboxes per round.
+    InboxDepth,
+    /// Messages staged per round.
+    RoundMessages,
+}
+
+const HISTOGRAMS: [(HistogramId, &str); 2] = [
+    (HistogramId::InboxDepth, "inbox_depth"),
+    (HistogramId::RoundMessages, "round_messages"),
+];
+
+const NUM_HISTOGRAMS: usize = HISTOGRAMS.len();
+
+/// One writer shard: counters plus histogram buckets, all relaxed
+/// atomics. Each pool worker owns one shard index, so concurrent writers
+/// touch disjoint cache lines in the common case.
+struct Shard {
+    counters: Vec<AtomicU64>,
+    hist: Vec<AtomicU64>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counters: (0..NUM_COUNTERS).map(|_| AtomicU64::new(0)).collect(),
+            hist: (0..NUM_HISTOGRAMS * HIST_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+}
+
+/// One round's worth of flight-recorder deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round number.
+    pub round: u64,
+    /// Messages staged in this round.
+    pub messages: u64,
+    /// Payload bits staged in this round.
+    pub bits: u64,
+    /// Nodes stepped in this round.
+    pub nodes_stepped: u64,
+    /// Transport retransmissions during this round.
+    pub retransmits: u64,
+    /// Faults injected (dropped + corrupted + duplicated + delayed).
+    pub faults: u64,
+    /// True when the round's message load exceeded the robust baseline
+    /// (median × [`STRAGGLER_FACTOR`]) over the recorder window.
+    pub straggler: bool,
+}
+
+/// Flight-recorder state behind one per-round mutex acquisition.
+struct Recorder {
+    last: [u64; NUM_COUNTERS],
+    records: VecDeque<RoundRecord>,
+    capacity: usize,
+}
+
+/// Aggregated point-in-time view of every counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl TelemetrySnapshot {
+    /// The aggregated value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Iterates `(label, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        COUNTERS
+            .iter()
+            .map(move |&(c, label)| (label, self.values[c as usize]))
+    }
+}
+
+/// The shared telemetry registry. Cheap to clone behind an `Arc`; all
+/// write paths are lock-free (the flight-recorder ring takes its mutex
+/// once per round, never per message).
+pub struct Telemetry {
+    shards: Vec<Shard>,
+    /// Highest round committed so far plus one (a live progress gauge).
+    round_gauge: AtomicU64,
+    /// Provisioned phase starts `[counting, reduce, broadcast, agg]`;
+    /// `u64::MAX` while unset (adaptive runs never set them).
+    schedule: [AtomicU64; 4],
+    recorder: Mutex<Recorder>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("shards", &self.shards.len())
+            .field("round", &self.round())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Creates a registry with `shards` writer shards (≥ 1) and a flight
+    /// recorder retaining the last `ring` rounds (≥ 1).
+    pub fn new(shards: usize, ring: usize) -> Self {
+        let shards = shards.max(1);
+        Telemetry {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            round_gauge: AtomicU64::new(0),
+            schedule: [
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+            ],
+            recorder: Mutex::new(Recorder {
+                last: [0; NUM_COUNTERS],
+                records: VecDeque::new(),
+                capacity: ring.max(1),
+            }),
+        }
+    }
+
+    /// Number of writer shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Flight-recorder window size in rounds.
+    pub fn ring_capacity(&self) -> usize {
+        self.recorder.lock().map_or(0, |r| r.capacity)
+    }
+
+    /// Adds `n` to a counter on `shard` (wrapped modulo the shard count).
+    #[inline]
+    pub fn add(&self, shard: usize, c: Counter, n: u64) {
+        if n > 0 {
+            self.shards[shard % self.shards.len()].counters[c as usize]
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `value` into a log₂-bucketed histogram on `shard`.
+    #[inline]
+    pub fn record(&self, shard: usize, h: HistogramId, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.shards[shard % self.shards.len()].hist[h as usize * HIST_BUCKETS + bucket]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The live round gauge: highest committed round + 1.
+    pub fn round(&self) -> u64 {
+        self.round_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the provisioned phase schedule so live consumers can
+    /// label the current phase.
+    pub fn set_schedule(
+        &self,
+        counting_start: u64,
+        reduce_start: u64,
+        broadcast_start: u64,
+        agg_start: u64,
+    ) {
+        for (slot, v) in
+            self.schedule
+                .iter()
+                .zip([counting_start, reduce_start, broadcast_start, agg_start])
+        {
+            slot.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The phase label for `round` under the published schedule, or `"-"`
+    /// when no schedule was published (adaptive runs).
+    pub fn phase_label(&self, round: u64) -> &'static str {
+        let bounds: Vec<u64> = self
+            .schedule
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        if bounds[0] == u64::MAX {
+            return "-";
+        }
+        match round {
+            r if r < bounds[0] => "A:tree",
+            r if r < bounds[1] => "B:counting",
+            r if r < bounds[2] => "C1:reduce",
+            r if r < bounds[3] => "C2:bcast",
+            _ => "D:aggregation",
+        }
+    }
+
+    /// Aggregates every shard into one snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for shard in &self.shards {
+            for (i, v) in values.iter_mut().enumerate() {
+                *v += shard.counters[i].load(Ordering::Relaxed);
+            }
+        }
+        TelemetrySnapshot { values }
+    }
+
+    /// Aggregated buckets of one histogram (index = bit length of the
+    /// recorded value).
+    pub fn histogram(&self, h: HistogramId) -> Vec<u64> {
+        let mut out = vec![0u64; HIST_BUCKETS];
+        for shard in &self.shards {
+            for (i, v) in out.iter_mut().enumerate() {
+                *v += shard.hist[h as usize * HIST_BUCKETS + i].load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Commits one round into the flight recorder: snapshots the
+    /// counters, derives the round's deltas, runs the live straggler
+    /// check (message load vs median × k over the window), and advances
+    /// the round gauge. Called exactly once per committed round by
+    /// whichever thread coordinates the round (serial loop, pool
+    /// orchestrator, free-running barrier leader, synchronizer pulse
+    /// loop).
+    pub fn finish_round(&self, round: u64) {
+        self.add(0, Counter::Rounds, 1);
+        let snap = self.snapshot();
+        let Ok(mut rec) = self.recorder.lock() else {
+            return;
+        };
+        let delta = |c: Counter| snap.values[c as usize].saturating_sub(rec.last[c as usize]);
+        let messages = delta(Counter::Messages);
+        let faults = delta(Counter::FaultsDropped)
+            + delta(Counter::FaultsCorrupted)
+            + delta(Counter::FaultsDuplicated)
+            + delta(Counter::FaultsDelayed);
+        // Robust baseline over the recorder window: median of the
+        // recent per-round message loads.
+        let mut loads: Vec<u64> = rec.records.iter().map(|r| r.messages).collect();
+        loads.sort_unstable();
+        let median = loads.get(loads.len() / 2).copied().unwrap_or(0);
+        let straggler =
+            loads.len() >= 8 && median > 0 && messages > median.saturating_mul(STRAGGLER_FACTOR);
+        let record = RoundRecord {
+            round,
+            messages,
+            bits: delta(Counter::MessageBits),
+            nodes_stepped: delta(Counter::NodesStepped),
+            retransmits: delta(Counter::Retransmits),
+            faults,
+            straggler,
+        };
+        rec.last = snap.values;
+        if rec.records.len() == rec.capacity {
+            rec.records.pop_front();
+        }
+        rec.records.push_back(record);
+        drop(rec);
+        if straggler {
+            self.add(0, Counter::StragglerRounds, 1);
+            // The counter moved; keep the recorder's cumulative view in
+            // step so the next delta does not misattribute it.
+            if let Ok(mut rec) = self.recorder.lock() {
+                rec.last[Counter::StragglerRounds as usize] += 1;
+            }
+        }
+        self.round_gauge.store(round + 1, Ordering::Relaxed);
+    }
+
+    /// The flight recorder's retained rounds, oldest first.
+    pub fn recent_rounds(&self) -> Vec<RoundRecord> {
+        self.recorder
+            .lock()
+            .map_or(Vec::new(), |r| r.records.iter().cloned().collect())
+    }
+
+    /// Renders the full postmortem JSON document: reason, round gauge,
+    /// aggregated counters, histograms, and the flight-recorder ring.
+    pub fn postmortem_json(&self, reason: &str) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(1 << 12);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"reason\":\"{}\",\"round\":{}",
+            escape_json(reason),
+            self.round()
+        );
+        out.push_str(",\"counters\":{");
+        for (i, (label, value)) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{label}\":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, &(h, label)) in HISTOGRAMS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{label}\":[");
+            for (j, bucket) in self.histogram(h).iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{bucket}");
+            }
+            out.push(']');
+        }
+        out.push_str("},\"recent_rounds\":[");
+        for (i, r) in self.recent_rounds().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"messages\":{},\"bits\":{},\"nodes_stepped\":{},\
+                 \"retransmits\":{},\"faults\":{},\"straggler\":{}}}",
+                r.round, r.messages, r.bits, r.nodes_stepped, r.retransmits, r.faults, r.straggler
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-engine-site writer handle: remembers the cumulative metric values
+/// it last reported so each round contributes exactly its delta, however
+/// many workers share the registry.
+#[derive(Debug)]
+pub struct TelemetryHandle {
+    tel: std::sync::Arc<Telemetry>,
+    shard: usize,
+    last_messages: u64,
+    last_bits: u64,
+    last_faults: [u64; 4],
+}
+
+impl TelemetryHandle {
+    /// Creates a handle writing into `shard` of `tel`.
+    pub fn new(tel: std::sync::Arc<Telemetry>, shard: usize) -> Self {
+        TelemetryHandle {
+            tel,
+            shard,
+            last_messages: 0,
+            last_bits: 0,
+            last_faults: [0; 4],
+        }
+    }
+
+    /// The shared registry behind this handle.
+    pub fn registry(&self) -> &std::sync::Arc<Telemetry> {
+        &self.tel
+    }
+
+    /// Reports one round of this writer's activity: message/bit/fault
+    /// deltas are derived from the cumulative `metrics` the engine
+    /// already maintains; per-round quantities are passed directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_round(
+        &mut self,
+        metrics: &NetMetrics,
+        nodes_stepped: u64,
+        inbox_messages: u64,
+        intra: u64,
+        cross: u64,
+    ) {
+        let t = &self.tel;
+        let s = self.shard;
+        let messages = metrics.total_messages.saturating_sub(self.last_messages);
+        let bits = metrics.total_bits.saturating_sub(self.last_bits);
+        self.last_messages = metrics.total_messages;
+        self.last_bits = metrics.total_bits;
+        t.add(s, Counter::Messages, messages);
+        t.add(s, Counter::MessageBits, bits);
+        t.add(s, Counter::NodesStepped, nodes_stepped);
+        t.add(s, Counter::InboxMessages, inbox_messages);
+        t.add(s, Counter::IntraShardMessages, intra);
+        t.add(s, Counter::CrossShardMessages, cross);
+        let faults = [
+            metrics.faults_dropped,
+            metrics.faults_corrupted,
+            metrics.faults_duplicated,
+            metrics.faults_delayed,
+        ];
+        for (i, (&now, c)) in faults
+            .iter()
+            .zip([
+                Counter::FaultsDropped,
+                Counter::FaultsCorrupted,
+                Counter::FaultsDuplicated,
+                Counter::FaultsDelayed,
+            ])
+            .enumerate()
+        {
+            t.add(s, c, now.saturating_sub(self.last_faults[i]));
+            self.last_faults[i] = now;
+        }
+        t.record(s, HistogramId::InboxDepth, inbox_messages);
+        t.record(s, HistogramId::RoundMessages, messages);
+    }
+}
+
+/// A parsed postmortem document (the subset round-trip tests and CI
+/// validation care about; histograms are carried but not re-validated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// Artifact schema version.
+    pub schema_version: u64,
+    /// Why the dump happened (error display or `"in_progress"`).
+    pub reason: String,
+    /// Round gauge at dump time.
+    pub round: u64,
+    /// Aggregated `(label, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// The flight-recorder window, oldest first.
+    pub recent_rounds: Vec<RoundRecord>,
+}
+
+impl Postmortem {
+    /// Parses a postmortem document produced by
+    /// [`Telemetry::postmortem_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem, including
+    /// an unsupported `schema_version`.
+    pub fn parse(text: &str) -> Result<Postmortem, String> {
+        let value = mini_json::parse(text)?;
+        let obj = value.as_object()?;
+        let schema_version = obj.u64("schema_version")?;
+        if schema_version != SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let counters = obj
+            .get("counters")?
+            .as_object()?
+            .fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), v.as_u64()?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        let recent_rounds = obj
+            .get("recent_rounds")?
+            .as_array()?
+            .iter()
+            .map(|v| {
+                let r = v.as_object()?;
+                Ok(RoundRecord {
+                    round: r.u64("round")?,
+                    messages: r.u64("messages")?,
+                    bits: r.u64("bits")?,
+                    nodes_stepped: r.u64("nodes_stepped")?,
+                    retransmits: r.u64("retransmits")?,
+                    faults: r.u64("faults")?,
+                    straggler: r.get("straggler")?.as_bool()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Postmortem {
+            schema_version,
+            reason: obj.get("reason")?.as_str()?.to_string(),
+            round: obj.u64("round")?,
+            counters,
+            recent_rounds,
+        })
+    }
+}
+
+/// Minimal recursive JSON reader for postmortem validation: objects,
+/// arrays, unsigned integers, strings (with the escapes the encoder
+/// emits), and booleans. Not a general parser — anything else is
+/// rejected loudly.
+mod mini_json {
+    pub enum Value {
+        Num(u64),
+        Str(String),
+        Bool(bool),
+        Arr(Vec<Value>),
+        Obj(Object),
+    }
+
+    pub struct Object {
+        pub fields: Vec<(String, Value)>,
+    }
+
+    impl Object {
+        pub fn get(&self, key: &str) -> Result<&Value, String> {
+            self.fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        }
+
+        pub fn u64(&self, key: &str) -> Result<u64, String> {
+            self.get(key)?.as_u64()
+        }
+    }
+
+    impl Value {
+        pub fn as_u64(&self) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err("expected number".into()),
+            }
+        }
+
+        pub fn as_str(&self) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err("expected string".into()),
+            }
+        }
+
+        pub fn as_bool(&self) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err("expected bool".into()),
+            }
+        }
+
+        pub fn as_array(&self) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(a) => Ok(a),
+                _ => Err("expected array".into()),
+            }
+        }
+
+        pub fn as_object(&self) -> Result<&Object, String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                _ => Err("expected object".into()),
+            }
+        }
+    }
+
+    struct Cursor<'a> {
+        s: &'a [u8],
+        pos: usize,
+    }
+
+    impl Cursor<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.s.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.s.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.pos))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.s.get(self.pos).copied() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.s.get(self.pos).copied() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .s
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                                self.pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Copy the full UTF-8 sequence starting here.
+                        let rest = &self.s[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => {
+                    self.eat(b'{')?;
+                    let mut fields = Vec::new();
+                    if self.peek() == Some(b'}') {
+                        self.eat(b'}')?;
+                        return Ok(Value::Obj(Object { fields }));
+                    }
+                    loop {
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        fields.push((key, self.value()?));
+                        match self.peek() {
+                            Some(b',') => self.eat(b',')?,
+                            Some(b'}') => {
+                                self.eat(b'}')?;
+                                return Ok(Value::Obj(Object { fields }));
+                            }
+                            _ => return Err("malformed object".into()),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.eat(b'[')?;
+                    let mut items = Vec::new();
+                    if self.peek() == Some(b']') {
+                        self.eat(b']')?;
+                        return Ok(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        match self.peek() {
+                            Some(b',') => self.eat(b',')?,
+                            Some(b']') => {
+                                self.eat(b']')?;
+                                return Ok(Value::Arr(items));
+                            }
+                            _ => return Err("malformed array".into()),
+                        }
+                    }
+                }
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') if self.s[self.pos..].starts_with(b"true") => {
+                    self.pos += 4;
+                    Ok(Value::Bool(true))
+                }
+                Some(b'f') if self.s[self.pos..].starts_with(b"false") => {
+                    self.pos += 5;
+                    Ok(Value::Bool(false))
+                }
+                Some(d) if d.is_ascii_digit() => {
+                    let start = self.pos;
+                    while matches!(self.s.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                    std::str::from_utf8(&self.s[start..self.pos])
+                        .ok()
+                        .and_then(|t| t.parse().ok())
+                        .map(Value::Num)
+                        .ok_or_else(|| format!("bad number at byte {start}"))
+                }
+                other => Err(format!("unexpected value start {other:?}")),
+            }
+        }
+    }
+
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut c = Cursor {
+            s: text.as_bytes(),
+            pos: 0,
+        };
+        let v = c.value()?;
+        if c.peek().is_some() {
+            return Err("trailing content after document".into());
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_aggregate_across_shards() {
+        let t = Telemetry::new(4, 16);
+        for shard in 0..4 {
+            t.add(shard, Counter::Messages, shard as u64 + 1);
+        }
+        t.add(7, Counter::Messages, 10); // wraps modulo shard count
+        assert_eq!(t.snapshot().get(Counter::Messages), 1 + 2 + 3 + 4 + 10);
+        assert_eq!(t.snapshot().get(Counter::Retransmits), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let t = Telemetry::new(1, 4);
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            t.record(0, HistogramId::InboxDepth, v);
+        }
+        let h = t.histogram(HistogramId::InboxDepth);
+        assert_eq!(h[0], 1); // value 0
+        assert_eq!(h[1], 1); // value 1
+        assert_eq!(h[2], 2); // values 2, 3
+        assert_eq!(h[3], 1); // value 4
+        assert_eq!(h[11], 1); // value 1024
+        assert_eq!(h.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_k_rounds_with_deltas() {
+        let t = Telemetry::new(1, 3);
+        for round in 0..10u64 {
+            t.add(0, Counter::Messages, round + 1);
+            t.finish_round(round);
+        }
+        let rounds = t.recent_rounds();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(
+            rounds.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        // Deltas, not cumulative values.
+        assert_eq!(
+            rounds.iter().map(|r| r.messages).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
+        assert_eq!(t.round(), 10);
+    }
+
+    #[test]
+    fn straggler_flagged_on_load_spike() {
+        let t = Telemetry::new(1, 64);
+        for round in 0..20u64 {
+            t.add(0, Counter::Messages, 10);
+            t.finish_round(round);
+        }
+        assert_eq!(t.snapshot().get(Counter::StragglerRounds), 0);
+        t.add(0, Counter::Messages, 1000);
+        t.finish_round(20);
+        assert_eq!(t.snapshot().get(Counter::StragglerRounds), 1);
+        assert!(t.recent_rounds().last().unwrap().straggler);
+        // A straggler round does not poison the next delta.
+        t.add(0, Counter::Messages, 10);
+        t.finish_round(21);
+        assert_eq!(t.recent_rounds().last().unwrap().messages, 10);
+    }
+
+    #[test]
+    fn postmortem_roundtrips_through_parse() {
+        let t = Arc::new(Telemetry::new(2, 4));
+        let mut h = TelemetryHandle::new(t.clone(), 0);
+        let mut metrics = NetMetrics::default();
+        for round in 0..9u64 {
+            metrics.total_messages += 5 + round;
+            metrics.total_bits += 160;
+            h.on_round(&metrics, 4, 3, 2, 1);
+            t.finish_round(round);
+        }
+        let text = t.postmortem_json("it broke: \"node 3\"\npanicked");
+        let pm = Postmortem::parse(&text).expect("postmortem parses");
+        assert_eq!(pm.schema_version, SCHEMA_VERSION as u64);
+        assert_eq!(pm.reason, "it broke: \"node 3\"\npanicked");
+        assert_eq!(pm.round, 9);
+        assert_eq!(pm.recent_rounds.len(), 4);
+        assert_eq!(
+            pm.recent_rounds.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8]
+        );
+        assert_eq!(pm.recent_rounds, t.recent_rounds());
+        let msgs = pm
+            .counters
+            .iter()
+            .find(|(k, _)| k == "messages")
+            .map(|(_, v)| *v);
+        assert_eq!(msgs, Some(t.snapshot().get(Counter::Messages)));
+    }
+
+    #[test]
+    fn postmortem_rejects_unknown_schema_version() {
+        let t = Telemetry::new(1, 2);
+        let text = t
+            .postmortem_json("x")
+            .replace("\"schema_version\":1", "\"schema_version\":999");
+        let err = Postmortem::parse(&text).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn phase_labels_follow_published_schedule() {
+        let t = Telemetry::new(1, 2);
+        assert_eq!(t.phase_label(3), "-");
+        t.set_schedule(5, 10, 15, 20);
+        assert_eq!(t.phase_label(0), "A:tree");
+        assert_eq!(t.phase_label(5), "B:counting");
+        assert_eq!(t.phase_label(12), "C1:reduce");
+        assert_eq!(t.phase_label(17), "C2:bcast");
+        assert_eq!(t.phase_label(25), "D:aggregation");
+    }
+}

@@ -27,6 +27,7 @@
 use super::check;
 use super::{ProtocolDetail, TraceEvent};
 use crate::partition::Partition;
+use crate::telemetry::{SCHEMA_VERSION, STRAGGLER_FACTOR};
 use bc_graph::{algo, Graph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -124,6 +125,11 @@ pub struct TraceStats {
     pub hot_edges: Vec<EdgeStat>,
     /// Top-K rounds by message count, descending.
     pub peak_rounds: Vec<RoundLoad>,
+    /// Rounds whose message load exceeded the robust baseline (the median
+    /// round's load × [`STRAGGLER_FACTOR`]), ascending by round. Empty
+    /// for well-behaved runs; a populated list pinpoints load anomalies
+    /// worth a closer look in the Perfetto timeline.
+    pub straggler_rounds: Vec<RoundLoad>,
     /// Per-shard load skew each partition strategy would have produced
     /// for the observed per-node send loads, at a few worker counts.
     /// Empty when the trace carries no topology. Schedule-aware skew is
@@ -173,7 +179,8 @@ impl TraceStats {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"events\":{},\"rounds\":{},\"messages\":{},\"total_bits\":{},\"check_ok\":{}",
+            "\"schema_version\":{SCHEMA_VERSION},\
+             \"events\":{},\"rounds\":{},\"messages\":{},\"total_bits\":{},\"check_ok\":{}",
             self.events, self.rounds, self.messages, self.total_bits, self.check_ok
         );
         match self.total_slack {
@@ -223,6 +230,17 @@ impl TraceStats {
         }
         out.push_str("],\"peak_rounds\":[");
         for (i, r) in self.peak_rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"messages\":{},\"bits\":{}}}",
+                r.round, r.messages, r.bits
+            );
+        }
+        out.push_str("],\"straggler_rounds\":[");
+        for (i, r) in self.straggler_rounds.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -317,6 +335,20 @@ impl fmt::Display for TraceStats {
         if !self.peak_rounds.is_empty() {
             writeln!(f, "busiest rounds:")?;
             for r in &self.peak_rounds {
+                writeln!(
+                    f,
+                    "  round {:>6} {:>8} msgs {:>10} bits",
+                    r.round, r.messages, r.bits
+                )?;
+            }
+        }
+        if !self.straggler_rounds.is_empty() {
+            writeln!(
+                f,
+                "straggler rounds (load > {}x the median round):",
+                STRAGGLER_FACTOR
+            )?;
+            for r in &self.straggler_rounds {
                 writeln!(
                     f,
                     "  round {:>6} {:>8} msgs {:>10} bits",
@@ -476,6 +508,24 @@ pub fn analyze(events: &[TraceEvent], top_k: usize) -> TraceStats {
         })
         .collect();
     peak_rounds.sort_by(|a, b| b.messages.cmp(&a.messages).then(a.round.cmp(&b.round)));
+
+    // Straggler rounds: message load over the median round × k, against
+    // the *full* per-round distribution (before the top-K cut). A short
+    // trace (< 8 rounds with traffic) has no meaningful baseline.
+    let mut straggler_rounds = Vec::new();
+    if peak_rounds.len() >= 8 {
+        let mut loads: Vec<u64> = peak_rounds.iter().map(|r| r.messages).collect();
+        loads.sort_unstable();
+        let median = loads[loads.len() / 2];
+        if median > 0 {
+            straggler_rounds = peak_rounds
+                .iter()
+                .filter(|r| r.messages > median.saturating_mul(STRAGGLER_FACTOR))
+                .copied()
+                .collect();
+            straggler_rounds.sort_by_key(|r| r.round);
+        }
+    }
     peak_rounds.truncate(top_k);
 
     // How each static partition strategy would have spread the observed
@@ -517,6 +567,7 @@ pub fn analyze(events: &[TraceEvent], top_k: usize) -> TraceStats {
         total_slack,
         hot_edges,
         peak_rounds,
+        straggler_rounds,
         shard_skew,
         token_hops,
         token_span,
@@ -733,6 +784,40 @@ mod tests {
         );
         let text = stats.to_string();
         assert!(text.contains("partition load skew"), "{text}");
+    }
+
+    #[test]
+    fn straggler_rounds_flag_load_spikes_only() {
+        // Nine steady rounds of one message, then a 10-message spike.
+        let mut events = vec![];
+        for r in 0..9 {
+            events.push(TraceEvent::RoundStart { round: r });
+            events.push(sent(r, 0, 1, 8));
+        }
+        events.push(TraceEvent::RoundStart { round: 9 });
+        for _ in 0..10 {
+            events.push(sent(9, 0, 1, 8));
+        }
+        let stats = analyze(&events, 3);
+        assert_eq!(stats.straggler_rounds.len(), 1);
+        assert_eq!(stats.straggler_rounds[0].round, 9);
+        assert_eq!(stats.straggler_rounds[0].messages, 10);
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(
+            json.contains("\"straggler_rounds\":[{\"round\":9"),
+            "{json}"
+        );
+        assert!(stats.to_string().contains("straggler rounds"), "{}", stats);
+
+        // A uniform run flags nothing.
+        let mut quiet = vec![];
+        for r in 0..10 {
+            quiet.push(TraceEvent::RoundStart { round: r });
+            quiet.push(sent(r, 0, 1, 8));
+        }
+        let stats = analyze(&quiet, 3);
+        assert!(stats.straggler_rounds.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::trace::{TraceEvent, TraceSink};
 use bc_congest::{
     Budget, Config, CongestError, EdgeCut, Enforcement, FaultPlan, NetMetrics, Network, Partition,
-    PhaseStat, ProfileReport, Profiler,
+    PhaseStat, ProfileReport, Profiler, Telemetry,
 };
 use bc_graph::{algo, Graph, NodeId};
 use bc_numeric::FpParams;
@@ -157,6 +157,12 @@ pub struct DistBcConfig {
     /// the result is bit-identical to a fault-free run for any
     /// non-crashing fault plan.
     pub reliable: bool,
+    /// Shared telemetry registry: engines, the reliable transport, and the
+    /// fault layer stream counters/histograms into it as the run executes,
+    /// and its flight recorder retains the last K rounds for postmortems.
+    /// Telemetry writes counters only — results are bit-identical with or
+    /// without it (asserted by the test suite).
+    pub telemetry: Option<std::sync::Arc<Telemetry>>,
 }
 
 impl Default for DistBcConfig {
@@ -175,6 +181,7 @@ impl Default for DistBcConfig {
             skip_idle: true,
             faults: None,
             reliable: false,
+            telemetry: None,
         }
     }
 }
@@ -420,6 +427,17 @@ fn run_impl(
             });
         }
     }
+    let telemetry = config.telemetry.clone();
+    if let Some(t) = &telemetry {
+        if config.scheduling != Scheduling::Adaptive {
+            t.set_schedule(
+                sched.counting_start,
+                sched.reduce_start,
+                sched.broadcast_start,
+                sched.agg_start,
+            );
+        }
+    }
     let max_rounds = if config.reliable {
         // Fault-free reliable runs pipeline one virtual round per physical
         // round; under faults every loss stalls its edge for up to an RTO.
@@ -432,14 +450,22 @@ fn run_impl(
         let rcfg = ReliableConfig {
             rto: config.faults.as_ref().map_or(3, |f| f.max_delay + 2),
         };
+        let node_tel = telemetry.clone();
         let mut net = Network::new(g, engine_cfg, |v, gg| {
-            Reliable::new(DistBcNode::new(n, v, opts.clone()), gg.degree(v), rcfg)
+            let mut node = Reliable::new(DistBcNode::new(n, v, opts.clone()), gg.degree(v), rcfg);
+            if let Some(t) = &node_tel {
+                node.set_telemetry(t.clone(), v as usize % t.shards());
+            }
+            node
         });
         if let Some(s) = sink.take() {
             net.set_trace_sink(s);
         }
         if profile {
             net.set_profiler(Profiler::new());
+        }
+        if let Some(t) = &telemetry {
+            net.set_telemetry(t.clone());
         }
         let report = if config.threads > 1 {
             net.run_parallel(max_rounds, config.threads)?
@@ -466,6 +492,9 @@ fn run_impl(
         }
         if profile {
             net.set_profiler(Profiler::new());
+        }
+        if let Some(t) = &telemetry {
+            net.set_telemetry(t.clone());
         }
         let report = if config.threads > 1 {
             net.run_parallel(max_rounds, config.threads)?

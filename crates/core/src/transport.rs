@@ -54,9 +54,11 @@
 //! failures are not masked — peers retransmit forever and the engine
 //! reports [`bc_congest::CongestError::RoundLimit`].
 
+use bc_congest::telemetry::{Counter, Telemetry};
 use bc_congest::{Message, Protocol, RoundCtx};
 use bc_numeric::bits::BitWriter;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Frame-header overhead in bits: checksum (8) + flags (3) + vround (16)
 /// \+ cumulative ack (16). A reliable run needs its per-message budget
@@ -174,6 +176,9 @@ pub struct Reliable<P> {
     inner_halted: bool,
     ports: Vec<PortState>,
     stats: TransportStats,
+    /// Live telemetry mirror of `stats` (registry + shard). Counter-only:
+    /// never consulted by the protocol, so it cannot perturb execution.
+    telemetry: Option<(Arc<Telemetry>, usize)>,
     /// Recycled inbox staging buffer for nested rounds.
     scratch: Vec<(usize, Message)>,
 }
@@ -188,8 +193,15 @@ impl<P: Protocol> Reliable<P> {
             inner_halted: false,
             ports: (0..degree).map(|_| PortState::new()).collect(),
             stats: TransportStats::default(),
+            telemetry: None,
             scratch: Vec::new(),
         }
+    }
+
+    /// Mirrors this node's transport counters into `telemetry` as they
+    /// change, attributed to `shard`.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>, shard: usize) {
+        self.telemetry = Some((telemetry, shard));
     }
 
     /// The wrapped protocol.
@@ -227,6 +239,9 @@ impl<P: Protocol> Reliable<P> {
     fn process_frame(&mut self, port: usize, raw: &Message) {
         let Some(frame) = decode(raw) else {
             self.stats.checksum_drops += 1;
+            if let Some((t, s)) = &self.telemetry {
+                t.add(*s, Counter::ChecksumDrops, 1);
+            }
             return;
         };
         let ps = &mut self.ports[port];
@@ -242,6 +257,9 @@ impl<P: Protocol> Reliable<P> {
         ps.owes_ack = true;
         if frame.vround < ps.expected || ps.frames.contains_key(&frame.vround) {
             self.stats.deduped += 1;
+            if let Some((t, s)) = &self.telemetry {
+                t.add(*s, Counter::FramesDeduped, 1);
+            }
             return;
         }
         ps.frames
@@ -313,6 +331,9 @@ impl<P: Protocol> Reliable<P> {
                 });
                 ps.owes_ack = false;
                 self.stats.frames_sent += 1;
+                if let Some((t, s)) = &self.telemetry {
+                    t.add(*s, Counter::FramesSent, 1);
+                }
                 ctx.send(port, msg);
                 continue;
             }
@@ -330,6 +351,10 @@ impl<P: Protocol> Reliable<P> {
                     ps.owes_ack = false;
                     self.stats.frames_sent += 1;
                     self.stats.retransmits += 1;
+                    if let Some((t, s)) = &self.telemetry {
+                        t.add(*s, Counter::FramesSent, 1);
+                        t.add(*s, Counter::Retransmits, 1);
+                    }
                     ctx.send(port, msg);
                     continue;
                 }
@@ -345,6 +370,10 @@ impl<P: Protocol> Reliable<P> {
                 ps.owes_ack = false;
                 self.stats.frames_sent += 1;
                 self.stats.ack_only_frames += 1;
+                if let Some((t, s)) = &self.telemetry {
+                    t.add(*s, Counter::FramesSent, 1);
+                    t.add(*s, Counter::AckOnlyFrames, 1);
+                }
                 ctx.send(port, msg);
             }
         }

@@ -16,7 +16,7 @@
 
 use distbc::brandes;
 use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink};
-use distbc::congest::{Enforcement, FaultPlan, PhaseStat, ProfileReport};
+use distbc::congest::{Counter, Enforcement, FaultPlan, PhaseStat, ProfileReport, Telemetry};
 use distbc::core::{
     auto_threads, run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
     run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, PartitionStrategy, Scheduling,
@@ -26,9 +26,15 @@ use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
 use distbc::numeric::{FpParams, Rounding};
 use std::error::Error;
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Parsed command line.
+/// Parsed command line. One value exists per process invocation, so the
+/// size skew between `Centrality` and the small variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Info {
@@ -52,6 +58,10 @@ enum Command {
         faults: Option<FaultPlan>,
         reliable: bool,
         best_effort: bool,
+        perfetto: Option<String>,
+        watch: bool,
+        postmortem: Option<String>,
+        no_telemetry: bool,
     },
     Gadget {
         kind: GadgetKind,
@@ -109,6 +119,7 @@ const USAGE: &str = "usage:
                      [--partition contiguous|degree|schedule] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
                      [--faults PLAN [--fault-seed N]] [--reliable] [--best-effort]
+                     [--perfetto FILE] [--watch] [--postmortem FILE] [--no-telemetry]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
   distbc trace-stats FILE [--csv | --json] [--top K]
@@ -118,7 +129,12 @@ generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
 fault PLANs:     comma-separated, e.g. seed=7,drop=0.1,dup=0.05,corrupt=0.01,
                  delay=0.2:3,crash=4@10..20  (crash=V@A.. = crash-stop).
                  --faults needs --reliable (exact results via retransmission) or
-                 --best-effort (observe the raw failure; enforcement downgraded)";
+                 --best-effort (observe the raw failure; enforcement downgraded)
+telemetry:       always on for distributed runs (--no-telemetry to disable).
+                 --watch prints a live status line to stderr; --perfetto FILE
+                 exports a Chrome/Perfetto timeline (open at ui.perfetto.dev);
+                 on failure (or each watch tick) the flight recorder dumps the
+                 last rounds + counters to postmortem.json (--postmortem FILE)";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -148,6 +164,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut fault_seed: Option<u64> = None;
     let mut reliable = false;
     let mut best_effort = false;
+    let mut perfetto = None;
+    let mut watch = false;
+    let mut postmortem = None;
+    let mut no_telemetry = false;
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -208,6 +228,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--reliable" => reliable = true,
             "--best-effort" => best_effort = true,
+            "--perfetto" => perfetto = Some(value("--perfetto")?),
+            "--watch" => watch = true,
+            "--postmortem" => postmortem = Some(value("--postmortem")?),
+            "--no-telemetry" => no_telemetry = true,
             "--planted" => planted = true,
             "--top" => {
                 top = Some(
@@ -284,6 +308,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if let (Some(plan), Some(seed)) = (faults.as_mut(), fault_seed) {
                 plan.seed = seed;
             }
+            if (perfetto.is_some() || watch || postmortem.is_some()) && !distributed {
+                return Err(
+                    "--perfetto/--watch/--postmortem require --algorithm distributed or sampled:K"
+                        .into(),
+                );
+            }
+            if no_telemetry && (watch || postmortem.is_some()) {
+                return Err("--no-telemetry is incompatible with --watch/--postmortem".into());
+            }
             Ok(Command::Centrality {
                 source: source.ok_or("centrality needs --input or --generate")?,
                 algorithm,
@@ -302,6 +335,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 faults,
                 reliable,
                 best_effort,
+                perfetto,
+                watch,
+                postmortem,
+                no_telemetry,
             })
         }
         "gadget" => Ok(Command::Gadget {
@@ -463,6 +500,98 @@ fn adaptive_phase_stats(out: &DistBcResult, events: &[trace::TraceEvent]) -> Vec
     }
 }
 
+/// Rounds the flight recorder retains for postmortems.
+const FLIGHT_RECORDER_ROUNDS: usize = 64;
+
+/// `--watch` status-line (and postmortem-checkpoint) interval.
+const WATCH_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Dumps the flight recorder + counter snapshot to `path`.
+fn write_postmortem(tel: &Telemetry, path: &str, reason: &str) {
+    match std::fs::write(path, tel.postmortem_json(reason)) {
+        Ok(()) => eprintln!("# postmortem written to {path}"),
+        Err(e) => eprintln!("# writing postmortem to {path} failed: {e}"),
+    }
+}
+
+/// `1234567` → `"1.2M"` — compact rates for the watch status line.
+fn human(n: u64) -> String {
+    match n {
+        0..=9_999 => n.to_string(),
+        10_000..=9_999_999 => format!("{:.1}k", n as f64 / 1e3),
+        _ => format!("{:.1}M", n as f64 / 1e6),
+    }
+}
+
+/// The `--watch` reporter: a thread printing a status line to stderr every
+/// [`WATCH_INTERVAL`] and checkpointing the postmortem file, so a run
+/// killed by Ctrl-C (which the CLI cannot trap) still leaves a scene at
+/// most one interval old. Stops and joins on drop.
+struct WatchThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WatchThread {
+    fn spawn(tel: Arc<Telemetry>, checkpoint: String) -> WatchThread {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            // On a terminal, rewrite one line in place; when stderr is
+            // piped, emit one full line per tick instead.
+            let interactive = std::io::stderr().is_terminal();
+            let mut last_msgs = 0u64;
+            let mut last_tick = Instant::now();
+            let mut printed = false;
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                if last_tick.elapsed() < WATCH_INTERVAL {
+                    continue;
+                }
+                let dt = last_tick.elapsed().as_secs_f64();
+                last_tick = Instant::now();
+                let snap = tel.snapshot();
+                let msgs = snap.get(Counter::Messages);
+                let rate = ((msgs - last_msgs) as f64 / dt) as u64;
+                last_msgs = msgs;
+                let round = tel.round();
+                let line = format!(
+                    "# watch: round {round}  phase {}  {} msgs ({}/s)  {} retransmits  \
+                     {} straggler rounds",
+                    tel.phase_label(round),
+                    human(msgs),
+                    human(rate),
+                    human(snap.get(Counter::Retransmits)),
+                    human(snap.get(Counter::StragglerRounds)),
+                );
+                if interactive {
+                    eprint!("\r\x1b[2K{line}");
+                    printed = true;
+                } else {
+                    eprintln!("{line}");
+                }
+                let _ = std::fs::write(&checkpoint, tel.postmortem_json("watch checkpoint"));
+            }
+            if interactive && printed {
+                eprintln!();
+            }
+        });
+        WatchThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for WatchThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_centrality(
     source: &GraphSource,
@@ -482,6 +611,10 @@ fn cmd_centrality(
     faults: Option<&FaultPlan>,
     reliable: bool,
     best_effort: bool,
+    perfetto: Option<&str>,
+    watch: bool,
+    postmortem: Option<&str>,
+    no_telemetry: bool,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
     let threads = match threads {
@@ -518,6 +651,12 @@ fn cmd_centrality(
             .collect(),
         Algorithm::Naive => brandes::betweenness_naive(&g),
         Algorithm::Distributed | Algorithm::Sampled(_) => {
+            // Telemetry is on by default: one shard per worker and a
+            // flight recorder for postmortems. Counter-only, so results
+            // are bit-identical with or without it.
+            let telemetry = (!no_telemetry)
+                .then(|| Arc::new(Telemetry::new(threads.max(1), FLIGHT_RECORDER_ROUNDS)));
+            let postmortem_path = postmortem.unwrap_or("postmortem.json");
             let cfg = DistBcConfig {
                 fp: mantissa_bits.map(|l| FpParams::new(l, Rounding::Ceil)),
                 scheduling,
@@ -538,6 +677,7 @@ fn cmd_centrality(
                 } else {
                     Enforcement::Strict
                 },
+                telemetry: telemetry.clone(),
                 ..DistBcConfig::default()
             };
             // Adaptive --metrics has no provisioned boundaries; record the
@@ -551,25 +691,57 @@ fn cmd_centrality(
             };
             let mut profile_report: Option<ProfileReport> = None;
             let mut returned_sink: Option<Box<dyn TraceSink>> = None;
-            let out = match (sink, profile) {
-                (Some(sink), true) => {
-                    let (out, sink, report) = run_distributed_bc_traced_profiled(&g, cfg, sink)?;
-                    profile_report = Some(report);
-                    returned_sink = Some(sink);
-                    out
-                }
-                (Some(sink), false) => {
-                    let (out, sink) = run_distributed_bc_traced(&g, cfg, sink)?;
-                    returned_sink = Some(sink);
-                    out
-                }
-                (None, true) => {
-                    let (out, report) = run_distributed_bc_profiled(&g, cfg)?;
-                    profile_report = Some(report);
-                    out
-                }
-                (None, false) => run_distributed_bc(&g, cfg)?,
+            // --perfetto renders from the profiler's round spans, so it
+            // turns profiling on internally even without --profile.
+            let want_profile = profile || perfetto.is_some();
+            let watcher = match (&telemetry, watch) {
+                (Some(t), true) => Some(WatchThread::spawn(t.clone(), postmortem_path.to_string())),
+                _ => None,
             };
+            let run_result: Result<DistBcResult, Box<dyn Error>> = (|| {
+                Ok(match (sink, want_profile) {
+                    (Some(sink), true) => {
+                        let (out, sink, report) =
+                            run_distributed_bc_traced_profiled(&g, cfg, sink)?;
+                        profile_report = Some(report);
+                        returned_sink = Some(sink);
+                        out
+                    }
+                    (Some(sink), false) => {
+                        let (out, sink) = run_distributed_bc_traced(&g, cfg, sink)?;
+                        returned_sink = Some(sink);
+                        out
+                    }
+                    (None, true) => {
+                        let (out, report) = run_distributed_bc_profiled(&g, cfg)?;
+                        profile_report = Some(report);
+                        out
+                    }
+                    (None, false) => run_distributed_bc(&g, cfg)?,
+                })
+            })();
+            drop(watcher);
+            let out = match run_result {
+                Ok(out) => out,
+                Err(e) => {
+                    // The run died (NodePanic, RoundLimit, abort, ...):
+                    // preserve the scene before reporting the failure.
+                    if let Some(t) = &telemetry {
+                        write_postmortem(t, postmortem_path, &e.to_string());
+                    }
+                    return Err(e);
+                }
+            };
+            if watch {
+                // The run succeeded; drop the watch thread's in-flight
+                // checkpoint so no stale "postmortem" outlives a clean run.
+                let _ = std::fs::remove_file(postmortem_path);
+            }
+            if let (Some(path), Some(report)) = (perfetto, profile_report.as_ref()) {
+                std::fs::write(path, report.to_perfetto_json())
+                    .map_err(|e| format!("writing perfetto trace to {path}: {e}"))?;
+                eprintln!("# perfetto trace written to {path} (open at https://ui.perfetto.dev)");
+            }
             if let (Some(path), Some(sink)) = (trace_path, returned_sink.as_mut()) {
                 sink.flush()?;
                 eprintln!("# trace written to {path}");
@@ -594,11 +766,13 @@ fn cmd_centrality(
                     m.messages_deduped
                 );
             }
-            if let Some(report) = &profile_report {
-                if json {
-                    println!("{}", report.to_json());
-                } else {
-                    print!("{report}");
+            if profile {
+                if let Some(report) = &profile_report {
+                    if json {
+                        println!("{}", report.to_json());
+                    } else {
+                        print!("{report}");
+                    }
                 }
             }
             if metrics {
@@ -754,6 +928,10 @@ fn main() -> ExitCode {
             faults,
             reliable,
             best_effort,
+            perfetto,
+            watch,
+            postmortem,
+            no_telemetry,
         } => cmd_centrality(
             source,
             algorithm,
@@ -772,6 +950,10 @@ fn main() -> ExitCode {
             faults.as_ref(),
             *reliable,
             *best_effort,
+            perfetto.as_deref(),
+            *watch,
+            postmortem.as_deref(),
+            *no_telemetry,
         ),
         Command::Gadget {
             kind,
@@ -855,8 +1037,94 @@ mod tests {
                 faults: None,
                 reliable: false,
                 best_effort: false,
+                perfetto: None,
+                watch: false,
+                postmortem: None,
+                no_telemetry: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--perfetto",
+            "run.perfetto.json",
+            "--watch",
+            "--postmortem",
+            "pm.json",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality {
+                perfetto,
+                watch,
+                postmortem,
+                no_telemetry,
+                ..
+            } => {
+                assert_eq!(perfetto.as_deref(), Some("run.perfetto.json"));
+                assert!(watch);
+                assert_eq!(postmortem.as_deref(), Some("pm.json"));
+                assert!(!no_telemetry);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Telemetry consumers are distributed-engine features.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "brandes",
+            "--perfetto",
+            "t.json",
+        ])
+        .is_err());
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "brandes",
+            "--watch",
+        ])
+        .is_err());
+        // The watch line and postmortems read the registry --no-telemetry
+        // removes.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--no-telemetry",
+            "--watch"
+        ])
+        .is_err());
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--no-telemetry",
+            "--postmortem",
+            "pm.json",
+        ])
+        .is_err());
+        // --no-telemetry alone (and with --perfetto, which reads the
+        // profiler, not the registry) is fine.
+        assert!(p(&["centrality", "--generate", "path:8", "--no-telemetry"]).is_ok());
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--no-telemetry",
+            "--perfetto",
+            "t.json",
+        ])
+        .is_ok());
+        assert!(p(&["centrality", "--generate", "path:8", "--perfetto"]).is_err());
     }
 
     #[test]
