@@ -10,6 +10,7 @@ pub mod e15_profile;
 pub mod e16_engine;
 pub mod e17_faults;
 pub mod e18_scaling;
+pub mod e19_wire;
 pub mod e1_figure1;
 pub mod e2_correctness;
 pub mod e3_rounds;

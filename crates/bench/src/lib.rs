@@ -36,7 +36,7 @@ impl fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
-/// Runs an experiment by id (`"e1"`…`"e18"`), at reduced scale if `quick`.
+/// Runs an experiment by id (`"e1"`…`"e19"`), at reduced scale if `quick`.
 ///
 /// # Errors
 ///
@@ -70,6 +70,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
         "e16" => vec![experiments::e16_engine::run(quick)],
         "e17" => vec![experiments::e17_faults::run(quick)],
         "e18" => vec![experiments::e18_scaling::run(quick)],
+        "e19" => vec![experiments::e19_wire::run(quick)],
         other => {
             return Err(UnknownExperiment {
                 id: other.to_string(),
@@ -79,8 +80,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E18 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+/// E11–E19 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];

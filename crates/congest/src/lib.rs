@@ -76,6 +76,7 @@ pub mod partition;
 pub mod profile;
 pub mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use faults::{CrashWindow, FaultDecision, FaultPlan};
 pub use message::Message;

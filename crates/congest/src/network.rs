@@ -256,6 +256,12 @@ impl<'a> RoundCtx<'a> {
         }
     }
 
+    /// Recovers the staging buffers so an engine outside this module (the
+    /// wire engine) can recycle them the way the in-process workers do.
+    pub(crate) fn into_buffers(self) -> (Vec<(usize, Message)>, Vec<ProtocolDetail>) {
+        (self.sends, self.events)
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
@@ -1829,7 +1835,7 @@ impl<P: Protocol + Send> Network<P> {
 
 /// Renders a `catch_unwind` payload (usually a `&str` or `String` from
 /// `panic!`/`assert!`) for [`CongestError::NodePanic`].
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1864,7 +1870,7 @@ fn take_due(
 /// `MessageSent` is traced for the extra wire copy), or delay (parked in
 /// `delayed` until its delivery round).
 #[allow(clippy::too_many_arguments)]
-fn account_sends<S: TraceSink + ?Sized>(
+pub(crate) fn account_sends<S: TraceSink + ?Sized>(
     v: NodeId,
     round: u64,
     staged: impl Iterator<Item = (usize, Message)>,

@@ -106,8 +106,10 @@ impl Profiler {
         &self.spans
     }
 
-    /// Engine-side: records one completed round.
-    pub(crate) fn record_round(&mut self, span: RoundSpan) {
+    /// Engine-side: records one completed round. Public so out-of-crate
+    /// orchestrators (the socket leader) can fold per-shard round rows
+    /// into the same report shape the in-process engines produce.
+    pub fn record_round(&mut self, span: RoundSpan) {
         self.spans.push(span);
     }
 

@@ -1,7 +1,7 @@
 //! High-level entry points: configure, run, and harvest a distributed
 //! betweenness-centrality execution.
 
-use crate::node::{AlgoOptions, DistBcNode};
+use crate::node::{AggInfo, AlgoOptions, DistBcNode};
 use crate::sampling::{source_mask, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
@@ -55,7 +55,12 @@ impl PartitionStrategy {
 
     /// Resolves to the engine-level [`Partition`], deriving schedule-aware
     /// weights from the graph, the phase schedule, and the source set.
-    fn to_engine(self, g: &Graph, sched: &PhaseSchedule, sources: &SourceSelection) -> Partition {
+    pub(crate) fn to_engine(
+        self,
+        g: &Graph,
+        sched: &PhaseSchedule,
+        sources: &SourceSelection,
+    ) -> Partition {
         match self {
             PartitionStrategy::Contiguous => Partition::Contiguous,
             PartitionStrategy::DegreeBalanced => Partition::DegreeBalanced,
@@ -518,50 +523,8 @@ fn run_impl(
     metrics.messages_retransmitted = transport.retransmits;
     metrics.messages_deduped = transport.deduped;
 
-    let betweenness = nodes.iter().map(|nd| nd.betweenness()).collect();
-    let sample_size = nodes[0].source_count();
-    // With sampling, extrapolate the distance sum by N/k (the eccentricity
-    // view stays a max over the sample); explicit masks are restricted
-    // sums, not estimates.
-    let dist_scale = match config.sources {
-        SourceSelection::Sample { .. } => n as f64 / sample_size as f64,
-        _ => 1.0,
-    };
-    let mut closeness = Vec::with_capacity(n);
-    let mut graph_centrality = Vec::with_capacity(n);
-    for nd in &nodes {
-        let mut total = 0u64;
-        let mut ecc = 0u32;
-        for d in nd.distances().into_iter().flatten() {
-            total += d as u64;
-            ecc = ecc.max(d);
-        }
-        closeness.push(if total == 0 {
-            0.0
-        } else {
-            1.0 / (total as f64 * dist_scale)
-        });
-        graph_centrality.push(if ecc == 0 { 0.0 } else { 1.0 / ecc as f64 });
-    }
-    let stress = config
-        .compute_stress
-        .then(|| nodes.iter().map(|nd| nd.stress().unwrap_or(0.0)).collect());
-    let info = nodes[0].agg_info().expect("run completed");
-    let diameter = info.d;
-    let counting_rounds_used = nodes[0]
-        .dfs_done_round()
-        .map(|r| r.saturating_sub(sched.counting_start))
-        .unwrap_or(sched.reduce_start - sched.counting_start);
-    let phase_stats = if config.scheduling == Scheduling::Adaptive {
-        Vec::new()
-    } else {
-        vec![
-            metrics.phase_window("A:tree", 0, sched.counting_start),
-            metrics.phase_window("B:counting", sched.counting_start, sched.reduce_start),
-            metrics.phase_window("C:reduce+bcast", sched.reduce_start, sched.agg_start),
-            metrics.phase_window("D:aggregation", sched.agg_start, report.rounds),
-        ]
-    };
+    let summaries: Vec<NodeSummary> = nodes.iter().map(summarize_node).collect();
+    let root = summarize_root(&nodes[0]);
     let profile = profiler.map(|p| {
         let mut engine = if config.threads > 1 {
             format!("parallel({})", config.threads)
@@ -575,24 +538,7 @@ fn run_impl(
         if config.reliable {
             engine.push_str("+reliable");
         }
-        let phases: Vec<(String, u64, u64)> = if config.scheduling == Scheduling::Adaptive {
-            Vec::new()
-        } else {
-            vec![
-                ("A:tree".to_string(), 0, sched.counting_start),
-                (
-                    "B:counting".to_string(),
-                    sched.counting_start,
-                    sched.reduce_start,
-                ),
-                (
-                    "C:reduce+bcast".to_string(),
-                    sched.reduce_start,
-                    sched.agg_start,
-                ),
-                ("D:aggregation".to_string(), sched.agg_start, report.rounds),
-            ]
-        };
+        let phases = profile_phases(config.scheduling, &sched, report.rounds);
         let mut rep = p.report(&engine, &phases);
         rep.messages_retransmitted = transport.retransmits;
         rep.messages_deduped = transport.deduped;
@@ -602,25 +548,174 @@ fn run_impl(
             + metrics.faults_delayed;
         rep
     });
-    Ok((
-        DistBcResult {
-            betweenness,
-            closeness,
-            graph_centrality,
-            diameter,
-            rounds: report.rounds,
-            schedule: sched,
-            metrics,
-            stress,
-            sample_size,
-            ts_spread: info.max_ts - info.min_ts,
-            counting_rounds_used,
-            fp,
-            phase_stats,
-        },
-        sink,
-        profile,
-    ))
+    let result = assemble_result(
+        n,
+        &config.sources,
+        config.compute_stress,
+        config.scheduling,
+        sched,
+        fp,
+        report.rounds,
+        metrics,
+        &summaries,
+        &root,
+    );
+    Ok((result, sink, profile))
+}
+
+/// The per-node observables the result assembly needs, decoupled from the
+/// node state itself so the socket leader can collect them from remote
+/// shards and still run the byte-identical float pipeline of
+/// [`assemble_result`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NodeSummary {
+    /// The node's accumulated betweenness value.
+    pub betweenness: f64,
+    /// Integer sum of all (known) distances from sources to this node.
+    pub dist_total: u64,
+    /// Max distance seen (eccentricity over the source set).
+    pub ecc: u32,
+    /// Stress centrality (0.0 when not computed).
+    pub stress: f64,
+}
+
+/// The root-only observables (node 0 drives the schedule and holds the
+/// globally reduced aggregation parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RootSummary {
+    /// Number of BFS sources actually used.
+    pub source_count: usize,
+    /// The globally agreed `(base, min T_s, max T_s, D)`.
+    pub agg: AggInfo,
+    /// Round the DFS token returned to the root (pipelined modes).
+    pub dfs_done_round: Option<u64>,
+}
+
+/// Extracts a [`NodeSummary`] from a finished node. The distance fold is
+/// pure integer arithmetic, so summarizing on a remote shard and shipping
+/// the summary is bit-exact with summarizing locally.
+pub(crate) fn summarize_node(nd: &DistBcNode) -> NodeSummary {
+    let mut dist_total = 0u64;
+    let mut ecc = 0u32;
+    for d in nd.distances().into_iter().flatten() {
+        dist_total += d as u64;
+        ecc = ecc.max(d);
+    }
+    NodeSummary {
+        betweenness: nd.betweenness(),
+        dist_total,
+        ecc,
+        stress: nd.stress().unwrap_or(0.0),
+    }
+}
+
+/// Extracts the [`RootSummary`] from node 0 of a completed run.
+///
+/// # Panics
+///
+/// Panics if the node never received the aggregation broadcast — i.e. the
+/// run did not actually complete.
+pub(crate) fn summarize_root(nd: &DistBcNode) -> RootSummary {
+    RootSummary {
+        source_count: nd.source_count(),
+        agg: nd.agg_info().expect("run completed"),
+        dfs_done_round: nd.dfs_done_round(),
+    }
+}
+
+/// The provisioned phase windows for a profile report (empty for
+/// [`Scheduling::Adaptive`], whose boundaries are data-dependent).
+pub(crate) fn profile_phases(
+    scheduling: Scheduling,
+    sched: &PhaseSchedule,
+    rounds: u64,
+) -> Vec<(String, u64, u64)> {
+    if scheduling == Scheduling::Adaptive {
+        Vec::new()
+    } else {
+        vec![
+            ("A:tree".to_string(), 0, sched.counting_start),
+            (
+                "B:counting".to_string(),
+                sched.counting_start,
+                sched.reduce_start,
+            ),
+            (
+                "C:reduce+bcast".to_string(),
+                sched.reduce_start,
+                sched.agg_start,
+            ),
+            ("D:aggregation".to_string(), sched.agg_start, rounds),
+        ]
+    }
+}
+
+/// Derives the [`DistBcResult`] from per-node summaries — the single
+/// shared harvest path for the in-process engines and the socket leader,
+/// so both produce bit-identical floats from identical summaries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_result(
+    n: usize,
+    sources: &SourceSelection,
+    compute_stress: bool,
+    scheduling: Scheduling,
+    sched: PhaseSchedule,
+    fp: FpParams,
+    rounds: u64,
+    metrics: NetMetrics,
+    summaries: &[NodeSummary],
+    root: &RootSummary,
+) -> DistBcResult {
+    let betweenness = summaries.iter().map(|s| s.betweenness).collect();
+    let sample_size = root.source_count;
+    // With sampling, extrapolate the distance sum by N/k (the eccentricity
+    // view stays a max over the sample); explicit masks are restricted
+    // sums, not estimates.
+    let dist_scale = match sources {
+        SourceSelection::Sample { .. } => n as f64 / sample_size as f64,
+        _ => 1.0,
+    };
+    let mut closeness = Vec::with_capacity(n);
+    let mut graph_centrality = Vec::with_capacity(n);
+    for s in summaries {
+        closeness.push(if s.dist_total == 0 {
+            0.0
+        } else {
+            1.0 / (s.dist_total as f64 * dist_scale)
+        });
+        graph_centrality.push(if s.ecc == 0 { 0.0 } else { 1.0 / s.ecc as f64 });
+    }
+    let stress = compute_stress.then(|| summaries.iter().map(|s| s.stress).collect());
+    let info = root.agg;
+    let counting_rounds_used = root
+        .dfs_done_round
+        .map(|r| r.saturating_sub(sched.counting_start))
+        .unwrap_or(sched.reduce_start - sched.counting_start);
+    let phase_stats = if scheduling == Scheduling::Adaptive {
+        Vec::new()
+    } else {
+        vec![
+            metrics.phase_window("A:tree", 0, sched.counting_start),
+            metrics.phase_window("B:counting", sched.counting_start, sched.reduce_start),
+            metrics.phase_window("C:reduce+bcast", sched.reduce_start, sched.agg_start),
+            metrics.phase_window("D:aggregation", sched.agg_start, rounds),
+        ]
+    };
+    DistBcResult {
+        betweenness,
+        closeness,
+        graph_centrality,
+        diameter: info.d,
+        rounds,
+        schedule: sched,
+        metrics,
+        stress,
+        sample_size,
+        ts_spread: info.max_ts - info.min_ts,
+        counting_rounds_used,
+        fp,
+        phase_stats,
+    }
 }
 
 /// Convenience wrapper returning only the closeness centralities computed

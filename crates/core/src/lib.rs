@@ -52,6 +52,7 @@ mod node;
 mod sampling;
 mod schedule;
 pub mod transport;
+pub mod wire;
 
 pub use codec::{Codec, DecodeError, ProtocolMsg};
 pub use driver::{
@@ -64,3 +65,4 @@ pub use node::{AggInfo, AlgoOptions, DistBcNode};
 pub use sampling::{source_mask, SourceSelection};
 pub use schedule::{PhaseSchedule, Scheduling};
 pub use transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
+pub use wire::{run_leader, serve_shard, WireRunError};

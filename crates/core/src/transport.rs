@@ -13,7 +13,7 @@
 //! Each physical CONGEST message carries one *frame*:
 //!
 //! ```text
-//! | checksum:8 | ack_only:1 | has_payload:1 | halted:1 | vround:16 | ack:16 | payload:* |
+//! | checksum:8 | ack_only:1 | has_payload:1 | halted:1 | vround:32 | ack:32 | payload:* |
 //! ```
 //!
 //! * `checksum` — XOR-fold of every bit after it. Any single-bit
@@ -60,13 +60,19 @@ use bc_numeric::bits::BitWriter;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// Frame-header overhead in bits: checksum (8) + flags (3) + vround (16)
-/// \+ cumulative ack (16). A reliable run needs its per-message budget
+/// Frame-header overhead in bits: checksum (8) + flags (3) + vround (32)
+/// \+ cumulative ack (32). A reliable run needs its per-message budget
 /// raised by this amount over the inner protocol's budget.
-pub const HEADER_BITS: usize = 43;
+///
+/// The sequence fields were widened from 16 to 32 bits after a run
+/// crossing 65 535 virtual rounds was found to wrap the sequence space
+/// (corrupting dedup and cumulative acks). 2³² virtual rounds is beyond
+/// any reachable run length — `Config::max_rounds` caps physical rounds
+/// well below it — so the remaining guard is a hard assert, not a wrap.
+pub const HEADER_BITS: usize = 75;
 
-/// Largest virtual round / ack the 16-bit frame fields can carry.
-const SEQ_LIMIT: u64 = 1 << 16;
+/// Largest virtual round / ack the 32-bit frame fields can carry.
+const SEQ_LIMIT: u64 = 1 << 32;
 
 /// Tuning knobs for [`Reliable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,7 +283,7 @@ impl<P: Protocol> Reliable<P> {
     fn advance_inner(&mut self, ctx: &mut RoundCtx<'_>) {
         while !self.inner_halted && self.executable() {
             let vr = self.vr;
-            assert!(vr < SEQ_LIMIT, "virtual round exceeds 16-bit frame field");
+            assert!(vr < SEQ_LIMIT, "virtual round exceeds 32-bit frame field");
             let mut inbox = std::mem::take(&mut self.scratch);
             inbox.clear();
             if vr > 0 {
@@ -319,7 +325,7 @@ impl<P: Protocol> Reliable<P> {
         for port in 0..self.ports.len() {
             let ps = &mut self.ports[port];
             let ack = ps.expected;
-            assert!(ack < SEQ_LIMIT, "cumulative ack exceeds 16-bit frame field");
+            assert!(ack < SEQ_LIMIT, "cumulative ack exceeds 32-bit frame field");
             if let Some(f) = ps.out.iter_mut().find(|f| f.last_sent.is_none()) {
                 f.last_sent = Some(now);
                 let msg = encode(&Frame {
@@ -427,8 +433,8 @@ fn encode(f: &Frame) -> Message {
     body.push(f.ack_only as u64, 1);
     body.push(f.payload.is_some() as u64, 1);
     body.push(f.halted as u64, 1);
-    body.push(f.vround, 16);
-    body.push(f.ack, 16);
+    body.push(f.vround, 32);
+    body.push(f.ack, 32);
     if let Some(p) = &f.payload {
         let buf = p.payload();
         let mut r = buf.reader();
@@ -474,8 +480,8 @@ fn decode(msg: &Message) -> Option<Frame> {
     let ack_only = r.read(1) == 1;
     let has_payload = r.read(1) == 1;
     let halted = r.read(1) == 1;
-    let vround = r.read(16);
-    let ack = r.read(16);
+    let vround = r.read(32);
+    let ack = r.read(32);
     let payload_bits = total - HEADER_BITS;
     let payload = if has_payload {
         let mut w = BitWriter::new();
@@ -579,6 +585,85 @@ mod tests {
     }
 
     #[test]
+    fn frames_roundtrip_beyond_16_bit_sequence_space() {
+        // Regression: vround/ack were 16-bit fields until a long run
+        // wrapped the sequence space at 65 536 virtual rounds; frames must
+        // round-trip well past the old boundary.
+        frame_roundtrip(Frame {
+            ack_only: false,
+            halted: false,
+            vround: 65_536,
+            ack: 65_536,
+            payload: None,
+        });
+        frame_roundtrip(Frame {
+            ack_only: false,
+            halted: true,
+            vround: (1 << 32) - 1,
+            ack: 1 << 20,
+            payload: Some(payload(&[(0xfeed, 16)])),
+        });
+    }
+
+    /// Broadcasts the current round number every round up to a limit;
+    /// checks arrivals are strictly sequential (any sequence-space wrap
+    /// would alias an old vround onto a new one and break the order).
+    struct LongHaul {
+        limit: u64,
+        last_seen: u64,
+    }
+
+    impl Protocol for LongHaul {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>, inbox: &[(usize, Message)]) {
+            for (_, m) in inbox {
+                let v = m.payload().reader().read(32);
+                assert_eq!(v, self.last_seen, "out-of-sequence arrival");
+                self.last_seen = v + 1;
+            }
+            if ctx.round() < self.limit {
+                let mut w = BitWriter::new();
+                w.push(ctx.round(), 32);
+                ctx.broadcast(&Message::new(w.finish()));
+            }
+        }
+
+        fn is_halted(&self) -> bool {
+            self.last_seen >= self.limit
+        }
+    }
+
+    #[test]
+    fn virtual_rounds_cross_the_old_16_bit_boundary() {
+        // Regression: with 16-bit sequence fields this run hit the
+        // sequence-space ceiling at virtual round 65 536. It must now run
+        // through the boundary with dedup and acks intact.
+        const LIMIT: u64 = 65_600;
+        let g = generators::path(2);
+        let cfg = Config {
+            budget: Budget::Unlimited,
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, |v, g| {
+            Reliable::new(
+                LongHaul {
+                    limit: LIMIT,
+                    last_seen: 0,
+                },
+                g.degree(v),
+                ReliableConfig::default(),
+            )
+        });
+        net.run(200_000).unwrap();
+        for v in g.nodes() {
+            let node = net.node(v);
+            assert_eq!(node.inner().last_seen, LIMIT, "node {v}");
+            assert!(node.virtual_rounds() > 65_536, "node {v} stopped short");
+            assert_eq!(node.stats().retransmits, 0);
+            assert_eq!(node.stats().deduped, 0);
+        }
+    }
+
+    #[test]
     fn every_single_bit_flip_is_detected() {
         let msg = encode(&Frame {
             ack_only: false,
@@ -659,7 +744,13 @@ mod tests {
             announced: false,
         });
         bare.run(10_000).unwrap();
-        let mut net = Network::new(&g, Config::default(), reliable_flood);
+        // Like the driver, raise the per-message budget by the frame
+        // header so the inner protocol keeps its full payload allowance.
+        let cfg = Config {
+            budget: Budget::Bits(Budget::Auto.resolve(g.n()).unwrap() + HEADER_BITS),
+            ..Config::default()
+        };
+        let mut net = Network::new(&g, cfg, reliable_flood);
         net.run(10_000).unwrap();
         let mut totals = TransportStats::default();
         for v in g.nodes() {

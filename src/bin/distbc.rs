@@ -19,8 +19,8 @@ use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink}
 use distbc::congest::{Counter, Enforcement, FaultPlan, PhaseStat, ProfileReport, Telemetry};
 use distbc::core::{
     auto_threads, run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
-    run_distributed_bc_traced_profiled, DistBcConfig, DistBcResult, PartitionStrategy, Scheduling,
-    SourceSelection, AUTO_THREADS_MIN_NODES,
+    run_distributed_bc_traced_profiled, run_leader, serve_shard, DistBcConfig, DistBcResult,
+    PartitionStrategy, Scheduling, SourceSelection, AUTO_THREADS_MIN_NODES,
 };
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
@@ -43,6 +43,7 @@ enum Command {
     Centrality {
         source: GraphSource,
         algorithm: Algorithm,
+        sample_seed: u64,
         stress: bool,
         top: Option<usize>,
         csv: bool,
@@ -62,6 +63,10 @@ enum Command {
         watch: bool,
         postmortem: Option<String>,
         no_telemetry: bool,
+        connect: Option<Vec<String>>,
+    },
+    ServeShard {
+        listen: String,
     },
     Gadget {
         kind: GadgetKind,
@@ -114,12 +119,14 @@ const USAGE: &str = "usage:
   distbc info        --input FILE | --generate SPEC
   distbc centrality  --input FILE | --generate SPEC
                      [--algorithm distributed|brandes|exact|naive|sampled:K]
-                     [--stress] [--top K] [--csv] [--mantissa-bits L]
+                     [--sample-seed N] [--stress] [--top K] [--csv] [--mantissa-bits L]
                      [--sequential | --adaptive] [--threads N|auto]
                      [--partition contiguous|degree|schedule] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
                      [--faults PLAN [--fault-seed N]] [--reliable] [--best-effort]
                      [--perfetto FILE] [--watch] [--postmortem FILE] [--no-telemetry]
+                     [--connect ADDR,ADDR,... [--shards K]]
+  distbc serve-shard --listen tcp:HOST:PORT|unix:PATH
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
   distbc trace-stats FILE [--csv | --json] [--top K]
@@ -134,7 +141,11 @@ telemetry:       always on for distributed runs (--no-telemetry to disable).
                  --watch prints a live status line to stderr; --perfetto FILE
                  exports a Chrome/Perfetto timeline (open at ui.perfetto.dev);
                  on failure (or each watch tick) the flight recorder dumps the
-                 last rounds + counters to postmortem.json (--postmortem FILE)";
+                 last rounds + counters to postmortem.json (--postmortem FILE)
+multi-process:   start one `distbc serve-shard --listen ADDR` per shard, then
+                 run the leader with --connect ADDR,ADDR,... (one address per
+                 shard, in shard order). Wire runs are implicitly --reliable;
+                 --faults/--trace/--watch/--best-effort stay in-process";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -162,12 +173,16 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut skip_idle = true;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut sample_seed: Option<u64> = None;
     let mut reliable = false;
     let mut best_effort = false;
     let mut perfetto = None;
     let mut watch = false;
     let mut postmortem = None;
     let mut no_telemetry = false;
+    let mut connect: Option<Vec<String>> = None;
+    let mut shards: Option<usize> = None;
+    let mut listen: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -226,12 +241,40 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         .map_err(|_| "bad --fault-seed value".to_string())?,
                 )
             }
+            "--sample-seed" => {
+                sample_seed = Some(
+                    value("--sample-seed")?
+                        .parse()
+                        .map_err(|_| "bad --sample-seed value".to_string())?,
+                )
+            }
             "--reliable" => reliable = true,
             "--best-effort" => best_effort = true,
             "--perfetto" => perfetto = Some(value("--perfetto")?),
             "--watch" => watch = true,
             "--postmortem" => postmortem = Some(value("--postmortem")?),
             "--no-telemetry" => no_telemetry = true,
+            "--connect" => {
+                let v = value("--connect")?;
+                let addrs: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--connect needs at least one address".into());
+                }
+                connect = Some(addrs);
+            }
+            "--shards" => {
+                shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|_| "bad --shards value".to_string())?,
+                )
+            }
+            "--listen" => listen = Some(value("--listen")?),
             "--planted" => planted = true,
             "--top" => {
                 top = Some(
@@ -294,6 +337,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if fault_seed.is_some() && faults.is_none() {
                 return Err("--fault-seed requires --faults".into());
             }
+            if sample_seed.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
+                return Err("--sample-seed requires --algorithm sampled:K".into());
+            }
             if best_effort && faults.is_none() {
                 return Err("--best-effort requires --faults".into());
             }
@@ -317,9 +363,53 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if no_telemetry && (watch || postmortem.is_some()) {
                 return Err("--no-telemetry is incompatible with --watch/--postmortem".into());
             }
+            if listen.is_some() {
+                return Err("--listen belongs to serve-shard; the leader uses --connect".into());
+            }
+            match &connect {
+                None => {
+                    if shards.is_some() {
+                        return Err("--shards requires --connect".into());
+                    }
+                }
+                Some(addrs) => {
+                    if !distributed {
+                        return Err(
+                            "--connect requires --algorithm distributed or sampled:K".into()
+                        );
+                    }
+                    if let Some(s) = shards {
+                        if s != addrs.len() {
+                            return Err(format!(
+                                "--shards {s} disagrees with the {} --connect addresses",
+                                addrs.len()
+                            ));
+                        }
+                    }
+                    if faults.is_some() || best_effort {
+                        return Err("--faults/--best-effort are in-process fault injection; \
+                                    the wire engine takes real faults from the network itself"
+                            .into());
+                    }
+                    if trace.is_some() {
+                        return Err("--trace is not supported with --connect".into());
+                    }
+                    if watch {
+                        return Err("--watch is not supported with --connect (telemetry is \
+                                    replayed on the leader after the run)"
+                            .into());
+                    }
+                    if metrics && scheduling == Scheduling::Adaptive {
+                        return Err("--metrics with --adaptive needs a trace, which --connect \
+                                    does not support"
+                            .into());
+                    }
+                }
+            }
             Ok(Command::Centrality {
                 source: source.ok_or("centrality needs --input or --generate")?,
                 algorithm,
+                sample_seed: sample_seed.unwrap_or(0),
                 stress,
                 top,
                 csv,
@@ -339,8 +429,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 watch,
                 postmortem,
                 no_telemetry,
+                connect,
             })
         }
+        "serve-shard" => Ok(Command::ServeShard {
+            listen: listen.ok_or("serve-shard needs --listen tcp:HOST:PORT or unix:PATH")?,
+        }),
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
             n: n.ok_or("gadget needs --n")?,
@@ -596,6 +690,7 @@ impl Drop for WatchThread {
 fn cmd_centrality(
     source: &GraphSource,
     algorithm: &Algorithm,
+    sample_seed: u64,
     stress: bool,
     top: Option<usize>,
     csv: bool,
@@ -615,6 +710,7 @@ fn cmd_centrality(
     watch: bool,
     postmortem: Option<&str>,
     no_telemetry: bool,
+    connect: Option<&[String]>,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
     let threads = match threads {
@@ -653,16 +749,21 @@ fn cmd_centrality(
         Algorithm::Distributed | Algorithm::Sampled(_) => {
             // Telemetry is on by default: one shard per worker and a
             // flight recorder for postmortems. Counter-only, so results
-            // are bit-identical with or without it.
+            // are bit-identical with or without it. A wire leader keeps
+            // one telemetry shard per connected shard process.
+            let telemetry_shards = connect.map_or(threads.max(1), <[String]>::len);
             let telemetry = (!no_telemetry)
-                .then(|| Arc::new(Telemetry::new(threads.max(1), FLIGHT_RECORDER_ROUNDS)));
+                .then(|| Arc::new(Telemetry::new(telemetry_shards, FLIGHT_RECORDER_ROUNDS)));
             let postmortem_path = postmortem.unwrap_or("postmortem.json");
             let cfg = DistBcConfig {
                 fp: mantissa_bits.map(|l| FpParams::new(l, Rounding::Ceil)),
                 scheduling,
                 compute_stress: stress,
                 sources: match algorithm {
-                    Algorithm::Sampled(k) => SourceSelection::Sample { k: *k, seed: 0 },
+                    Algorithm::Sampled(k) => SourceSelection::Sample {
+                        k: *k,
+                        seed: sample_seed,
+                    },
                     _ => SourceSelection::All,
                 },
                 threads,
@@ -699,6 +800,13 @@ fn cmd_centrality(
                 _ => None,
             };
             let run_result: Result<DistBcResult, Box<dyn Error>> = (|| {
+                if let Some(addrs) = connect {
+                    // Multi-process run: the shard processes execute, the
+                    // leader merges. Wire runs are implicitly reliable.
+                    let (out, report) = run_leader(&g, &cfg, addrs, want_profile)?;
+                    profile_report = report;
+                    return Ok(out);
+                }
                 Ok(match (sink, want_profile) {
                     (Some(sink), true) => {
                         let (out, sink, report) =
@@ -753,7 +861,7 @@ fn cmd_centrality(
                 out.metrics.max_message_bits,
                 out.metrics.congest_compliant()
             );
-            if faults.is_some() || reliable {
+            if faults.is_some() || reliable || connect.is_some() {
                 let m = &out.metrics;
                 eprintln!(
                     "# reliability: {} dropped, {} duplicated, {} corrupted, {} delayed; \
@@ -838,6 +946,17 @@ fn cmd_centrality(
     Ok(())
 }
 
+/// `serve-shard --listen ADDR`: run one shard of a multi-process
+/// execution. Blocks until a leader connects, serves exactly one run,
+/// and exits — 0 on success, 1 on any failure (after reporting it to
+/// the leader so the leader fails too instead of hanging).
+fn cmd_serve_shard(listen: &str) -> Result<(), Box<dyn Error>> {
+    eprintln!("# serve-shard: listening on {listen}");
+    serve_shard(listen)?;
+    eprintln!("# serve-shard: run complete");
+    Ok(())
+}
+
 fn cmd_gadget(kind: GadgetKind, n: usize, x: u32, planted: bool) -> Result<(), Box<dyn Error>> {
     let inst = random_instance(n, universe_size(n), planted, 1);
     match kind {
@@ -913,6 +1032,7 @@ fn main() -> ExitCode {
         Command::Centrality {
             source,
             algorithm,
+            sample_seed,
             stress,
             top,
             csv,
@@ -932,9 +1052,11 @@ fn main() -> ExitCode {
             watch,
             postmortem,
             no_telemetry,
+            connect,
         } => cmd_centrality(
             source,
             algorithm,
+            *sample_seed,
             *stress,
             *top,
             *csv,
@@ -954,7 +1076,9 @@ fn main() -> ExitCode {
             *watch,
             postmortem.as_deref(),
             *no_telemetry,
+            connect.as_deref(),
         ),
+        Command::ServeShard { listen } => cmd_serve_shard(listen),
         Command::Gadget {
             kind,
             n,
@@ -1022,6 +1146,7 @@ mod tests {
             Command::Centrality {
                 source: GraphSource::Generate("er:50:0.1:3".into()),
                 algorithm: Algorithm::Sampled(10),
+                sample_seed: 0,
                 stress: true,
                 top: Some(5),
                 csv: true,
@@ -1041,8 +1166,159 @@ mod tests {
                 watch: false,
                 postmortem: None,
                 no_telemetry: false,
+                connect: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_shard() {
+        assert_eq!(
+            p(&["serve-shard", "--listen", "tcp:127.0.0.1:4100"]).unwrap(),
+            Command::ServeShard {
+                listen: "tcp:127.0.0.1:4100".into()
+            }
+        );
+        assert_eq!(
+            p(&["serve-shard", "--listen", "unix:/tmp/s0.sock"]).unwrap(),
+            Command::ServeShard {
+                listen: "unix:/tmp/s0.sock".into()
+            }
+        );
+        assert!(p(&["serve-shard"]).is_err());
+    }
+
+    #[test]
+    fn parses_connect_and_shards() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "er:30:0.1:1",
+            "--connect",
+            "tcp:127.0.0.1:4100, tcp:127.0.0.1:4101",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality { connect, .. } => {
+                assert_eq!(
+                    connect.as_deref(),
+                    Some(
+                        &[
+                            "tcp:127.0.0.1:4100".to_string(),
+                            "tcp:127.0.0.1:4101".into()
+                        ][..]
+                    )
+                );
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // --shards is optional but must agree with the address count.
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--connect",
+            "tcp:a:1,tcp:b:2",
+            "--shards",
+            "3",
+        ])
+        .is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--shards", "2"]).is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--connect", " , "]).is_err());
+    }
+
+    #[test]
+    fn connect_rejects_in_process_features() {
+        let base = ["centrality", "--generate", "path:8", "--connect", "tcp:a:1"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            p(&v)
+        };
+        assert!(with(&[]).is_ok());
+        assert!(with(&["--faults", "drop=0.1", "--reliable"]).is_err());
+        assert!(with(&["--trace", "t.jsonl"]).is_err());
+        assert!(with(&["--watch"]).is_err());
+        assert!(with(&["--adaptive", "--metrics"]).is_err());
+        // Wire runs are implicitly reliable; saying so is harmless.
+        assert!(with(&["--reliable"]).is_ok());
+        // The leader still takes result/telemetry formatting flags.
+        assert!(with(&["--profile", "--json"]).is_ok());
+        assert!(with(&["--perfetto", "t.json", "--postmortem", "pm.json"]).is_ok());
+        // --connect drives the distributed engine only.
+        assert!(with(&["--algorithm", "brandes"]).is_err());
+        // --listen is the serve-shard side of the pair.
+        assert!(with(&["--listen", "tcp:b:2"]).is_err());
+    }
+
+    #[test]
+    fn parses_sample_seed() {
+        let c = p(&[
+            "centrality",
+            "--generate",
+            "er:50:0.1:3",
+            "--algorithm",
+            "sampled:10",
+            "--sample-seed",
+            "42",
+        ])
+        .unwrap();
+        match c {
+            Command::Centrality {
+                algorithm,
+                sample_seed,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Sampled(10));
+                assert_eq!(sample_seed, 42);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Default seed is 0 (the historical hardcoded value).
+        match p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "sampled:4",
+        ])
+        .unwrap()
+        {
+            Command::Centrality { sample_seed, .. } => assert_eq!(sample_seed, 0),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_sample_seed_without_sampling() {
+        // Seeding source sampling is meaningless for the other algorithms.
+        for algo in ["distributed", "brandes", "exact", "naive"] {
+            let err = p(&[
+                "centrality",
+                "--generate",
+                "path:8",
+                "--algorithm",
+                algo,
+                "--sample-seed",
+                "7",
+            ])
+            .unwrap_err();
+            assert!(err.contains("--sample-seed requires"), "{algo}: {err}");
+        }
+        // No --algorithm at all defaults to distributed: still rejected.
+        assert!(p(&["centrality", "--generate", "path:8", "--sample-seed", "7"]).is_err());
+        assert!(p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "sampled:4",
+            "--sample-seed",
+            "nope",
+        ])
+        .is_err());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use distbc::congest::trace::{encode_event, ProtocolDetail, TraceEvent};
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
 
 fn distbc(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_distbc"))
@@ -219,6 +220,171 @@ fn fault_flags_usage_errors_and_reliable_chaos_run() {
     let err = String::from_utf8_lossy(&chaos.stderr).into_owned();
     assert!(err.contains("retransmitted"), "{err}");
     assert!(err.contains("dropped"), "{err}");
+}
+
+fn spawn_distbc(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_distbc"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn distbc")
+}
+
+/// Polls a child to completion, failing the test on a hang — the one
+/// outcome the wire teardown contract forbids.
+fn wait_bounded(child: &mut Child, what: &str, limit: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > limit {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("{what} hung past {limit:?}");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Two real `serve-shard` processes + a `--connect` leader print exactly
+/// the CSV an in-process run prints.
+#[test]
+fn multi_process_socket_run_matches_serial() {
+    let socks = [tmp("wire-ok-s0.sock"), tmp("wire-ok-s1.sock")];
+    let addrs: Vec<String> = socks
+        .iter()
+        .map(|p| format!("unix:{}", p.display()))
+        .collect();
+    let mut shards: Vec<Child> = addrs
+        .iter()
+        .map(|a| spawn_distbc(&["serve-shard", "--listen", a]))
+        .collect();
+
+    let graph = ["--generate", "er:24:0.12:5"];
+    let leader = distbc(&[
+        "centrality",
+        graph[0],
+        graph[1],
+        "--csv",
+        "--connect",
+        &addrs.join(","),
+        "--shards",
+        "2",
+    ]);
+    assert!(leader.status.success(), "wire leader failed: {leader:?}");
+    let serial = distbc(&["centrality", graph[0], graph[1], "--csv"]);
+    assert!(serial.status.success(), "{serial:?}");
+    assert_eq!(
+        stdout(&leader),
+        stdout(&serial),
+        "socket engine diverged from the in-process run"
+    );
+    let err = String::from_utf8_lossy(&leader.stderr).into_owned();
+    assert!(err.contains("retransmitted"), "{err}");
+
+    for (i, sh) in shards.iter_mut().enumerate() {
+        let status = wait_bounded(sh, &format!("shard {i}"), Duration::from_secs(30));
+        assert!(status.success(), "shard {i} exited with {status:?}");
+    }
+    for p in &socks {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Teardown audit: a shard that hangs up mid-handshake turns into a
+/// leader run error with a postmortem dump — exit 1, never a hang.
+#[test]
+fn dead_shard_fails_the_leader_with_postmortem() {
+    let s0 = tmp("wire-dead-s0.sock");
+    let fake = tmp("wire-dead-s1.sock");
+    let a0 = format!("unix:{}", s0.display());
+    let a1 = format!("unix:{}", fake.display());
+    let mut shard0 = spawn_distbc(&["serve-shard", "--listen", &a0]);
+    // "Shard 1" accepts the leader and immediately hangs up — the
+    // deterministic image of a process dying the instant it is reached.
+    std::fs::remove_file(&fake).ok();
+    let listener = std::os::unix::net::UnixListener::bind(&fake).expect("bind fake shard");
+    let fake_thread = std::thread::spawn(move || {
+        if let Ok((conn, _)) = listener.accept() {
+            drop(conn);
+        }
+    });
+
+    let pm = tmp("wire-dead-pm.json");
+    std::fs::remove_file(&pm).ok();
+    let mut leader = spawn_distbc(&[
+        "centrality",
+        "--generate",
+        "path:30",
+        "--connect",
+        &format!("{a0},{a1}"),
+        "--postmortem",
+        pm.to_str().unwrap(),
+    ]);
+    let status = wait_bounded(&mut leader, "wire leader", Duration::from_secs(60));
+    assert_eq!(status.code(), Some(1), "dead shard must be a runtime error");
+    assert!(
+        pm.exists(),
+        "leader must dump a postmortem when a shard dies"
+    );
+    let pm_text = std::fs::read_to_string(&pm).unwrap();
+    assert!(pm_text.contains("\"reason\""), "{pm_text}");
+
+    // Shard 0 is parked waiting for its peer; it must not outlive the
+    // run. Kill it the way an operator would and reap it.
+    let _ = shard0.kill();
+    let _ = shard0.wait();
+    fake_thread.join().ok();
+    for p in [&s0, &fake] {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&pm).ok();
+}
+
+/// Kill-one-shard chaos: SIGKILL a real shard process mid-run. The
+/// leader must terminate promptly — with exit 1 (and a postmortem) when
+/// the kill landed mid-run, or 0 in the rare case the run had already
+/// finished — but never hang.
+#[test]
+fn killed_shard_mid_run_does_not_hang_the_leader() {
+    let socks = [tmp("wire-kill-s0.sock"), tmp("wire-kill-s1.sock")];
+    let addrs: Vec<String> = socks
+        .iter()
+        .map(|p| format!("unix:{}", p.display()))
+        .collect();
+    let mut shards: Vec<Child> = addrs
+        .iter()
+        .map(|a| spawn_distbc(&["serve-shard", "--listen", a]))
+        .collect();
+    let pm = tmp("wire-kill-pm.json");
+    std::fs::remove_file(&pm).ok();
+    let mut leader = spawn_distbc(&[
+        "centrality",
+        "--generate",
+        "er:200:0.03:7",
+        "--connect",
+        &addrs.join(","),
+        "--postmortem",
+        pm.to_str().unwrap(),
+    ]);
+    std::thread::sleep(Duration::from_millis(300));
+    let _ = shards[1].kill();
+    let _ = shards[1].wait();
+
+    let status = wait_bounded(&mut leader, "wire leader", Duration::from_secs(120));
+    match status.code() {
+        Some(0) => {} // run won the race; termination is what matters
+        Some(1) => assert!(pm.exists(), "failed leader must leave a postmortem"),
+        other => panic!("unexpected leader exit {other:?}"),
+    }
+    let _ = shards[0].kill();
+    let _ = shards[0].wait();
+    for p in &socks {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&pm).ok();
 }
 
 /// `--metrics` under `--adaptive` derives phase windows from the trace
