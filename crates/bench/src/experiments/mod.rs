@@ -12,6 +12,7 @@ pub mod e17_faults;
 pub mod e18_scaling;
 pub mod e19_wire;
 pub mod e1_figure1;
+pub mod e20_serve;
 pub mod e2_correctness;
 pub mod e3_rounds;
 pub mod e4_error_vs_l;

@@ -91,6 +91,80 @@ pub fn top_k_overlap(exact: &[f64], estimate: &[f64], k: usize) -> f64 {
     hits as f64 / k as f64
 }
 
+/// Deterministic rank index over a score vector: node ids ordered by
+/// score descending, ties broken by ascending id. This is the index the
+/// query server's snapshots carry, so its order must be total and
+/// reproducible: comparisons use [`f64::total_cmp`], which imposes a
+/// total order even on NaN and signed zeros — ranking never panics and
+/// never depends on comparison quirks.
+///
+/// # Examples
+///
+/// ```
+/// use bc_brandes::ranking::rank_index;
+///
+/// assert_eq!(rank_index(&[1.0, 9.0, 1.0, 4.0]), vec![1, 3, 0, 2]);
+/// assert!(rank_index(&[]).is_empty());
+/// ```
+pub fn rank_index(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Top-`k` `(node, score)` pairs from a precomputed [`rank_index`].
+/// `k` larger than the node count returns every node; `k = 0` returns
+/// nothing. Never panics.
+///
+/// # Examples
+///
+/// ```
+/// use bc_brandes::ranking::{rank_index, top_k};
+///
+/// let scores = [0.5, 3.0, 2.0];
+/// let rank = rank_index(&scores);
+/// assert_eq!(top_k(&scores, &rank, 2), vec![(1, 3.0), (2, 2.0)]);
+/// assert_eq!(top_k(&scores, &rank, 99).len(), 3);
+/// ```
+pub fn top_k(scores: &[f64], rank: &[u32], k: usize) -> Vec<(u32, f64)> {
+    rank.iter()
+        .take(k)
+        .map(|&v| (v, scores[v as usize]))
+        .collect()
+}
+
+/// Nearest-rank percentile of a score vector via its [`rank_index`]:
+/// the smallest score `x` such that at least `p`% of the nodes score
+/// `<= x`. `p = 0` yields the minimum, `p = 100` the maximum. Returns
+/// `None` for an empty vector or `p` outside `[0, 100]` (including NaN)
+/// — the caller decides how to report the domain error.
+///
+/// # Examples
+///
+/// ```
+/// use bc_brandes::ranking::{percentile, rank_index};
+///
+/// let scores = [4.0, 1.0, 3.0, 2.0];
+/// let rank = rank_index(&scores);
+/// assert_eq!(percentile(&scores, &rank, 50.0), Some(2.0));
+/// assert_eq!(percentile(&scores, &rank, 100.0), Some(4.0));
+/// assert_eq!(percentile(&[], &[], 50.0), None);
+/// ```
+pub fn percentile(scores: &[f64], rank: &[u32], p: f64) -> Option<f64> {
+    let n = rank.len();
+    if n == 0 || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    // Nearest rank in the ascending order; `rank` is descending, so the
+    // ascending i-th (1-based) element is rank[n - i].
+    let i = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    Some(scores[rank[n - i] as usize])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +221,81 @@ mod tests {
     #[should_panic(expected = "k out of range")]
     fn overlap_bad_k() {
         let _ = top_k_overlap(&[1.0], &[1.0], 2);
+    }
+
+    #[test]
+    fn rank_index_breaks_ties_by_id() {
+        // Three-way tie at 2.0: ids must come out ascending.
+        let r = rank_index(&[2.0, 5.0, 2.0, 2.0, 7.0]);
+        assert_eq!(r, vec![4, 1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn rank_index_empty_and_single() {
+        assert!(rank_index(&[]).is_empty());
+        assert_eq!(rank_index(&[0.0]), vec![0]);
+    }
+
+    #[test]
+    fn rank_index_total_order_on_nan_and_zeros() {
+        // total_cmp ranks NaN above +inf and -0.0 below +0.0: the exact
+        // placement matters less than that the order is total, stable
+        // across calls, and a permutation — no panic, no lost nodes.
+        let scores = [f64::NAN, 0.0, -0.0, f64::INFINITY, -1.0];
+        let r = rank_index(&scores);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r, rank_index(&scores));
+        assert_eq!(r[0], 0, "NaN sorts first under descending total_cmp");
+        // +0.0 ranks above -0.0, and both above -1.0.
+        let pos_zero = r.iter().position(|&v| v == 1).unwrap();
+        let neg_zero = r.iter().position(|&v| v == 2).unwrap();
+        let minus_one = r.iter().position(|&v| v == 4).unwrap();
+        assert!(pos_zero < neg_zero && neg_zero < minus_one);
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        let scores = [1.0, 3.0, 3.0];
+        let rank = rank_index(&scores);
+        // Ties: id order within the tie.
+        assert_eq!(top_k(&scores, &rank, 2), vec![(1, 3.0), (2, 3.0)]);
+        // k > n truncates to n; k = 0 is empty; empty graph is empty.
+        assert_eq!(top_k(&scores, &rank, 10).len(), 3);
+        assert!(top_k(&scores, &rank, 0).is_empty());
+        assert!(top_k(&[], &[], 5).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank_contract() {
+        let scores = [10.0, 40.0, 20.0, 30.0];
+        let rank = rank_index(&scores);
+        assert_eq!(percentile(&scores, &rank, 0.0), Some(10.0));
+        assert_eq!(percentile(&scores, &rank, 25.0), Some(10.0));
+        assert_eq!(percentile(&scores, &rank, 26.0), Some(20.0));
+        assert_eq!(percentile(&scores, &rank, 50.0), Some(20.0));
+        assert_eq!(percentile(&scores, &rank, 75.0), Some(30.0));
+        assert_eq!(percentile(&scores, &rank, 100.0), Some(40.0));
+    }
+
+    #[test]
+    fn percentile_ties_and_singleton() {
+        let scores = [5.0, 5.0, 5.0];
+        let rank = rank_index(&scores);
+        for p in [0.0, 33.0, 66.0, 100.0] {
+            assert_eq!(percentile(&scores, &rank, p), Some(5.0));
+        }
+        assert_eq!(percentile(&[7.0], &[0], 50.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_domain_errors() {
+        assert_eq!(percentile(&[], &[], 50.0), None);
+        let scores = [1.0, 2.0];
+        let rank = rank_index(&scores);
+        assert_eq!(percentile(&scores, &rank, -0.1), None);
+        assert_eq!(percentile(&scores, &rank, 100.1), None);
+        assert_eq!(percentile(&scores, &rank, f64::NAN), None);
     }
 }

@@ -88,10 +88,25 @@ pub enum Counter {
     ControlMessages,
     /// Rounds flagged as stragglers/anomalies by the flight recorder.
     StragglerRounds,
+    /// Query server: individual queries answered.
+    QueriesServed,
+    /// Query server: query batches (frames) processed.
+    QueryBatches,
+    /// Query server: snapshot versions published (epoch swaps).
+    SnapshotSwaps,
+    /// Query server: per-source contribution vectors replayed from the
+    /// LRU cache during an incremental recompute.
+    SourceCacheHits,
+    /// Query server: per-source contribution vectors recomputed (cache
+    /// miss or source affected by the mutation).
+    SourceCacheMisses,
+    /// Query server: malformed frames / handshakes from clients (each one
+    /// answered with an `ERROR` frame and a dropped connection).
+    MalformedFrames,
 }
 
 /// All counters, in label order. Keep in sync with [`Counter`].
-pub const COUNTERS: [(Counter, &str); 18] = [
+pub const COUNTERS: [(Counter, &str); 24] = [
     (Counter::Rounds, "rounds"),
     (Counter::Messages, "messages"),
     (Counter::MessageBits, "message_bits"),
@@ -110,6 +125,12 @@ pub const COUNTERS: [(Counter, &str); 18] = [
     (Counter::ChecksumDrops, "checksum_drops"),
     (Counter::ControlMessages, "control_messages"),
     (Counter::StragglerRounds, "straggler_rounds"),
+    (Counter::QueriesServed, "queries_served"),
+    (Counter::QueryBatches, "query_batches"),
+    (Counter::SnapshotSwaps, "snapshot_swaps"),
+    (Counter::SourceCacheHits, "source_cache_hits"),
+    (Counter::SourceCacheMisses, "source_cache_misses"),
+    (Counter::MalformedFrames, "malformed_frames"),
 ];
 
 const NUM_COUNTERS: usize = COUNTERS.len();
@@ -122,11 +143,14 @@ pub enum HistogramId {
     InboxDepth,
     /// Messages staged per round.
     RoundMessages,
+    /// Queries per client batch frame (query server).
+    QueryBatchSize,
 }
 
-const HISTOGRAMS: [(HistogramId, &str); 2] = [
+const HISTOGRAMS: [(HistogramId, &str); 3] = [
     (HistogramId::InboxDepth, "inbox_depth"),
     (HistogramId::RoundMessages, "round_messages"),
+    (HistogramId::QueryBatchSize, "query_batch_size"),
 ];
 
 const NUM_HISTOGRAMS: usize = HISTOGRAMS.len();

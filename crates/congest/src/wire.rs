@@ -88,11 +88,19 @@ pub const TAG_BATCH: u8 = 3;
 pub const TAG_DONE: u8 = 4;
 /// `ERROR`: shard→leader failure report (UTF-8 payload).
 pub const TAG_ERROR: u8 = 5;
+/// `QUERY`: client→server batch of centrality queries (payload encoded
+/// by the serving layer, `bc-serve`).
+pub const TAG_QUERY: u8 = 6;
+/// `RESP`: server→client batch of query answers (payload encoded by the
+/// serving layer, `bc-serve`).
+pub const TAG_RESP: u8 = 7;
 
 /// [`Hello::role`] of the leader process.
 pub const ROLE_LEADER: u8 = 0;
 /// [`Hello::role`] of a shard process.
 pub const ROLE_SHARD: u8 = 1;
+/// [`Hello::role`] of a query client talking to a `bc-serve` server.
+pub const ROLE_CLIENT: u8 = 2;
 
 /// Verdict: at least one more round is needed (internal to the loop).
 pub const VERDICT_CONTINUE: u8 = 0;

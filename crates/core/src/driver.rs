@@ -1,18 +1,24 @@
-//! High-level entry points: configure, run, and harvest a distributed
-//! betweenness-centrality execution.
+//! High-level entry points: configure and run a distributed
+//! betweenness-centrality execution. Harvesting a run into a
+//! [`DistBcResult`] lives in [`crate::result`]; versioning a result for
+//! serving lives in [`crate::snapshot`].
 
-use crate::node::{AggInfo, AlgoOptions, DistBcNode};
+use crate::node::{AlgoOptions, DistBcNode};
+use crate::result::{assemble_result, profile_phases, summarize_node, summarize_root, NodeSummary};
 use crate::sampling::{source_mask, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::trace::{TraceEvent, TraceSink};
+use bc_congest::wire::{fnv1a64, put_str, put_u32, put_u64, put_u8};
 use bc_congest::{
     Budget, Config, CongestError, EdgeCut, Enforcement, FaultPlan, NetMetrics, Network, Partition,
-    PhaseStat, ProfileReport, Profiler, Telemetry,
+    ProfileReport, Profiler, Telemetry,
 };
 use bc_graph::{algo, Graph, NodeId};
 use bc_numeric::FpParams;
 use std::fmt;
+
+pub use crate::result::DistBcResult;
 
 /// Node→worker partitioning strategy for the parallel round engine
 /// (`threads > 1`); maps onto [`bc_congest::Partition`].
@@ -170,6 +176,74 @@ pub struct DistBcConfig {
     pub telemetry: Option<std::sync::Arc<Telemetry>>,
 }
 
+impl DistBcConfig {
+    /// A stable 64-bit fingerprint of every field that can change the
+    /// *numeric output* of a run on a fixed graph — the serving layer
+    /// stamps it into snapshot metadata so "same graph + same config"
+    /// (the bit-identity contract of the query server vs the offline CLI)
+    /// is checkable, and a client can detect a server answering under a
+    /// different configuration.
+    ///
+    /// Observability attachments (telemetry, tracing, profiling), engine
+    /// placement (`threads`, `partition`, `skip_idle`), and measurement
+    /// taps (`cut`) are deliberately excluded: they never alter results
+    /// (the test suite asserts bit-identity across all of them).
+    /// Fault plans and enforcement are likewise excluded — a reliable run
+    /// under faults is bit-identical to a fault-free one by design.
+    ///
+    /// ```
+    /// use bc_core::{DistBcConfig, SourceSelection};
+    ///
+    /// let base = DistBcConfig::default();
+    /// let threaded = DistBcConfig { threads: 4, ..DistBcConfig::default() };
+    /// assert_eq!(base.fingerprint(), threaded.fingerprint());
+    /// let sampled = DistBcConfig {
+    ///     sources: SourceSelection::Sample { k: 8, seed: 1 },
+    ///     ..DistBcConfig::default()
+    /// };
+    /// assert_ne!(base.fingerprint(), sampled.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        match self.fp {
+            None => put_u8(&mut buf, 0),
+            Some(fp) => {
+                put_u8(&mut buf, 1);
+                put_u32(&mut buf, fp.mantissa_bits());
+                put_u8(&mut buf, fp.rounding() as u8);
+            }
+        }
+        put_u8(&mut buf, self.scheduling as u8);
+        put_u8(&mut buf, self.compute_stress as u8);
+        match &self.sources {
+            SourceSelection::All => put_u8(&mut buf, 0),
+            SourceSelection::Sample { k, seed } => {
+                put_u8(&mut buf, 1);
+                put_u64(&mut buf, *k as u64);
+                put_u64(&mut buf, *seed);
+            }
+            SourceSelection::Explicit(mask) => {
+                put_u8(&mut buf, 2);
+                put_u64(&mut buf, mask.len() as u64);
+                let mut packed = String::with_capacity(mask.len());
+                packed.extend(mask.iter().map(|&b| if b { '1' } else { '0' }));
+                put_str(&mut buf, &packed);
+            }
+        }
+        match &self.targets {
+            None => put_u8(&mut buf, 0),
+            Some(mask) => {
+                put_u8(&mut buf, 1);
+                put_u64(&mut buf, mask.len() as u64);
+                let mut packed = String::with_capacity(mask.len());
+                packed.extend(mask.iter().map(|&b| if b { '1' } else { '0' }));
+                put_str(&mut buf, &packed);
+            }
+        }
+        fnv1a64(&buf)
+    }
+}
+
 impl Default for DistBcConfig {
     fn default() -> Self {
         DistBcConfig {
@@ -226,48 +300,6 @@ impl From<CongestError> for DistBcError {
     fn from(e: CongestError) -> Self {
         DistBcError::Congest(e)
     }
-}
-
-/// Results of a distributed execution.
-#[derive(Debug, Clone)]
-pub struct DistBcResult {
-    /// Betweenness centrality of every node (paper convention: each
-    /// unordered pair counted once).
-    pub betweenness: Vec<f64>,
-    /// Closeness centrality (Eq. 1) — a free by-product: every node knows
-    /// all its distances after the counting phase.
-    pub closeness: Vec<f64>,
-    /// Graph centrality (Eq. 2), likewise free.
-    pub graph_centrality: Vec<f64>,
-    /// Network diameter as computed and broadcast by the protocol.
-    pub diameter: u32,
-    /// Total rounds until every node halted — the paper's complexity
-    /// measure (Theorem 3: `O(N)`).
-    pub rounds: u64,
-    /// The deterministic phase boundaries used.
-    pub schedule: PhaseSchedule,
-    /// Engine metrics: messages, bits, max message size, collisions (must
-    /// be 0), cut flow.
-    pub metrics: NetMetrics,
-    /// Stress centralities (Eq. 3) when [`DistBcConfig::compute_stress`]
-    /// was set.
-    pub stress: Option<Vec<f64>>,
-    /// Number of BFS sources used (`N` for the exact algorithm).
-    pub sample_size: usize,
-    /// `max_s T_s − min_s T_s`: the spread of wave start times, which
-    /// (plus `D`) is the aggregation phase's true length.
-    pub ts_spread: u64,
-    /// Round (relative to the counting start) at which the DFS token
-    /// returned to the root — the counting phase's true length.
-    pub counting_rounds_used: u64,
-    /// Floating-point parameters used on the wire.
-    pub fp: FpParams,
-    /// Per-phase traffic breakdown (A tree build, B counting, C
-    /// reduce/broadcast, D aggregation), sliced from the engine's
-    /// per-round timelines at the provisioned phase boundaries. Empty for
-    /// [`Scheduling::Adaptive`], whose boundaries are data-dependent and
-    /// not provisioned up front.
-    pub phase_stats: Vec<PhaseStat>,
 }
 
 /// Runs the paper's distributed betweenness-centrality algorithm on `g`
@@ -561,161 +593,6 @@ fn run_impl(
         &root,
     );
     Ok((result, sink, profile))
-}
-
-/// The per-node observables the result assembly needs, decoupled from the
-/// node state itself so the socket leader can collect them from remote
-/// shards and still run the byte-identical float pipeline of
-/// [`assemble_result`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct NodeSummary {
-    /// The node's accumulated betweenness value.
-    pub betweenness: f64,
-    /// Integer sum of all (known) distances from sources to this node.
-    pub dist_total: u64,
-    /// Max distance seen (eccentricity over the source set).
-    pub ecc: u32,
-    /// Stress centrality (0.0 when not computed).
-    pub stress: f64,
-}
-
-/// The root-only observables (node 0 drives the schedule and holds the
-/// globally reduced aggregation parameters).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct RootSummary {
-    /// Number of BFS sources actually used.
-    pub source_count: usize,
-    /// The globally agreed `(base, min T_s, max T_s, D)`.
-    pub agg: AggInfo,
-    /// Round the DFS token returned to the root (pipelined modes).
-    pub dfs_done_round: Option<u64>,
-}
-
-/// Extracts a [`NodeSummary`] from a finished node. The distance fold is
-/// pure integer arithmetic, so summarizing on a remote shard and shipping
-/// the summary is bit-exact with summarizing locally.
-pub(crate) fn summarize_node(nd: &DistBcNode) -> NodeSummary {
-    let mut dist_total = 0u64;
-    let mut ecc = 0u32;
-    for d in nd.distances().into_iter().flatten() {
-        dist_total += d as u64;
-        ecc = ecc.max(d);
-    }
-    NodeSummary {
-        betweenness: nd.betweenness(),
-        dist_total,
-        ecc,
-        stress: nd.stress().unwrap_or(0.0),
-    }
-}
-
-/// Extracts the [`RootSummary`] from node 0 of a completed run.
-///
-/// # Panics
-///
-/// Panics if the node never received the aggregation broadcast — i.e. the
-/// run did not actually complete.
-pub(crate) fn summarize_root(nd: &DistBcNode) -> RootSummary {
-    RootSummary {
-        source_count: nd.source_count(),
-        agg: nd.agg_info().expect("run completed"),
-        dfs_done_round: nd.dfs_done_round(),
-    }
-}
-
-/// The provisioned phase windows for a profile report (empty for
-/// [`Scheduling::Adaptive`], whose boundaries are data-dependent).
-pub(crate) fn profile_phases(
-    scheduling: Scheduling,
-    sched: &PhaseSchedule,
-    rounds: u64,
-) -> Vec<(String, u64, u64)> {
-    if scheduling == Scheduling::Adaptive {
-        Vec::new()
-    } else {
-        vec![
-            ("A:tree".to_string(), 0, sched.counting_start),
-            (
-                "B:counting".to_string(),
-                sched.counting_start,
-                sched.reduce_start,
-            ),
-            (
-                "C:reduce+bcast".to_string(),
-                sched.reduce_start,
-                sched.agg_start,
-            ),
-            ("D:aggregation".to_string(), sched.agg_start, rounds),
-        ]
-    }
-}
-
-/// Derives the [`DistBcResult`] from per-node summaries — the single
-/// shared harvest path for the in-process engines and the socket leader,
-/// so both produce bit-identical floats from identical summaries.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn assemble_result(
-    n: usize,
-    sources: &SourceSelection,
-    compute_stress: bool,
-    scheduling: Scheduling,
-    sched: PhaseSchedule,
-    fp: FpParams,
-    rounds: u64,
-    metrics: NetMetrics,
-    summaries: &[NodeSummary],
-    root: &RootSummary,
-) -> DistBcResult {
-    let betweenness = summaries.iter().map(|s| s.betweenness).collect();
-    let sample_size = root.source_count;
-    // With sampling, extrapolate the distance sum by N/k (the eccentricity
-    // view stays a max over the sample); explicit masks are restricted
-    // sums, not estimates.
-    let dist_scale = match sources {
-        SourceSelection::Sample { .. } => n as f64 / sample_size as f64,
-        _ => 1.0,
-    };
-    let mut closeness = Vec::with_capacity(n);
-    let mut graph_centrality = Vec::with_capacity(n);
-    for s in summaries {
-        closeness.push(if s.dist_total == 0 {
-            0.0
-        } else {
-            1.0 / (s.dist_total as f64 * dist_scale)
-        });
-        graph_centrality.push(if s.ecc == 0 { 0.0 } else { 1.0 / s.ecc as f64 });
-    }
-    let stress = compute_stress.then(|| summaries.iter().map(|s| s.stress).collect());
-    let info = root.agg;
-    let counting_rounds_used = root
-        .dfs_done_round
-        .map(|r| r.saturating_sub(sched.counting_start))
-        .unwrap_or(sched.reduce_start - sched.counting_start);
-    let phase_stats = if scheduling == Scheduling::Adaptive {
-        Vec::new()
-    } else {
-        vec![
-            metrics.phase_window("A:tree", 0, sched.counting_start),
-            metrics.phase_window("B:counting", sched.counting_start, sched.reduce_start),
-            metrics.phase_window("C:reduce+bcast", sched.reduce_start, sched.agg_start),
-            metrics.phase_window("D:aggregation", sched.agg_start, rounds),
-        ]
-    };
-    DistBcResult {
-        betweenness,
-        closeness,
-        graph_centrality,
-        diameter: info.d,
-        rounds,
-        schedule: sched,
-        metrics,
-        stress,
-        sample_size,
-        ts_spread: info.max_ts - info.min_ts,
-        counting_rounds_used,
-        fp,
-        phase_stats,
-    }
 }
 
 /// Convenience wrapper returning only the closeness centralities computed

@@ -49,8 +49,10 @@ pub mod apsp_pipeline;
 mod codec;
 mod driver;
 mod node;
+mod result;
 mod sampling;
 mod schedule;
+pub mod snapshot;
 pub mod transport;
 pub mod wire;
 
@@ -64,5 +66,6 @@ pub use driver::{
 pub use node::{AggInfo, AlgoOptions, DistBcNode};
 pub use sampling::{source_mask, SourceSelection};
 pub use schedule::{PhaseSchedule, Scheduling};
+pub use snapshot::{CentralitySnapshot, SnapshotDecodeError, SnapshotStore};
 pub use transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 pub use wire::{run_leader, serve_shard, WireRunError};

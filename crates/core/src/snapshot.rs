@@ -1,0 +1,427 @@
+//! Versioned, immutable centrality snapshots and the epoch cell that
+//! publishes them — the result-versioning boundary the serving runtime
+//! (`bc-serve`) is built on.
+//!
+//! A [`CentralitySnapshot`] freezes one complete answer set: the scores,
+//! the precomputed descending rank index, and enough metadata (graph
+//! hash, config fingerprint, schema version) to check the bit-identity
+//! contract "same graph + same config ⇒ same bytes as the offline CLI".
+//! Snapshots are immutable once built; a recompute produces a *new*
+//! snapshot with a higher version and swaps it in atomically through a
+//! [`SnapshotStore`], so readers never observe a half-updated answer —
+//! they hold an `Arc` to whichever complete snapshot was current when
+//! their query arrived.
+
+use bc_brandes::ranking::{percentile, rank_index, top_k};
+use bc_congest::telemetry::SCHEMA_VERSION;
+use bc_congest::wire::{put_f64, put_str, put_u32, put_u64, ByteReader, WireError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::result::DistBcResult;
+
+/// One immutable, versioned set of centrality answers.
+///
+/// The `scores` vector is indexed by node id; `rank` is the
+/// deterministic descending index from
+/// [`bc_brandes::ranking::rank_index`] (ties broken by ascending id), so
+/// top-K and percentile queries are O(1)–O(k) lookups with no
+/// per-query sorting and no comparison quirks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralitySnapshot {
+    /// Monotonically increasing snapshot version (1 = initial compute).
+    pub version: u64,
+    /// Telemetry/wire schema version stamped at build time; decode
+    /// rejects snapshots from a different schema.
+    pub schema_version: u32,
+    /// FNV-1a hash of the graph's edge list ([`bc_congest::wire::graph_hash`])
+    /// *as of this snapshot* — mutations change it.
+    pub graph_hash: u64,
+    /// [`crate::DistBcConfig::fingerprint`] of the producing
+    /// configuration (or a mode-specific constant for non-driver
+    /// algorithms).
+    pub config_hash: u64,
+    /// Human-readable algorithm label (`"distributed"`, `"brandes"`, …).
+    pub algo: String,
+    /// Number of BFS sources behind the scores (`n` for exact runs).
+    pub sample_size: usize,
+    /// Rounds the producing run took (0 for in-process Brandes).
+    pub rounds: u64,
+    /// Betweenness score per node id.
+    pub scores: Vec<f64>,
+    /// Node ids ordered by score descending, ties by ascending id.
+    pub rank: Vec<u32>,
+}
+
+impl CentralitySnapshot {
+    /// Builds a snapshot from a raw score vector, computing the rank
+    /// index.
+    pub fn from_scores(
+        version: u64,
+        graph_hash: u64,
+        config_hash: u64,
+        algo: &str,
+        scores: Vec<f64>,
+        sample_size: usize,
+        rounds: u64,
+    ) -> CentralitySnapshot {
+        let rank = rank_index(&scores);
+        CentralitySnapshot {
+            version,
+            schema_version: SCHEMA_VERSION,
+            graph_hash,
+            config_hash,
+            algo: algo.to_string(),
+            sample_size,
+            rounds,
+            scores,
+            rank,
+        }
+    }
+
+    /// Builds a snapshot from a finished driver run.
+    pub fn from_result(
+        version: u64,
+        graph_hash: u64,
+        config_hash: u64,
+        algo: &str,
+        result: &DistBcResult,
+    ) -> CentralitySnapshot {
+        CentralitySnapshot::from_scores(
+            version,
+            graph_hash,
+            config_hash,
+            algo,
+            result.betweenness.clone(),
+            result.sample_size,
+            result.rounds,
+        )
+    }
+
+    /// Number of nodes covered by this snapshot.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when the snapshot covers an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Top-`k` `(node, score)` pairs; `k > n` truncates.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        top_k(&self.scores, &self.rank, k)
+    }
+
+    /// Score of node `v`, or `None` when out of range.
+    pub fn node(&self, v: u32) -> Option<f64> {
+        self.scores.get(v as usize).copied()
+    }
+
+    /// Nearest-rank percentile; `None` for an empty snapshot or `p`
+    /// outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.scores, &self.rank, p)
+    }
+
+    /// Serializes the snapshot to the binary form persisted/shipped by
+    /// the serving layer (little-endian, same primitives as the wire
+    /// protocol).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + 12 * self.scores.len());
+        put_u32(&mut buf, self.schema_version);
+        put_u64(&mut buf, self.version);
+        put_u64(&mut buf, self.graph_hash);
+        put_u64(&mut buf, self.config_hash);
+        put_str(&mut buf, &self.algo);
+        put_u64(&mut buf, self.sample_size as u64);
+        put_u64(&mut buf, self.rounds);
+        put_u64(&mut buf, self.scores.len() as u64);
+        for &s in &self.scores {
+            put_f64(&mut buf, s);
+        }
+        for &r in &self.rank {
+            put_u32(&mut buf, r);
+        }
+        buf
+    }
+
+    /// Decodes a snapshot previously produced by [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncated or over-long buffers, a foreign schema
+    /// version, and a rank index that is not a permutation of the node
+    /// ids — a decoded snapshot upholds the same invariants as a built
+    /// one.
+    pub fn decode(bytes: &[u8]) -> Result<CentralitySnapshot, SnapshotDecodeError> {
+        let mut r = ByteReader::new(bytes);
+        let schema_version = r.u32()?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(SnapshotDecodeError::SchemaMismatch {
+                got: schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let version = r.u64()?;
+        let graph_hash = r.u64()?;
+        let config_hash = r.u64()?;
+        let algo = r.str()?;
+        let sample_size = r.u64()? as usize;
+        let rounds = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > bytes.len() {
+            // A plausibility bound before allocating: each node needs at
+            // least 12 more payload bytes, so n can never exceed the
+            // buffer length.
+            return Err(SnapshotDecodeError::Malformed(WireError::Protocol(
+                format!("claimed {n} nodes in a {}-byte snapshot", bytes.len()),
+            )));
+        }
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            scores.push(r.f64()?);
+        }
+        let mut rank = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let v = r.u32()?;
+            if (v as usize) >= n || seen[v as usize] {
+                return Err(SnapshotDecodeError::BadRank { node: v });
+            }
+            seen[v as usize] = true;
+            rank.push(v);
+        }
+        r.finish()?;
+        Ok(CentralitySnapshot {
+            version,
+            schema_version,
+            graph_hash,
+            config_hash,
+            algo,
+            sample_size,
+            rounds,
+            scores,
+            rank,
+        })
+    }
+}
+
+/// Why a serialized snapshot failed to decode.
+#[derive(Debug)]
+pub enum SnapshotDecodeError {
+    /// Truncated buffer, trailing bytes, or a malformed field.
+    Malformed(WireError),
+    /// The snapshot was written under a different telemetry/wire schema.
+    SchemaMismatch {
+        /// Schema version found in the buffer.
+        got: u32,
+        /// Schema version this build expects.
+        expected: u32,
+    },
+    /// The rank index is not a permutation of the node ids.
+    BadRank {
+        /// The offending entry.
+        node: u32,
+    },
+}
+
+impl fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotDecodeError::Malformed(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotDecodeError::SchemaMismatch { got, expected } => {
+                write!(f, "snapshot schema {got} (expected {expected})")
+            }
+            SnapshotDecodeError::BadRank { node } => {
+                write!(f, "rank index is not a permutation (entry {node})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+impl From<WireError> for SnapshotDecodeError {
+    fn from(e: WireError) -> Self {
+        SnapshotDecodeError::Malformed(e)
+    }
+}
+
+/// The epoch cell: readers `load()` an `Arc` to the current snapshot
+/// and keep answering from it for as long as they hold the `Arc`;
+/// `publish()` swaps the pointer to a newly built snapshot. The write
+/// lock is held only for the pointer swap — never while a snapshot is
+/// being computed — so queries are wait-free in practice and can never
+/// observe a torn (partially updated) snapshot: versions advance
+/// atomically with their data.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<CentralitySnapshot>>,
+    swaps: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Creates a store holding the initial snapshot.
+    pub fn new(initial: CentralitySnapshot) -> SnapshotStore {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(initial)),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and
+    /// unchanged) even if a newer snapshot is published while the
+    /// caller is still reading.
+    pub fn load(&self) -> Arc<CentralitySnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Publishes `next` as the current snapshot and returns its
+    /// version. Panics if `next.version` does not advance — version
+    /// order is the public contract that lets clients reason about
+    /// which answers came before which.
+    pub fn publish(&self, next: CentralitySnapshot) -> u64 {
+        let version = next.version;
+        let next = Arc::new(next);
+        let mut cur = self.current.write().expect("snapshot lock poisoned");
+        assert!(
+            version > cur.version,
+            "snapshot version must advance ({} -> {version})",
+            cur.version
+        );
+        *cur = next;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+
+    /// Number of `publish` calls so far (telemetry mirror).
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(version: u64) -> CentralitySnapshot {
+        CentralitySnapshot::from_scores(
+            version,
+            0xfeed,
+            0xc0ffee,
+            "brandes",
+            vec![0.5, 3.0, 3.0, 1.0],
+            4,
+            0,
+        )
+    }
+
+    #[test]
+    fn query_helpers_agree_with_ranking() {
+        let s = sample(1);
+        assert_eq!(s.rank, vec![1, 2, 3, 0]);
+        assert_eq!(s.top_k(2), vec![(1, 3.0), (2, 3.0)]);
+        assert_eq!(s.top_k(99).len(), 4);
+        assert_eq!(s.node(3), Some(1.0));
+        assert_eq!(s.node(4), None);
+        assert_eq!(s.percentile(100.0), Some(3.0));
+        assert_eq!(s.percentile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = sample(7);
+        let bytes = s.encode();
+        let back = CentralitySnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // Bit-level check on a signaling value: -0.0 must survive.
+        let tricky = CentralitySnapshot::from_scores(2, 1, 2, "x", vec![-0.0, f64::INFINITY], 2, 9);
+        let back = CentralitySnapshot::decode(&tricky.encode()).unwrap();
+        assert_eq!(back.scores[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.scores[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let s = sample(1);
+        let bytes = s.encode();
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(CentralitySnapshot::decode(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CentralitySnapshot::decode(&long).is_err());
+        // Foreign schema.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xff;
+        assert!(matches!(
+            CentralitySnapshot::decode(&wrong),
+            Err(SnapshotDecodeError::SchemaMismatch { .. })
+        ));
+        // Rank entry out of range / duplicated.
+        let rank_at = bytes.len() - 4 * s.rank.len();
+        let mut bad = bytes.clone();
+        bad[rank_at..rank_at + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            CentralitySnapshot::decode(&bad),
+            Err(SnapshotDecodeError::BadRank { node: 99 })
+        ));
+        let mut dup = bytes;
+        let second = s.rank[0];
+        dup[rank_at + 4..rank_at + 8].copy_from_slice(&second.to_le_bytes());
+        assert!(matches!(
+            CentralitySnapshot::decode(&dup),
+            Err(SnapshotDecodeError::BadRank { .. })
+        ));
+    }
+
+    #[test]
+    fn store_swaps_atomically_under_concurrent_readers() {
+        use std::sync::atomic::AtomicBool;
+        // Snapshot invariant the readers check: scores are all equal to
+        // the version number, so any torn mix of two snapshots is
+        // detectable.
+        let make =
+            |v: u64| CentralitySnapshot::from_scores(v, 1, 2, "test", vec![v as f64; 64], 64, 0);
+        let store = Arc::new(SnapshotStore::new(make(1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = store.load();
+                        assert!(snap.version >= last, "versions move forward");
+                        last = snap.version;
+                        assert!(
+                            snap.scores.iter().all(|&s| s == snap.version as f64),
+                            "torn snapshot observed"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for v in 2..200 {
+            assert_eq!(store.publish(make(v)), v);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.swap_count(), 198);
+        assert_eq!(store.load().version, 199);
+    }
+
+    #[test]
+    #[should_panic(expected = "version must advance")]
+    fn publish_rejects_stale_version() {
+        let store = SnapshotStore::new(sample(5));
+        store.publish(sample(5));
+    }
+}

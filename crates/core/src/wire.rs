@@ -17,11 +17,12 @@
 //! runs do in process, so budgets, round limits, and results line up
 //! with the in-process reliable oracle by construction.
 
-use crate::driver::{
-    assemble_result, profile_phases, summarize_node, summarize_root, DistBcConfig, DistBcError,
-    DistBcResult, NodeSummary, PartitionStrategy, RootSummary,
-};
+use crate::driver::{DistBcConfig, DistBcError, PartitionStrategy};
 use crate::node::{AggInfo, AlgoOptions, DistBcNode};
+use crate::result::{
+    assemble_result, profile_phases, summarize_node, summarize_root, DistBcResult, NodeSummary,
+    RootSummary,
+};
 use crate::sampling::SourceSelection;
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};

@@ -27,6 +27,21 @@ pub enum GraphError {
         /// Requested node count.
         n: usize,
     },
+    /// [`Graph::add_edge`] was asked to add an edge that already exists.
+    DuplicateEdge {
+        /// Lower endpoint.
+        u: NodeId,
+        /// Upper endpoint.
+        v: NodeId,
+    },
+    /// [`Graph::remove_edge`] was asked to remove an edge that does not
+    /// exist.
+    MissingEdge {
+        /// Lower endpoint.
+        u: NodeId,
+        /// Upper endpoint.
+        v: NodeId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -38,6 +53,12 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::TooManyNodes { n } => {
                 write!(f, "node count {n} exceeds the u32 id space")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} already exists")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} does not exist")
             }
         }
     }
@@ -145,6 +166,131 @@ impl Graph {
             b.add_edge(u, v)?;
         }
         Ok(b.build())
+    }
+
+    /// Validates that `{u, v}` is a well-formed potential edge of this
+    /// graph (distinct, in-range endpoints).
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for w in [u, v] {
+            if w as usize >= self.n() {
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    n: self.n(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new graph with the undirected edge `{u, v}` added — the
+    /// serving layer's edge-insert mutation. `self` is untouched
+    /// (snapshots holding the old graph stay valid); the result preserves
+    /// every CSR invariant: each adjacency list stays sorted and
+    /// duplicate-free, degrees grow by exactly one at `u` and `v`, and
+    /// the canonical [`Graph::edges`] order (hence any content hash over
+    /// it) reflects exactly the one new edge. `O(N + M)` — one splice
+    /// pass over the arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfRange`] for
+    /// malformed endpoints, [`GraphError::DuplicateEdge`] if the edge
+    /// already exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bc_graph::{Graph, GraphError};
+    ///
+    /// let g = Graph::from_edges(3, [(0, 1)])?;
+    /// let g2 = g.add_edge(1, 2)?;
+    /// assert_eq!(g.m(), 1); // original untouched
+    /// assert_eq!(g2.m(), 2);
+    /// assert!(g2.has_edge(1, 2));
+    /// assert_eq!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+    /// # Ok::<(), GraphError>(())
+    /// ```
+    pub fn add_edge(&self, u: NodeId, v: NodeId) -> Result<Graph, GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+        Ok(self.splice(u, v, true))
+    }
+
+    /// Returns a new graph with the undirected edge `{u, v}` removed —
+    /// the serving layer's edge-delete mutation. Same invariant story as
+    /// [`Graph::add_edge`]; degrees shrink by exactly one at `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfRange`] for
+    /// malformed endpoints, [`GraphError::MissingEdge`] if the edge does
+    /// not exist.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bc_graph::{Graph, GraphError};
+    ///
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+    /// let g2 = g.remove_edge(1, 0)?;
+    /// assert_eq!(g2.m(), 1);
+    /// assert!(!g2.has_edge(0, 1));
+    /// assert_eq!(g2.remove_edge(0, 1), Err(GraphError::MissingEdge { u: 0, v: 1 }));
+    /// # Ok::<(), GraphError>(())
+    /// ```
+    pub fn remove_edge(&self, u: NodeId, v: NodeId) -> Result<Graph, GraphError> {
+        self.check_endpoints(u, v)?;
+        if !self.has_edge(u, v) {
+            return Err(GraphError::MissingEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+        Ok(self.splice(u, v, false))
+    }
+
+    /// Rebuilds the CSR arrays with `{u, v}` inserted (`insert`) or
+    /// deleted, keeping each adjacency list sorted. Endpoints are already
+    /// validated and the edge's (non-)existence already checked.
+    fn splice(&self, u: NodeId, v: NodeId, insert: bool) -> Graph {
+        let n = self.n();
+        let delta: isize = if insert { 1 } else { -1 };
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors =
+            Vec::with_capacity((self.neighbors.len() as isize + 2 * delta) as usize);
+        offsets.push(0);
+        for w in 0..n as NodeId {
+            let adj = self.neighbors(w);
+            let other = if w == u {
+                Some(v)
+            } else if w == v {
+                Some(u)
+            } else {
+                None
+            };
+            match other {
+                None => neighbors.extend_from_slice(adj),
+                Some(o) if insert => {
+                    let at = adj.partition_point(|&x| x < o);
+                    neighbors.extend_from_slice(&adj[..at]);
+                    neighbors.push(o);
+                    neighbors.extend_from_slice(&adj[at..]);
+                }
+                Some(o) => {
+                    neighbors.extend(adj.iter().copied().filter(|&x| x != o));
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        Graph { offsets, neighbors }
     }
 }
 
@@ -320,6 +466,110 @@ mod tests {
     #[test]
     fn debug_format() {
         assert_eq!(format!("{:?}", triangle()), "Graph(n=3, m=3)");
+    }
+
+    /// Every structural invariant a mutated CSR must uphold.
+    fn assert_csr_invariants(g: &Graph) {
+        assert_eq!(g.offsets.len(), g.n() + 1);
+        assert_eq!(g.offsets[0], 0);
+        assert_eq!(*g.offsets.last().unwrap(), g.neighbors.len());
+        assert_eq!(g.neighbors.len() % 2, 0);
+        for v in g.nodes() {
+            let adj = g.neighbors(v);
+            assert!(adj.windows(2).all(|w| w[0] < w[1]), "node {v} adjacency");
+            for &w in adj {
+                assert!(g.has_edge(w, v), "asymmetric edge {{{v}, {w}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_preserves_invariants_and_original() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let g2 = g.add_edge(4, 1).unwrap();
+        assert_csr_invariants(&g2);
+        assert_eq!(g2.m(), 4);
+        assert_eq!(g2.degree(1), 3);
+        assert_eq!(g2.degree(4), 2);
+        assert_eq!(g2.neighbors(1), &[0, 2, 4]);
+        assert!(g2.has_edge(1, 4) && g2.has_edge(4, 1));
+        // The original is untouched (persistent mutation).
+        assert_eq!(g.m(), 3);
+        assert!(!g.has_edge(1, 4));
+        // The mutated graph equals a from-scratch build of the same edge
+        // set, so any content hash over `edges()` agrees too.
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.push((1, 4));
+        assert_eq!(g2, Graph::from_edges(5, edges).unwrap());
+    }
+
+    #[test]
+    fn remove_edge_preserves_invariants_and_original() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (2, 3)]).unwrap();
+        let g2 = g.remove_edge(3, 0).unwrap();
+        assert_csr_invariants(&g2);
+        assert_eq!(g2.m(), 3);
+        assert_eq!(g2.degree(0), 2);
+        assert_eq!(g2.degree(3), 1);
+        assert!(!g2.has_edge(0, 3));
+        assert_eq!(g.m(), 4);
+        let edges: Vec<_> = g.edges().filter(|&e| e != (0, 3)).collect();
+        assert_eq!(g2, Graph::from_edges(4, edges).unwrap());
+    }
+
+    #[test]
+    fn add_then_remove_round_trips() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(g.add_edge(0, 3).unwrap().remove_edge(0, 3).unwrap(), g);
+        assert_eq!(g.remove_edge(2, 3).unwrap().add_edge(3, 2).unwrap(), g);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let g = triangle();
+        // Canonicalized endpoints in the error, whichever order was given.
+        assert_eq!(
+            g.add_edge(2, 0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 2 })
+        );
+        assert_eq!(
+            g.add_edge(0, 2),
+            Err(GraphError::DuplicateEdge { u: 0, v: 2 })
+        );
+    }
+
+    #[test]
+    fn missing_edge_rejected() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            g.remove_edge(3, 1),
+            Err(GraphError::MissingEdge { u: 1, v: 3 })
+        );
+    }
+
+    #[test]
+    fn mutation_endpoint_validation() {
+        let g = triangle();
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(g.remove_edge(2, 2), Err(GraphError::SelfLoop { node: 2 }));
+        assert_eq!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 3 })
+        );
+        assert_eq!(
+            g.remove_edge(7, 0),
+            Err(GraphError::NodeOutOfRange { node: 7, n: 3 })
+        );
+    }
+
+    #[test]
+    fn mutation_error_display() {
+        assert!(GraphError::DuplicateEdge { u: 1, v: 2 }
+            .to_string()
+            .contains("already exists"));
+        assert!(GraphError::MissingEdge { u: 1, v: 2 }
+            .to_string()
+            .contains("does not exist"));
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! The query protocol spoken over [`bc_congest::wire`] framing.
+//!
+//! A client session is: connect → send a `HELLO` frame with
+//! [`ROLE_CLIENT`] → read the server's `HELLO` (which pins the served
+//! graph hash and config fingerprint) → exchange any number of
+//! `TAG_QUERY`/`TAG_RESP` batches → send `TAG_DONE` and close.
+//!
+//! Batching is first-class: one `TAG_QUERY` frame carries an ordered
+//! list of [`QueryRequest`]s and one `TAG_RESP` frame answers them in
+//! the same order, so a client pays one round trip per *batch*, not
+//! per query. All read-only requests in a batch are answered from one
+//! snapshot load — a batch can never observe two different versions.
+//!
+//! Anything malformed — bad magic, unknown tags, truncated payloads —
+//! earns a `TAG_ERROR` frame and a dropped connection, never a panic.
+
+use bc_congest::wire::{
+    put_f64, put_str, put_u32, put_u64, put_u8, ByteReader, Hello, WireError, WireStream,
+    ROLE_CLIENT, TAG_DONE, TAG_ERROR, TAG_HELLO, TAG_QUERY, TAG_RESP,
+};
+use std::fmt;
+
+/// One query or mutation request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Top-`k` nodes by score (descending, ties by ascending id).
+    TopK {
+        /// How many nodes; larger than `n` truncates.
+        k: u32,
+    },
+    /// Score of a single node.
+    Node {
+        /// The node id.
+        v: u32,
+    },
+    /// Nearest-rank percentile of the score distribution.
+    Percentile {
+        /// Percentile in `[0, 100]`.
+        p: f64,
+    },
+    /// Snapshot metadata (version, hashes, algorithm, sizes).
+    Meta,
+    /// Enqueue an edge insertion; a background recompute publishes a
+    /// new snapshot when done.
+    AddEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// Enqueue an edge removal.
+    RemoveEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// Block until every mutation enqueued before this request has
+    /// been applied and published.
+    Flush,
+}
+
+/// The answer to one [`QueryRequest`], in request order. Every variant
+/// that reads a snapshot carries the snapshot's version, so clients
+/// can correlate answers with mutations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::TopK`].
+    Ranked {
+        /// Snapshot version answered from.
+        version: u64,
+        /// `(node, score)` pairs, best first.
+        entries: Vec<(u32, f64)>,
+    },
+    /// Answer to [`QueryRequest::Node`].
+    Score {
+        /// Snapshot version answered from.
+        version: u64,
+        /// The queried node.
+        node: u32,
+        /// Its betweenness score.
+        score: f64,
+    },
+    /// Answer to [`QueryRequest::Percentile`].
+    Value {
+        /// Snapshot version answered from.
+        version: u64,
+        /// The percentile value.
+        value: f64,
+    },
+    /// Answer to [`QueryRequest::Meta`].
+    Meta {
+        /// Snapshot version.
+        version: u64,
+        /// Graph hash as of the snapshot.
+        graph_hash: u64,
+        /// Config fingerprint of the producing engine.
+        config_hash: u64,
+        /// Algorithm label.
+        algo: String,
+        /// Node count.
+        n: u64,
+        /// Sources behind the scores.
+        sample_size: u64,
+        /// Rounds of the producing run.
+        rounds: u64,
+        /// Mutations enqueued but not yet published.
+        pending: u64,
+    },
+    /// Mutation accepted and enqueued (sequence number of the
+    /// mutation in the server's apply order).
+    MutationQueued {
+        /// The mutation's 1-based sequence number.
+        seq: u64,
+    },
+    /// All previously enqueued mutations are published.
+    Flushed {
+        /// The snapshot version current after the flush.
+        version: u64,
+    },
+    /// The request failed (bad node id, invalid mutation, …). Other
+    /// requests in the batch are unaffected.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+const REQ_TOP_K: u8 = 0;
+const REQ_NODE: u8 = 1;
+const REQ_PERCENTILE: u8 = 2;
+const REQ_META: u8 = 3;
+const REQ_ADD_EDGE: u8 = 4;
+const REQ_REMOVE_EDGE: u8 = 5;
+const REQ_FLUSH: u8 = 6;
+
+const RESP_RANKED: u8 = 0;
+const RESP_SCORE: u8 = 1;
+const RESP_VALUE: u8 = 2;
+const RESP_META: u8 = 3;
+const RESP_QUEUED: u8 = 4;
+const RESP_FLUSHED: u8 = 5;
+const RESP_FAILED: u8 = 6;
+
+/// Encodes a batch of requests into a `TAG_QUERY` payload.
+pub fn encode_requests(reqs: &[QueryRequest]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, reqs.len() as u32);
+    for r in reqs {
+        match r {
+            QueryRequest::TopK { k } => {
+                put_u8(&mut buf, REQ_TOP_K);
+                put_u32(&mut buf, *k);
+            }
+            QueryRequest::Node { v } => {
+                put_u8(&mut buf, REQ_NODE);
+                put_u32(&mut buf, *v);
+            }
+            QueryRequest::Percentile { p } => {
+                put_u8(&mut buf, REQ_PERCENTILE);
+                put_f64(&mut buf, *p);
+            }
+            QueryRequest::Meta => put_u8(&mut buf, REQ_META),
+            QueryRequest::AddEdge { u, v } => {
+                put_u8(&mut buf, REQ_ADD_EDGE);
+                put_u32(&mut buf, *u);
+                put_u32(&mut buf, *v);
+            }
+            QueryRequest::RemoveEdge { u, v } => {
+                put_u8(&mut buf, REQ_REMOVE_EDGE);
+                put_u32(&mut buf, *u);
+                put_u32(&mut buf, *v);
+            }
+            QueryRequest::Flush => put_u8(&mut buf, REQ_FLUSH),
+        }
+    }
+    buf
+}
+
+/// Decodes a `TAG_QUERY` payload.
+///
+/// # Errors
+///
+/// Any truncation, trailing bytes, or unknown request tag is a
+/// [`WireError`] — the server answers it with `TAG_ERROR`, not a panic.
+pub fn decode_requests(payload: &[u8]) -> Result<Vec<QueryRequest>, WireError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    if count > payload.len() {
+        return Err(WireError::Protocol(format!(
+            "batch claims {count} requests in a {}-byte payload",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(match r.u8()? {
+            REQ_TOP_K => QueryRequest::TopK { k: r.u32()? },
+            REQ_NODE => QueryRequest::Node { v: r.u32()? },
+            REQ_PERCENTILE => QueryRequest::Percentile { p: r.f64()? },
+            REQ_META => QueryRequest::Meta,
+            REQ_ADD_EDGE => QueryRequest::AddEdge {
+                u: r.u32()?,
+                v: r.u32()?,
+            },
+            REQ_REMOVE_EDGE => QueryRequest::RemoveEdge {
+                u: r.u32()?,
+                v: r.u32()?,
+            },
+            REQ_FLUSH => QueryRequest::Flush,
+            t => return Err(WireError::Protocol(format!("unknown request tag {t}"))),
+        });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encodes a batch of responses into a `TAG_RESP` payload.
+pub fn encode_responses(resps: &[QueryResponse]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, resps.len() as u32);
+    for resp in resps {
+        match resp {
+            QueryResponse::Ranked { version, entries } => {
+                put_u8(&mut buf, RESP_RANKED);
+                put_u64(&mut buf, *version);
+                put_u32(&mut buf, entries.len() as u32);
+                for (node, score) in entries {
+                    put_u32(&mut buf, *node);
+                    put_f64(&mut buf, *score);
+                }
+            }
+            QueryResponse::Score {
+                version,
+                node,
+                score,
+            } => {
+                put_u8(&mut buf, RESP_SCORE);
+                put_u64(&mut buf, *version);
+                put_u32(&mut buf, *node);
+                put_f64(&mut buf, *score);
+            }
+            QueryResponse::Value { version, value } => {
+                put_u8(&mut buf, RESP_VALUE);
+                put_u64(&mut buf, *version);
+                put_f64(&mut buf, *value);
+            }
+            QueryResponse::Meta {
+                version,
+                graph_hash,
+                config_hash,
+                algo,
+                n,
+                sample_size,
+                rounds,
+                pending,
+            } => {
+                put_u8(&mut buf, RESP_META);
+                put_u64(&mut buf, *version);
+                put_u64(&mut buf, *graph_hash);
+                put_u64(&mut buf, *config_hash);
+                put_str(&mut buf, algo);
+                put_u64(&mut buf, *n);
+                put_u64(&mut buf, *sample_size);
+                put_u64(&mut buf, *rounds);
+                put_u64(&mut buf, *pending);
+            }
+            QueryResponse::MutationQueued { seq } => {
+                put_u8(&mut buf, RESP_QUEUED);
+                put_u64(&mut buf, *seq);
+            }
+            QueryResponse::Flushed { version } => {
+                put_u8(&mut buf, RESP_FLUSHED);
+                put_u64(&mut buf, *version);
+            }
+            QueryResponse::Failed { reason } => {
+                put_u8(&mut buf, RESP_FAILED);
+                put_str(&mut buf, reason);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a `TAG_RESP` payload.
+///
+/// # Errors
+///
+/// Same contract as [`decode_requests`].
+pub fn decode_responses(payload: &[u8]) -> Result<Vec<QueryResponse>, WireError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    if count > payload.len() {
+        return Err(WireError::Protocol(format!(
+            "batch claims {count} responses in a {}-byte payload",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(match r.u8()? {
+            RESP_RANKED => {
+                let version = r.u64()?;
+                let len = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(len.min(payload.len()));
+                for _ in 0..len {
+                    entries.push((r.u32()?, r.f64()?));
+                }
+                QueryResponse::Ranked { version, entries }
+            }
+            RESP_SCORE => QueryResponse::Score {
+                version: r.u64()?,
+                node: r.u32()?,
+                score: r.f64()?,
+            },
+            RESP_VALUE => QueryResponse::Value {
+                version: r.u64()?,
+                value: r.f64()?,
+            },
+            RESP_META => QueryResponse::Meta {
+                version: r.u64()?,
+                graph_hash: r.u64()?,
+                config_hash: r.u64()?,
+                algo: r.str()?,
+                n: r.u64()?,
+                sample_size: r.u64()?,
+                rounds: r.u64()?,
+                pending: r.u64()?,
+            },
+            RESP_QUEUED => QueryResponse::MutationQueued { seq: r.u64()? },
+            RESP_FLUSHED => QueryResponse::Flushed { version: r.u64()? },
+            RESP_FAILED => QueryResponse::Failed { reason: r.str()? },
+            t => return Err(WireError::Protocol(format!("unknown response tag {t}"))),
+        });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Why a client session failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server answered with a `TAG_ERROR` frame.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connected query client (used by `distbc query` and the tests).
+#[derive(Debug)]
+pub struct QueryClient {
+    stream: WireStream,
+    server: Hello,
+}
+
+impl QueryClient {
+    /// Connects, performs the `HELLO` handshake, and returns a ready
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Connection refusal (after the retry window), a non-`HELLO`
+    /// reply, or a `TAG_ERROR` greeting.
+    pub fn connect(addr: &str) -> Result<QueryClient, ClientError> {
+        let mut stream = WireStream::connect(addr)?;
+        let hello = Hello {
+            role: ROLE_CLIENT,
+            shard_id: 0,
+            shards: 0,
+            graph_hash: 0,
+            config_hash: 0,
+        };
+        stream.write_frame(TAG_HELLO, &hello.encode())?;
+        let (tag, payload) = stream.read_frame()?;
+        match tag {
+            TAG_HELLO => {
+                let server = Hello::decode(&payload)?;
+                Ok(QueryClient { stream, server })
+            }
+            TAG_ERROR => Err(ClientError::Server(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            t => Err(ClientError::Wire(WireError::Protocol(format!(
+                "expected HELLO, got tag {t}"
+            )))),
+        }
+    }
+
+    /// The server's handshake frame: `graph_hash` and `config_hash`
+    /// pin what is being served.
+    pub fn server_hello(&self) -> &Hello {
+        &self.server
+    }
+
+    /// Sends one batch and reads the matching response batch
+    /// (answers are in request order).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a `TAG_ERROR` frame, or a malformed
+    /// response batch.
+    pub fn batch(&mut self, reqs: &[QueryRequest]) -> Result<Vec<QueryResponse>, ClientError> {
+        self.stream.write_frame(TAG_QUERY, &encode_requests(reqs))?;
+        let (tag, payload) = self.stream.read_frame()?;
+        match tag {
+            TAG_RESP => Ok(decode_responses(&payload)?),
+            TAG_ERROR => Err(ClientError::Server(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            t => Err(ClientError::Wire(WireError::Protocol(format!(
+                "expected RESP, got tag {t}"
+            )))),
+        }
+    }
+
+    /// Ends the session politely (`TAG_DONE`); errors are ignored, the
+    /// server also tolerates plain disconnects.
+    pub fn close(mut self) {
+        let _ = self.stream.write_frame(TAG_DONE, &[]);
+        self.stream.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_batch_round_trips() {
+        let reqs = vec![
+            QueryRequest::Meta,
+            QueryRequest::TopK { k: 5 },
+            QueryRequest::Node { v: 3 },
+            QueryRequest::Percentile { p: 99.5 },
+            QueryRequest::AddEdge { u: 1, v: 2 },
+            QueryRequest::RemoveEdge { u: 4, v: 0 },
+            QueryRequest::Flush,
+        ];
+        let back = decode_requests(&encode_requests(&reqs)).unwrap();
+        assert_eq!(back, reqs);
+        assert!(decode_requests(&encode_requests(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn response_batch_round_trips() {
+        let resps = vec![
+            QueryResponse::Ranked {
+                version: 3,
+                entries: vec![(1, 2.5), (0, 1.0)],
+            },
+            QueryResponse::Score {
+                version: 3,
+                node: 7,
+                score: -0.0,
+            },
+            QueryResponse::Value {
+                version: 3,
+                value: 0.25,
+            },
+            QueryResponse::Meta {
+                version: 3,
+                graph_hash: 0xabc,
+                config_hash: 0xdef,
+                algo: "brandes".into(),
+                n: 10,
+                sample_size: 10,
+                rounds: 0,
+                pending: 2,
+            },
+            QueryResponse::MutationQueued { seq: 9 },
+            QueryResponse::Flushed { version: 4 },
+            QueryResponse::Failed {
+                reason: "node 99 out of range".into(),
+            },
+        ];
+        let back = decode_responses(&encode_responses(&resps)).unwrap();
+        assert_eq!(back, resps);
+        // -0.0 survives bit-exactly.
+        match &back[1] {
+            QueryResponse::Score { score, .. } => {
+                assert_eq!(score.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_batches_error_not_panic() {
+        let good = encode_requests(&[QueryRequest::TopK { k: 3 }]);
+        for cut in 0..good.len() {
+            assert!(decode_requests(&good[..cut]).is_err());
+        }
+        let mut trailing = good.clone();
+        trailing.push(0xff);
+        assert!(decode_requests(&trailing).is_err());
+        let mut bad_tag = good;
+        bad_tag[4] = 0x7f;
+        assert!(decode_requests(&bad_tag).is_err());
+        // Absurd count claims are rejected before allocating.
+        let mut bomb = Vec::new();
+        put_u32(&mut bomb, u32::MAX);
+        assert!(decode_requests(&bomb).is_err());
+        assert!(decode_responses(&bomb).is_err());
+    }
+}

@@ -16,6 +16,7 @@
 
 use distbc::brandes;
 use distbc::congest::trace::{self, check, stats, JsonlSink, RingSink, TraceSink};
+use distbc::congest::wire::fnv1a64;
 use distbc::congest::{Counter, Enforcement, FaultPlan, PhaseStat, ProfileReport, Telemetry};
 use distbc::core::{
     auto_threads, run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
@@ -25,6 +26,10 @@ use distbc::core::{
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
 use distbc::numeric::{FpParams, Rounding};
+use distbc::serve::{
+    FullRunOutput, IncrementalEngine, QueryClient, QueryRequest, QueryResponse, RecomputeEngine,
+    Server, ServerConfig,
+};
 use std::error::Error;
 use std::io::IsTerminal;
 use std::process::ExitCode;
@@ -67,6 +72,22 @@ enum Command {
     },
     ServeShard {
         listen: String,
+    },
+    Serve {
+        listen: String,
+        source: GraphSource,
+        algorithm: Algorithm,
+        sample_seed: u64,
+        threads: ThreadSpec,
+        connect: Option<Vec<String>>,
+        postmortem: Option<String>,
+        no_telemetry: bool,
+        cache: Option<usize>,
+    },
+    Query {
+        connect: String,
+        requests: Vec<QueryRequest>,
+        csv: bool,
     },
     Gadget {
         kind: GadgetKind,
@@ -127,6 +148,12 @@ const USAGE: &str = "usage:
                      [--perfetto FILE] [--watch] [--postmortem FILE] [--no-telemetry]
                      [--connect ADDR,ADDR,... [--shards K]]
   distbc serve-shard --listen tcp:HOST:PORT|unix:PATH
+  distbc serve       --listen tcp:HOST:PORT|unix:PATH (--input FILE | --generate SPEC)
+                     [--algorithm distributed|brandes|sampled:K] [--sample-seed N]
+                     [--threads N|auto] [--connect ADDR,ADDR,...] [--cache N]
+                     [--postmortem FILE] [--no-telemetry]
+  distbc query       --connect ADDR [--top K] [--node V] [--percentile P] [--meta]
+                     [--add-edge U:V] [--remove-edge U:V] [--flush] [--csv]
   distbc gadget      --kind diameter|bc --n N [--x X] [--planted]
   distbc check-trace FILE
   distbc trace-stats FILE [--csv | --json] [--top K]
@@ -145,7 +172,14 @@ telemetry:       always on for distributed runs (--no-telemetry to disable).
 multi-process:   start one `distbc serve-shard --listen ADDR` per shard, then
                  run the leader with --connect ADDR,ADDR,... (one address per
                  shard, in shard order). Wire runs are implicitly --reliable;
-                 --faults/--trace/--watch/--best-effort stay in-process";
+                 --faults/--trace/--watch/--best-effort stay in-process
+serving:         `distbc serve` keeps a centrality snapshot resident and
+                 answers `distbc query` batches; every request flag adds one
+                 request to a single batch frame, answered in flag order from
+                 one snapshot version. add-edge/remove-edge trigger a
+                 background recompute (incremental for brandes) that publishes
+                 a new snapshot version; flush waits for the queue to drain.
+                 SIGINT/SIGTERM drain in-flight batches and exit 0";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -183,6 +217,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut connect: Option<Vec<String>> = None;
     let mut shards: Option<usize> = None;
     let mut listen: Option<String> = None;
+    let mut cache: Option<usize> = None;
+    // `query` requests, in flag order (one batch frame carries them all).
+    let mut requests: Vec<QueryRequest> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -277,10 +314,39 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--listen" => listen = Some(value("--listen")?),
             "--planted" => planted = true,
             "--top" => {
-                top = Some(
-                    value("--top")?
+                let k: usize = value("--top")?
+                    .parse()
+                    .map_err(|_| "bad --top value".to_string())?;
+                top = Some(k);
+                requests.push(QueryRequest::TopK {
+                    k: u32::try_from(k).map_err(|_| "bad --top value".to_string())?,
+                });
+            }
+            "--node" => requests.push(QueryRequest::Node {
+                v: value("--node")?
+                    .parse()
+                    .map_err(|_| "bad --node value".to_string())?,
+            }),
+            "--percentile" => requests.push(QueryRequest::Percentile {
+                p: value("--percentile")?
+                    .parse()
+                    .map_err(|_| "bad --percentile value".to_string())?,
+            }),
+            "--meta" => requests.push(QueryRequest::Meta),
+            "--add-edge" => {
+                let (u, v) = parse_edge(&value("--add-edge")?, "--add-edge")?;
+                requests.push(QueryRequest::AddEdge { u, v });
+            }
+            "--remove-edge" => {
+                let (u, v) = parse_edge(&value("--remove-edge")?, "--remove-edge")?;
+                requests.push(QueryRequest::RemoveEdge { u, v });
+            }
+            "--flush" => requests.push(QueryRequest::Flush),
+            "--cache" => {
+                cache = Some(
+                    value("--cache")?
                         .parse()
-                        .map_err(|_| "bad --top value".to_string())?,
+                        .map_err(|_| "bad --cache value".to_string())?,
                 )
             }
             "--mantissa-bits" => {
@@ -312,6 +378,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             other if !other.starts_with("--") => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    // `--top` doubles as a query request; everything else in `requests`
+    // is query-only.
+    let query_only = requests
+        .iter()
+        .any(|r| !matches!(r, QueryRequest::TopK { .. }));
+    if query_only && sub != "query" {
+        return Err(
+            "--node/--percentile/--meta/--add-edge/--remove-edge/--flush belong to query".into(),
+        );
+    }
+    if cache.is_some() && sub != "serve" {
+        return Err("--cache belongs to serve".into());
     }
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -435,6 +514,71 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "serve-shard" => Ok(Command::ServeShard {
             listen: listen.ok_or("serve-shard needs --listen tcp:HOST:PORT or unix:PATH")?,
         }),
+        "serve" => {
+            match algorithm {
+                Algorithm::Distributed | Algorithm::Brandes | Algorithm::Sampled(_) => {}
+                _ => {
+                    return Err(
+                        "serve supports --algorithm distributed, brandes, or sampled:K".into(),
+                    )
+                }
+            }
+            if sample_seed.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
+                return Err("--sample-seed requires --algorithm sampled:K".into());
+            }
+            if cache.is_some() && algorithm != Algorithm::Brandes {
+                return Err("--cache requires --algorithm brandes (the incremental engine)".into());
+            }
+            if connect.is_some() && algorithm == Algorithm::Brandes {
+                return Err("--connect requires --algorithm distributed or sampled:K".into());
+            }
+            if let (Some(s), Some(addrs)) = (shards, &connect) {
+                if s != addrs.len() {
+                    return Err(format!(
+                        "--shards {s} disagrees with the {} --connect addresses",
+                        addrs.len()
+                    ));
+                }
+            }
+            if shards.is_some() && connect.is_none() {
+                return Err("--shards requires --connect".into());
+            }
+            if no_telemetry && postmortem.is_some() {
+                return Err("--no-telemetry is incompatible with --postmortem".into());
+            }
+            if !requests.is_empty() || top.is_some() {
+                return Err("--top and query requests belong to query".into());
+            }
+            Ok(Command::Serve {
+                listen: listen.ok_or("serve needs --listen tcp:HOST:PORT or unix:PATH")?,
+                source: source.ok_or("serve needs --input or --generate")?,
+                algorithm,
+                sample_seed: sample_seed.unwrap_or(0),
+                threads,
+                connect,
+                postmortem,
+                no_telemetry,
+                cache,
+            })
+        }
+        "query" => {
+            let connect = connect.ok_or("query needs --connect ADDR")?;
+            if connect.len() != 1 {
+                return Err("query takes exactly one --connect address".into());
+            }
+            if requests.is_empty() {
+                return Err(
+                    "query needs at least one request: --top/--node/--percentile/--meta/\
+                     --add-edge/--remove-edge/--flush"
+                        .into(),
+                );
+            }
+            Ok(Command::Query {
+                connect: connect.into_iter().next().expect("one address"),
+                requests,
+                csv,
+            })
+        }
         "gadget" => Ok(Command::Gadget {
             kind: kind.ok_or("gadget needs --kind diameter|bc")?,
             n: n.ok_or("gadget needs --n")?,
@@ -463,6 +607,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Parses an `U:V` edge spec for `--add-edge`/`--remove-edge`.
+fn parse_edge(spec: &str, flag: &str) -> Result<(u32, u32), String> {
+    let bad = || format!("bad {flag} value {spec:?} (expected U:V)");
+    let (u, v) = spec.split_once(':').ok_or_else(bad)?;
+    Ok((u.parse().map_err(|_| bad())?, v.parse().map_err(|_| bad())?))
 }
 
 fn generate(spec: &str) -> Result<Graph, String> {
@@ -957,6 +1108,257 @@ fn cmd_serve_shard(listen: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Signal plumbing for `distbc serve`. SIGINT/SIGTERM flip a shared
+/// flag that the server's accept loop polls, so shutdown drains
+/// in-flight batches and the mutation queue instead of killing the
+/// process mid-response. The workspace libraries all
+/// `#![forbid(unsafe_code)]`; this module is the binary's single unsafe
+/// block.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store, which is async-signal-safe.
+        if let Some(flag) = SHUTDOWN.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Installs SIGINT/SIGTERM handlers and returns the flag they flip.
+    pub fn install_shutdown_flag() -> Arc<AtomicBool> {
+        let flag = Arc::clone(SHUTDOWN.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        // SAFETY: libc `signal` with a handler that performs a single
+        // async-signal-safe atomic store on a flag initialized above.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        flag
+    }
+}
+
+/// `serve`: load a graph, compute the initial snapshot with the chosen
+/// engine, and answer `distbc query` batches until SIGINT/SIGTERM.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve(
+    listen: &str,
+    source: &GraphSource,
+    algorithm: &Algorithm,
+    sample_seed: u64,
+    threads: ThreadSpec,
+    connect: Option<&[String]>,
+    postmortem: Option<&str>,
+    no_telemetry: bool,
+    cache: Option<usize>,
+) -> Result<(), Box<dyn Error>> {
+    let g = load(source)?;
+    let threads = match threads {
+        ThreadSpec::Fixed(t) => t,
+        ThreadSpec::Auto => auto_threads(g.n()),
+    };
+    // One telemetry shard for the server's own counters; driver engines
+    // share the instance (their shard 0 overlays the server's).
+    let telemetry_shards = connect.map_or(threads.max(1), <[String]>::len);
+    let telemetry =
+        (!no_telemetry).then(|| Arc::new(Telemetry::new(telemetry_shards, FLIGHT_RECORDER_ROUNDS)));
+    let (engine, algo_label, config_hash) = match algorithm {
+        Algorithm::Brandes => {
+            // Default cache: every source vector fits (n vectors of n
+            // floats) — mutations then replay all unaffected sources.
+            let capacity = cache.unwrap_or(g.n());
+            let engine = RecomputeEngine::Incremental(IncrementalEngine::new(g, capacity));
+            (engine, "brandes".to_string(), fnv1a64(b"brandes"))
+        }
+        Algorithm::Distributed | Algorithm::Sampled(_) => {
+            let cfg = DistBcConfig {
+                sources: match algorithm {
+                    Algorithm::Sampled(k) => SourceSelection::Sample {
+                        k: *k,
+                        seed: sample_seed,
+                    },
+                    _ => SourceSelection::All,
+                },
+                threads,
+                telemetry: telemetry.clone(),
+                ..DistBcConfig::default()
+            };
+            let label = match algorithm {
+                Algorithm::Sampled(k) => format!("sampled:{k}"),
+                _ => "distributed".to_string(),
+            };
+            let config_hash = cfg.fingerprint();
+            // The shard mesh serves exactly one run per process, so
+            // `--connect` backs the *initial* compute only; recomputes
+            // run in-process with the same config (the wire engine is
+            // bit-identical to the in-process one, so snapshots do not
+            // depend on which path produced them).
+            let mut wire_addrs = connect.map(<[String]>::to_vec);
+            let run = move |g: &Graph| -> Result<FullRunOutput, String> {
+                let out = match wire_addrs.take() {
+                    Some(addrs) => {
+                        let (out, _) =
+                            run_leader(g, &cfg, &addrs, false).map_err(|e| e.to_string())?;
+                        out
+                    }
+                    None => run_distributed_bc(g, cfg.clone()).map_err(|e| e.to_string())?,
+                };
+                Ok(FullRunOutput {
+                    scores: out.betweenness,
+                    sample_size: out.sample_size,
+                    rounds: out.rounds,
+                })
+            };
+            let engine = RecomputeEngine::Full {
+                graph: g,
+                run: Box::new(run),
+            };
+            (engine, label, config_hash)
+        }
+        _ => unreachable!("parse_args rejects other serve algorithms"),
+    };
+    let shutdown = signals::install_shutdown_flag();
+    let server = Server::bind(
+        engine,
+        ServerConfig {
+            listen: listen.to_string(),
+            algo: algo_label.clone(),
+            config_hash,
+            telemetry: telemetry.clone(),
+        },
+        shutdown,
+    )?;
+    let snap = server.snapshot();
+    // stdout carries exactly one machine-readable line — the dialable
+    // address (ephemeral TCP ports resolved) — so scripts and tests can
+    // discover where to connect.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "# serve: {} nodes, algorithm {}, snapshot v{} (graph {:016x}, config {:016x})",
+        snap.len(),
+        algo_label,
+        snap.version,
+        snap.graph_hash,
+        snap.config_hash
+    );
+    let stats = server.run()?;
+    eprintln!(
+        "# serve: shutdown after {} queries in {} batches over {} connections; \
+         {} snapshots published, {} malformed frames",
+        stats.queries, stats.batches, stats.connections, stats.snapshots_published, stats.malformed
+    );
+    // Final telemetry checkpoint: the same flight-recorder dump a
+    // distributed run leaves on failure, with a clean-shutdown reason.
+    if let (Some(t), Some(path)) = (&telemetry, postmortem) {
+        write_postmortem(t, path, "serve shutdown (signal)");
+    }
+    Ok(())
+}
+
+/// `query`: one connection, one batch frame carrying every request
+/// flag in order, answers printed in the same order.
+fn cmd_query(connect: &str, requests: &[QueryRequest], csv: bool) -> Result<(), Box<dyn Error>> {
+    let mut client = QueryClient::connect(connect).map_err(|e| e.to_string())?;
+    let (graph_hash, config_hash) = {
+        let hello = client.server_hello();
+        (hello.graph_hash, hello.config_hash)
+    };
+    eprintln!("# connected to {connect}: graph {graph_hash:016x}, config {config_hash:016x}");
+    let responses = client.batch(requests).map_err(|e| e.to_string())?;
+    let mut failed = false;
+    for resp in &responses {
+        print_response(resp, csv, &mut failed);
+    }
+    client.close();
+    if failed {
+        return Err("one or more requests failed".into());
+    }
+    Ok(())
+}
+
+/// Prints one response. `--csv` emits full-precision floats (`{}`
+/// round-trips f64 exactly), so `query --top N --csv` diffs
+/// bit-identically against `centrality --csv`.
+fn print_response(resp: &QueryResponse, csv: bool, failed: &mut bool) {
+    match resp {
+        QueryResponse::Ranked { version, entries } => {
+            if csv {
+                println!("node,betweenness");
+                for (v, score) in entries {
+                    println!("{v},{score}");
+                }
+            } else {
+                eprintln!("# snapshot v{version}");
+                println!("{:>8} {:>16}", "node", "betweenness");
+                for (v, score) in entries {
+                    println!("{v:>8} {score:>16.4}");
+                }
+            }
+        }
+        QueryResponse::Score {
+            version,
+            node,
+            score,
+        } => {
+            if csv {
+                println!("{node},{score}");
+            } else {
+                println!("node {node}: betweenness {score:.4} (snapshot v{version})");
+            }
+        }
+        QueryResponse::Value { version, value } => {
+            if csv {
+                println!("{value}");
+            } else {
+                println!("percentile value {value:.4} (snapshot v{version})");
+            }
+        }
+        QueryResponse::Meta {
+            version,
+            graph_hash,
+            config_hash,
+            algo,
+            n,
+            sample_size,
+            rounds,
+            pending,
+        } => {
+            if csv {
+                println!("version,graph_hash,config_hash,algo,n,sample_size,rounds,pending");
+                println!(
+                    "{version},{graph_hash:016x},{config_hash:016x},{algo},{n},{sample_size},{rounds},{pending}"
+                );
+            } else {
+                println!("snapshot:    v{version}");
+                println!("graph hash:  {graph_hash:016x}");
+                println!("config hash: {config_hash:016x}");
+                println!("algorithm:   {algo}");
+                println!("nodes:       {n}");
+                println!("sources:     {sample_size}");
+                println!("rounds:      {rounds}");
+                println!("pending:     {pending}");
+            }
+        }
+        QueryResponse::MutationQueued { seq } => println!("queued mutation #{seq}"),
+        QueryResponse::Flushed { version } => println!("flushed; snapshot now v{version}"),
+        QueryResponse::Failed { reason } => {
+            *failed = true;
+            eprintln!("error: {reason}");
+        }
+    }
+}
+
 fn cmd_gadget(kind: GadgetKind, n: usize, x: u32, planted: bool) -> Result<(), Box<dyn Error>> {
     let inst = random_instance(n, universe_size(n), planted, 1);
     match kind {
@@ -1079,6 +1481,32 @@ fn main() -> ExitCode {
             connect.as_deref(),
         ),
         Command::ServeShard { listen } => cmd_serve_shard(listen),
+        Command::Serve {
+            listen,
+            source,
+            algorithm,
+            sample_seed,
+            threads,
+            connect,
+            postmortem,
+            no_telemetry,
+            cache,
+        } => cmd_serve(
+            listen,
+            source,
+            algorithm,
+            *sample_seed,
+            *threads,
+            connect.as_deref(),
+            postmortem.as_deref(),
+            *no_telemetry,
+            *cache,
+        ),
+        Command::Query {
+            connect,
+            requests,
+            csv,
+        } => cmd_query(connect, requests, *csv),
         Command::Gadget {
             kind,
             n,
@@ -1186,6 +1614,143 @@ mod tests {
             }
         );
         assert!(p(&["serve-shard"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            p(&[
+                "serve",
+                "--listen",
+                "tcp:127.0.0.1:0",
+                "--generate",
+                "er:40:0.1:7",
+                "--algorithm",
+                "brandes",
+                "--cache",
+                "16",
+            ])
+            .unwrap(),
+            Command::Serve {
+                listen: "tcp:127.0.0.1:0".into(),
+                source: GraphSource::Generate("er:40:0.1:7".into()),
+                algorithm: Algorithm::Brandes,
+                sample_seed: 0,
+                threads: ThreadSpec::Fixed(0),
+                connect: None,
+                postmortem: None,
+                no_telemetry: false,
+                cache: Some(16),
+            }
+        );
+        // The shard mesh can back the initial driver compute.
+        match p(&[
+            "serve",
+            "--listen",
+            "unix:/tmp/q.sock",
+            "--generate",
+            "path:20",
+            "--connect",
+            "tcp:a:1,tcp:b:2",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                algorithm, connect, ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Distributed);
+                assert_eq!(connect.map(|a| a.len()), Some(2));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_combinations() {
+        let base = [
+            "serve",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--generate",
+            "path:8",
+        ];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            p(&v)
+        };
+        assert!(with(&[]).is_ok());
+        assert!(p(&["serve", "--listen", "tcp:a:1"]).is_err()); // no graph
+        assert!(p(&["serve", "--generate", "path:8"]).is_err()); // no listen
+                                                                 // Exact/naive engines have no serving story.
+        assert!(with(&["--algorithm", "exact"]).is_err());
+        assert!(with(&["--algorithm", "naive"]).is_err());
+        // The cache belongs to the incremental (brandes) engine.
+        assert!(with(&["--cache", "8"]).is_err());
+        assert!(with(&["--algorithm", "brandes", "--cache", "8"]).is_ok());
+        // --connect drives the distributed engine only.
+        assert!(with(&["--algorithm", "brandes", "--connect", "tcp:a:1"]).is_err());
+        // Query flags are the client's side of the protocol.
+        assert!(with(&["--top", "5"]).is_err());
+        assert!(with(&["--meta"]).is_err());
+        assert!(with(&["--sample-seed", "3"]).is_err());
+        assert!(with(&["--algorithm", "sampled:4", "--sample-seed", "3"]).is_ok());
+        assert!(with(&["--no-telemetry", "--postmortem", "pm.json"]).is_err());
+    }
+
+    #[test]
+    fn parses_query_requests_in_flag_order() {
+        assert_eq!(
+            p(&[
+                "query",
+                "--connect",
+                "tcp:127.0.0.1:4200",
+                "--meta",
+                "--top",
+                "3",
+                "--add-edge",
+                "0:5",
+                "--flush",
+                "--node",
+                "5",
+                "--percentile",
+                "99.5",
+                "--remove-edge",
+                "0:5",
+                "--csv",
+            ])
+            .unwrap(),
+            Command::Query {
+                connect: "tcp:127.0.0.1:4200".into(),
+                requests: vec![
+                    QueryRequest::Meta,
+                    QueryRequest::TopK { k: 3 },
+                    QueryRequest::AddEdge { u: 0, v: 5 },
+                    QueryRequest::Flush,
+                    QueryRequest::Node { v: 5 },
+                    QueryRequest::Percentile { p: 99.5 },
+                    QueryRequest::RemoveEdge { u: 0, v: 5 },
+                ],
+                csv: true,
+            }
+        );
+    }
+
+    #[test]
+    fn query_rejects_bad_combinations() {
+        // No connect address, no batch.
+        assert!(p(&["query", "--top", "5"]).is_err());
+        // Exactly one server.
+        assert!(p(&["query", "--connect", "tcp:a:1,tcp:b:2", "--top", "5"]).is_err());
+        // An empty batch is a usage error, not a no-op round trip.
+        assert!(p(&["query", "--connect", "tcp:a:1"]).is_err());
+        // Edge specs are U:V.
+        assert!(p(&["query", "--connect", "tcp:a:1", "--add-edge", "5"]).is_err());
+        assert!(p(&["query", "--connect", "tcp:a:1", "--add-edge", "a:b"]).is_err());
+        // Query-only flags stay out of the other subcommands.
+        assert!(p(&["centrality", "--generate", "path:8", "--meta"]).is_err());
+        assert!(p(&["centrality", "--generate", "path:8", "--flush"]).is_err());
+        assert!(p(&["info", "--input", "g.txt", "--node", "3"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`brandes`] (`bc-brandes`) | centralized Brandes (f64 / exact / CeilFloat), naive `O(N³)`, other centralities, sampling approximations |
 //! | [`core`] (`bc-core`) | **the paper's algorithm**: pipelined counting + collision-free aggregation |
 //! | [`lowerbound`] (`bc-lowerbound`) | the Figure 2/3 gadgets and cut-flow measurements |
+//! | [`serve`] (`bc-serve`) | long-running query server over versioned snapshots with incremental recompute |
 //!
 //! # Quickstart
 //!
@@ -43,3 +44,4 @@ pub use bc_core as core;
 pub use bc_graph as graph;
 pub use bc_lowerbound as lowerbound;
 pub use bc_numeric as numeric;
+pub use bc_serve as serve;

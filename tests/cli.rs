@@ -387,6 +387,163 @@ fn killed_shard_mid_run_does_not_hang_the_leader() {
     std::fs::remove_file(&pm).ok();
 }
 
+/// Spawns `distbc serve` on a unix socket and waits (bounded) until a
+/// `query --meta` round trip succeeds.
+#[allow(clippy::zombie_processes)] // the returned Child is waited on by every caller
+fn spawn_server(args: &[&str], addr: &str) -> Child {
+    let mut server = spawn_distbc(args);
+    let start = Instant::now();
+    loop {
+        let probe = distbc(&["query", "--connect", addr, "--meta"]);
+        if probe.status.success() {
+            return server;
+        }
+        if start.elapsed() > Duration::from_secs(30) {
+            let _ = server.kill();
+            let _ = server.wait();
+            panic!("server at {addr} never came up: {probe:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The serving path end to end: `distbc serve` answers `distbc query
+/// --top N --csv` with exactly the bytes `distbc centrality --csv`
+/// prints — before a mutation and after an add-edge/flush cycle (the
+/// offline run then reads the mutated graph from a file).
+#[test]
+fn serve_query_bit_identical_to_offline_cli() {
+    let sock = tmp("serve-bitid.sock");
+    std::fs::remove_file(&sock).ok();
+    let addr = format!("unix:{}", sock.display());
+    let spec = "er:30:0.15:3";
+    let mut server = spawn_server(
+        &[
+            "serve",
+            "--listen",
+            &addr,
+            "--generate",
+            spec,
+            "--algorithm",
+            "brandes",
+        ],
+        &addr,
+    );
+
+    let offline = distbc(&[
+        "centrality",
+        "--generate",
+        spec,
+        "--algorithm",
+        "brandes",
+        "--csv",
+    ]);
+    assert!(offline.status.success(), "{offline:?}");
+    let served = distbc(&["query", "--connect", &addr, "--top", "30", "--csv"]);
+    assert!(served.status.success(), "{served:?}");
+    assert_eq!(
+        stdout(&served),
+        stdout(&offline),
+        "served snapshot diverged from the offline CLI"
+    );
+
+    // Mutate: add an edge the generator did not produce, flush, and
+    // diff against an offline run over the mutated graph.
+    let g = distbc::graph::generators::erdos_renyi_connected(30, 0.15, 3);
+    let (u, v) = (0..30u32)
+        .flat_map(|u| ((u + 1)..30).map(move |v| (u, v)))
+        .find(|&(u, v)| !g.has_edge(u, v))
+        .expect("a non-edge");
+    let mutated = g.add_edge(u, v).expect("add_edge");
+    let graph_file = tmp("serve-bitid-mutated.txt");
+    std::fs::write(&graph_file, distbc::graph::io::to_edge_list(&mutated)).unwrap();
+
+    let queued = distbc(&[
+        "query",
+        "--connect",
+        &addr,
+        "--add-edge",
+        &format!("{u}:{v}"),
+        "--flush",
+    ]);
+    assert!(queued.status.success(), "{queued:?}");
+    let text = stdout(&queued);
+    assert!(text.contains("queued mutation #1"), "{text}");
+    assert!(text.contains("flushed; snapshot now v2"), "{text}");
+
+    let offline = distbc(&[
+        "centrality",
+        "--input",
+        graph_file.to_str().unwrap(),
+        "--algorithm",
+        "brandes",
+        "--csv",
+    ]);
+    assert!(offline.status.success(), "{offline:?}");
+    let served = distbc(&["query", "--connect", &addr, "--top", "30", "--csv"]);
+    assert!(served.status.success(), "{served:?}");
+    assert_eq!(
+        stdout(&served),
+        stdout(&offline),
+        "post-mutation snapshot diverged from the offline CLI on the mutated graph"
+    );
+
+    // Invalid mutations fail the query (exit 1) without poisoning the
+    // server.
+    let dup = distbc(&[
+        "query",
+        "--connect",
+        &addr,
+        "--add-edge",
+        &format!("{u}:{v}"),
+    ]);
+    assert_eq!(dup.status.code(), Some(1), "{dup:?}");
+    let alive = distbc(&["query", "--connect", &addr, "--meta"]);
+    assert!(alive.status.success(), "{alive:?}");
+
+    let _ = server.kill();
+    let _ = server.wait();
+    std::fs::remove_file(&sock).ok();
+    std::fs::remove_file(&graph_file).ok();
+}
+
+/// The shutdown contract: SIGTERM (and SIGINT) drain the server and it
+/// exits 0 — never a nonzero code, never a hang.
+#[test]
+fn serve_sigterm_drains_and_exits_zero() {
+    let sock = tmp("serve-sigterm.sock");
+    std::fs::remove_file(&sock).ok();
+    let addr = format!("unix:{}", sock.display());
+    let mut server = spawn_server(
+        &[
+            "serve",
+            "--listen",
+            &addr,
+            "--generate",
+            "path:20",
+            "--algorithm",
+            "brandes",
+        ],
+        &addr,
+    );
+
+    let probe = distbc(&["query", "--connect", &addr, "--top", "3"]);
+    assert!(probe.status.success(), "{probe:?}");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = wait_bounded(&mut server, "distbc serve", Duration::from_secs(30));
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "SIGTERM must drain and exit 0, got {status:?}"
+    );
+    std::fs::remove_file(&sock).ok();
+}
+
 /// `--metrics` under `--adaptive` derives phase windows from the trace
 /// (satellite: the old stderr apology is gone).
 #[test]
