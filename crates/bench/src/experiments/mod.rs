@@ -13,6 +13,7 @@ pub mod e18_scaling;
 pub mod e19_wire;
 pub mod e1_figure1;
 pub mod e20_serve;
+pub mod e21_sampled_scale;
 pub mod e2_correctness;
 pub mod e3_rounds;
 pub mod e4_error_vs_l;

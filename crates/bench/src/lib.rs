@@ -36,7 +36,7 @@ impl fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
-/// Runs an experiment by id (`"e1"`…`"e20"`), at reduced scale if `quick`.
+/// Runs an experiment by id (`"e1"`…`"e21"`), at reduced scale if `quick`.
 ///
 /// # Errors
 ///
@@ -72,6 +72,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
         "e18" => vec![experiments::e18_scaling::run(quick)],
         "e19" => vec![experiments::e19_wire::run(quick)],
         "e20" => vec![experiments::e20_serve::run(quick)],
+        "e21" => vec![experiments::e21_sampled_scale::run(quick)],
         other => {
             return Err(UnknownExperiment {
                 id: other.to_string(),
@@ -81,8 +82,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<Vec<ExperimentReport>, Un
 }
 
 /// All experiment ids in order (E1–E10 regenerate paper artifacts;
-/// E11–E20 are the extension experiments).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+/// E11–E21 are the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];

@@ -258,6 +258,8 @@ impl Profiler {
             messages_retransmitted: 0,
             messages_deduped: 0,
             faults_injected: 0,
+            state_bytes_total: 0,
+            state_bytes_peak: 0,
             stragglers: detect_stragglers(&self.spans),
             round_spans: self.spans.clone(),
         }
@@ -432,6 +434,11 @@ pub struct ProfileReport {
     /// Fault events injected by the network layer (drops + duplicates +
     /// corruptions + delays; 0 for lossless runs).
     pub faults_injected: u64,
+    /// Total protocol-state bytes across all nodes at the end of the run
+    /// (0 when the protocol does not report state; filled by the driver).
+    pub state_bytes_total: u64,
+    /// Largest single-node protocol-state footprint in bytes.
+    pub state_bytes_peak: u64,
     /// Rounds/workers whose busy time or inbox depth exceeded the robust
     /// baseline (median × k), worst first, capped at 16.
     pub stragglers: Vec<Straggler>,
@@ -519,6 +526,11 @@ impl ProfileReport {
             out,
             ",\"messages_retransmitted\":{},\"messages_deduped\":{},\"faults_injected\":{}",
             self.messages_retransmitted, self.messages_deduped, self.faults_injected
+        );
+        let _ = write!(
+            out,
+            ",\"state_bytes_total\":{},\"state_bytes_peak\":{}",
+            self.state_bytes_total, self.state_bytes_peak
         );
         out.push_str(",\"stragglers\":[");
         for (i, s) in self.stragglers.iter().enumerate() {
@@ -680,6 +692,13 @@ impl fmt::Display for ProfileReport {
         writeln!(f, "max inbox depth: {} messages", self.max_inbox_depth)?;
         if self.nodes_stepped > 0 {
             writeln!(f, "nodes stepped: {}", self.nodes_stepped)?;
+        }
+        if self.state_bytes_total > 0 {
+            writeln!(
+                f,
+                "node state: {} bytes total, {} peak/node",
+                self.state_bytes_total, self.state_bytes_peak
+            )?;
         }
         if !self.phases.is_empty() {
             writeln!(

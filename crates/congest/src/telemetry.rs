@@ -103,10 +103,13 @@ pub enum Counter {
     /// Query server: malformed frames / handshakes from clients (each one
     /// answered with an `ERROR` frame and a dropped connection).
     MalformedFrames,
+    /// Total per-node protocol-state bytes at the end of a run (recorded
+    /// once per run by the driver/leader, not per round).
+    StateBytes,
 }
 
 /// All counters, in label order. Keep in sync with [`Counter`].
-pub const COUNTERS: [(Counter, &str); 24] = [
+pub const COUNTERS: [(Counter, &str); 25] = [
     (Counter::Rounds, "rounds"),
     (Counter::Messages, "messages"),
     (Counter::MessageBits, "message_bits"),
@@ -131,6 +134,7 @@ pub const COUNTERS: [(Counter, &str); 24] = [
     (Counter::SourceCacheHits, "source_cache_hits"),
     (Counter::SourceCacheMisses, "source_cache_misses"),
     (Counter::MalformedFrames, "malformed_frames"),
+    (Counter::StateBytes, "state_bytes"),
 ];
 
 const NUM_COUNTERS: usize = COUNTERS.len();

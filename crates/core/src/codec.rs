@@ -26,7 +26,7 @@ pub struct Codec {
     pub fp: FpParams,
 }
 
-/// Message tag width (9 tags).
+/// Message tag width (11 tags).
 const TAG_BITS: u32 = 4;
 
 impl Codec {
@@ -122,6 +122,16 @@ impl Codec {
                 w.push(sender_dist as u64, self.dist_w);
                 w.push(sigma.encode(), self.fp.encoded_bits());
             }
+            ProtocolMsg::AggRefined {
+                source,
+                psi,
+                psi_in,
+            } => {
+                w.push(10, TAG_BITS);
+                w.push(source as u64, self.id_w);
+                w.push(psi.encode(), self.fp.encoded_bits());
+                w.push(psi_in.encode(), self.fp.encoded_bits());
+            }
         }
         Message::new(w.finish())
     }
@@ -136,7 +146,7 @@ impl Codec {
             3 => 2 * self.ts_w + self.dist_w,
             4 => 3 * self.ts_w + self.dist_w,
             5 => self.id_w + self.fp.encoded_bits(),
-            6 => self.id_w + 2 * self.fp.encoded_bits(),
+            6 | 10 => self.id_w + 2 * self.fp.encoded_bits(),
             8 => self.dist_w,
             _ => return None,
         })
@@ -217,6 +227,11 @@ impl Codec {
                 source: r.read(self.id_w) as u32,
                 sender_dist: r.read(self.dist_w) as u32,
                 sigma: self.take_float(&mut r)?,
+            },
+            10 => ProtocolMsg::AggRefined {
+                source: r.read(self.id_w) as u32,
+                psi: self.take_float(&mut r)?,
+                psi_in: self.take_float(&mut r)?,
             },
             _ => unreachable!("body_bits vetted the tag"),
         })
@@ -364,6 +379,19 @@ pub enum ProtocolMsg {
         /// `1 + ρ̂_s(u)`.
         rho: CeilFloat,
     },
+    /// Phase D with the Ji–Yan refined estimator (arXiv:1608.04472): the ψ
+    /// value plus a second accumulator `ψ^S` whose own-term is emitted only
+    /// by in-sample nodes — it tracks dependencies restricted to targets in
+    /// `S`, letting the driver count in-sample pairs exactly and
+    /// extrapolate only the remainder.
+    AggRefined {
+        /// The source `s` these values belong to.
+        source: u32,
+        /// `1/σ̂_su + ψ̂_s(u)` (all targets).
+        psi: CeilFloat,
+        /// `[u ∈ S]/σ̂_su + ψ̂^S_s(u)` (in-sample targets only).
+        psi_in: CeilFloat,
+    },
 }
 
 #[cfg(test)]
@@ -414,6 +442,16 @@ mod tests {
                 source: 12,
                 sender_dist: 9,
                 sigma,
+            },
+            ProtocolMsg::AggWithStress {
+                source: 5,
+                psi: value,
+                rho: sigma,
+            },
+            ProtocolMsg::AggRefined {
+                source: 8,
+                psi: value,
+                psi_in: value,
             },
         ];
         for m in msgs {

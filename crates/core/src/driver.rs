@@ -5,7 +5,7 @@
 
 use crate::node::{AlgoOptions, DistBcNode};
 use crate::result::{assemble_result, profile_phases, summarize_node, summarize_root, NodeSummary};
-use crate::sampling::{source_mask, SourceSelection};
+use crate::sampling::{source_mask, Estimator, SourceIndex, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::trace::{TraceEvent, TraceSink};
@@ -152,6 +152,10 @@ pub struct DistBcConfig {
     /// weighted extension restricts both sources and targets to the
     /// original nodes of the subdivision.
     pub targets: Option<std::sync::Arc<[bool]>>,
+    /// How sampled dependencies fold into the betweenness estimate
+    /// ([`Estimator::Scaled`] N/k scaling, or the Ji–Yan refinement).
+    /// Only valid with [`SourceSelection::Sample`].
+    pub estimator: Estimator,
     /// Let the engine skip nodes with an empty inbox and no self-timed
     /// work this round (on by default; observationally free). Turn off to
     /// force every node through `round()` each round.
@@ -240,6 +244,7 @@ impl DistBcConfig {
                 put_str(&mut buf, &packed);
             }
         }
+        put_u8(&mut buf, self.estimator as u8);
         fnv1a64(&buf)
     }
 }
@@ -257,6 +262,7 @@ impl Default for DistBcConfig {
             compute_stress: false,
             sources: SourceSelection::default(),
             targets: None,
+            estimator: Estimator::default(),
             skip_idle: true,
             faults: None,
             reliable: false,
@@ -273,6 +279,9 @@ pub enum DistBcError {
     /// The graph is disconnected; the paper's algorithm (and betweenness
     /// on shortest paths between all pairs) assumes a connected network.
     Disconnected,
+    /// The configuration combines options that contradict each other
+    /// (e.g. the Ji–Yan estimator without sampled sources).
+    BadConfig(String),
     /// The simulated execution violated the CONGEST model or did not halt.
     Congest(CongestError),
 }
@@ -282,6 +291,7 @@ impl fmt::Display for DistBcError {
         match self {
             DistBcError::EmptyGraph => write!(f, "graph has no nodes"),
             DistBcError::Disconnected => write!(f, "graph is disconnected"),
+            DistBcError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             DistBcError::Congest(e) => write!(f, "{e}"),
         }
     }
@@ -420,14 +430,32 @@ fn run_impl(
     if !algo::is_connected(g) {
         return Err(DistBcError::Disconnected);
     }
+    if config.estimator == Estimator::JiYan {
+        if !matches!(config.sources, SourceSelection::Sample { .. }) {
+            return Err(DistBcError::BadConfig(
+                "the Ji–Yan estimator requires sampled sources".into(),
+            ));
+        }
+        if config.compute_stress {
+            return Err(DistBcError::BadConfig(
+                "the Ji–Yan estimator cannot be combined with stress centrality \
+                 (both extend the aggregation message)"
+                    .into(),
+            ));
+        }
+    }
     let fp = config.fp.unwrap_or_else(|| FpParams::for_graph_size(n));
     let sched = PhaseSchedule::new(n, config.scheduling);
+    // Built once and shared: every node keys its O(|S|) state off this map.
+    let source_index = std::sync::Arc::new(SourceIndex::build(&config.sources, n));
     let opts = AlgoOptions {
         fp,
         scheduling: config.scheduling,
         compute_stress: config.compute_stress,
         sources: config.sources.clone(),
         targets: config.targets.clone(),
+        estimator: config.estimator,
+        source_index: Some(source_index),
     };
     let engine_budget = if config.reliable {
         // Frames wrap each protocol message in a HEADER_BITS-bit header;
@@ -557,6 +585,11 @@ fn run_impl(
 
     let summaries: Vec<NodeSummary> = nodes.iter().map(summarize_node).collect();
     let root = summarize_root(&nodes[0]);
+    let state_bytes_total: u64 = summaries.iter().map(|s| s.state_bytes).sum();
+    let state_bytes_peak = summaries.iter().map(|s| s.state_bytes).max().unwrap_or(0);
+    if let Some(t) = &telemetry {
+        t.add(0, bc_congest::Counter::StateBytes, state_bytes_total);
+    }
     let profile = profiler.map(|p| {
         let mut engine = if config.threads > 1 {
             format!("parallel({})", config.threads)
@@ -578,11 +611,14 @@ fn run_impl(
             + metrics.faults_duplicated
             + metrics.faults_corrupted
             + metrics.faults_delayed;
+        rep.state_bytes_total = state_bytes_total;
+        rep.state_bytes_peak = state_bytes_peak;
         rep
     });
     let result = assemble_result(
         n,
         &config.sources,
+        config.estimator,
         config.compute_stress,
         config.scheduling,
         sched,

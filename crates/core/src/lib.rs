@@ -64,7 +64,7 @@ pub use driver::{
     PartitionStrategy, WeightedDistBcResult, AUTO_THREADS_MIN_NODES,
 };
 pub use node::{AggInfo, AlgoOptions, DistBcNode};
-pub use sampling::{source_mask, SourceSelection};
+pub use sampling::{source_mask, Estimator, SourceIndex, SourceSelection};
 pub use schedule::{PhaseSchedule, Scheduling};
 pub use snapshot::{CentralitySnapshot, SnapshotDecodeError, SnapshotStore};
 pub use transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};

@@ -35,12 +35,12 @@
 //!   every node recomputes the same sample locally.
 
 use crate::codec::{Codec, ProtocolMsg};
-use crate::sampling::{source_mask, SourceSelection};
+use crate::sampling::{Estimator, SourceIndex, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use bc_congest::trace::ProtocolDetail;
 use bc_congest::{Message, Protocol, RoundCtx};
 use bc_numeric::{CeilFloat, FpParams};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// First-contact wave messages for one source in one round:
 /// `(port, sender distance, σ̂)` per predecessor.
@@ -90,6 +90,14 @@ pub struct AlgoOptions {
     /// `1/σ` (resp. `1`) own-term of Eq. 14 is emitted only by targets.
     /// The weighted extension restricts targets to original nodes.
     pub targets: Option<std::sync::Arc<[bool]>>,
+    /// How sampled runs fold dependencies into an estimate. Only
+    /// meaningful with [`SourceSelection::Sample`].
+    pub estimator: Estimator,
+    /// Precomputed dense source remap, shared across all nodes of a run.
+    /// `None` means "build it locally from `sources`" — the result is
+    /// identical either way (the index is a pure function of the
+    /// selection), sharing just saves the per-node rebuild.
+    pub source_index: Option<Arc<SourceIndex>>,
 }
 
 impl AlgoOptions {
@@ -102,26 +110,10 @@ impl AlgoOptions {
             compute_stress: false,
             sources: SourceSelection::All,
             targets: None,
+            estimator: Estimator::default(),
+            source_index: None,
         }
     }
-}
-
-/// Everything node `v` learns about one source `s` during counting
-/// (the entry `(s, T_s, d(s,v), σ_sv, P_s(v))` of `L_v` in Algorithm 2).
-#[derive(Debug, Clone)]
-struct SourceRec {
-    /// Absolute round at which `s` broadcast its wave (`T_s`).
-    ts: u64,
-    /// `d(s, v)`.
-    dist: u32,
-    /// `σ̂_sv` (ceiling floating point).
-    sigma: CeilFloat,
-    /// Ports of the predecessors `P_s(v)`.
-    pred_ports: Vec<usize>,
-    /// Accumulated `ψ̂_s(v)` (Eq. 14), filled during aggregation.
-    psi: CeilFloat,
-    /// Accumulated `ρ̂_s(v)` (stress extension).
-    rho: CeilFloat,
 }
 
 /// Protocol state of one node.
@@ -130,15 +122,18 @@ pub struct DistBcNode {
     /// This node's id (also available as `ctx.id()`; stored so
     /// [`Protocol::idle_at`] can answer without a context).
     me: u32,
+    /// Network size `N` (per-source arrays below are `O(|S|)`, not `O(N)`).
+    n: usize,
     codec: Codec,
     sched: PhaseSchedule,
     opts: AlgoOptions,
-    /// Deterministic source indicator (same at every node).
+    /// Dense remap of sampled source ids (same at every node).
+    src_index: Arc<SourceIndex>,
+    /// Whether this node is itself a source.
     is_source_self: bool,
-    /// Number of sources `|S|`.
-    source_count: usize,
-    /// This node's rank among sources (sequential-mode slot index).
-    source_rank: Option<u64>,
+    /// Ji–Yan refinement active: track the in-sample-target dependency
+    /// sum `ψ_in` alongside `ψ` (sampled runs only).
+    refined: bool,
     // Phase A.
     tree_dist: Option<u32>,
     parent_port: Option<usize>,
@@ -152,8 +147,30 @@ pub struct DistBcNode {
     tree_depth: Option<u32>,
     /// Root only: the round to flood `StartReduce` (counting + drain over).
     start_reduce_round: Option<u64>,
-    // Phase B.
-    sources: Vec<Option<SourceRec>>,
+    // Phase B: per-source state as a struct-of-arrays keyed by the dense
+    // source index (`L_v` of Algorithm 2, memory-dieted to O(|S|)).
+    /// Bitset over dense indices: which sources' waves reached this node.
+    seen: Vec<u64>,
+    /// `T_s` per dense index (valid iff seen).
+    ts: Vec<u64>,
+    /// `d(s, v)` per dense index (valid iff seen).
+    dist: Vec<u32>,
+    /// `σ̂_sv` per dense index (valid iff seen).
+    sigma: Vec<CeilFloat>,
+    /// Accumulated `ψ̂_s(v)` (Eq. 14) per dense index.
+    psi: Vec<CeilFloat>,
+    /// Accumulated `ρ̂_s(v)` per dense index (empty unless stress).
+    rho: Vec<CeilFloat>,
+    /// Accumulated in-sample-target `ψ̂^S_s(v)` per dense index (empty
+    /// unless `refined`).
+    psi_in: Vec<CeilFloat>,
+    /// CSR predecessor-port lists: `pred_arena[pred_start[i]..][..pred_len[i]]`
+    /// holds `P_s(v)` for dense index `i`. Valid because each source's
+    /// first-contact wave batch arrives in exactly one round (Lemma 4), so
+    /// the arena is bump-appended once per source.
+    pred_start: Vec<u32>,
+    pred_len: Vec<u32>,
+    pred_arena: Vec<u32>,
     visited: bool,
     wave_round: Option<u64>,
     token_forward_round: Option<u64>,
@@ -168,7 +185,11 @@ pub struct DistBcNode {
     acc_max_d: u32,
     agg_info: Option<AggInfo>,
     agg_announced: bool,
-    agg_schedule: HashMap<u64, Vec<u32>>,
+    /// Flat `(send round, global source id)` schedule, sorted ascending and
+    /// consumed front-to-back by `agg_cursor` — deterministic iteration
+    /// order by construction, no hashing in the round hot path.
+    agg_schedule: Vec<(u64, u32)>,
+    agg_cursor: usize,
     // Per-round staging: wave sends (at most one per port — Lemma 4) and
     // an optional token move, merged at flush into `WaveWithToken` when
     // they share an edge so the token travels at wave speed without
@@ -177,6 +198,7 @@ pub struct DistBcNode {
     out_token: Option<usize>,
     // Results.
     delta_sum: f64,
+    delta_in_sum: f64,
     stress_sum: f64,
     done: bool,
 }
@@ -185,18 +207,40 @@ impl DistBcNode {
     /// Creates the initial state for one node (id `me`) of an `n`-node
     /// network.
     pub fn new(n: usize, me: u32, opts: AlgoOptions) -> Self {
-        let mask = source_mask(&opts.sources, n);
-        let source_count = mask.iter().filter(|&&b| b).count();
-        let source_rank =
-            mask[me as usize].then(|| mask[..me as usize].iter().filter(|&&b| b).count() as u64);
+        // The index is a pure function of the (coordination-free) source
+        // selection; runs share one Arc, ad-hoc constructions rebuild it.
+        let src_index = opts
+            .source_index
+            .clone()
+            .unwrap_or_else(|| Arc::new(SourceIndex::build(&opts.sources, n)));
+        debug_assert_eq!(src_index.n(), n, "source index built for wrong n");
+        let k = src_index.len();
+        let refined = opts.estimator == Estimator::JiYan
+            && matches!(opts.sources, SourceSelection::Sample { .. });
+        let zero = CeilFloat::zero(opts.fp);
         DistBcNode {
             me,
+            n,
             codec: Codec::new(n, opts.fp),
             sched: PhaseSchedule::new(n, opts.scheduling),
+            is_source_self: src_index.contains(me),
+            refined,
+            seen: vec![0u64; k.div_ceil(64)],
+            ts: vec![0; k],
+            dist: vec![0; k],
+            sigma: vec![zero; k],
+            psi: vec![zero; k],
+            rho: if opts.compute_stress {
+                vec![zero; k]
+            } else {
+                Vec::new()
+            },
+            psi_in: if refined { vec![zero; k] } else { Vec::new() },
+            pred_start: vec![0; k],
+            pred_len: vec![0; k],
+            pred_arena: Vec::new(),
+            src_index,
             opts,
-            is_source_self: mask[me as usize],
-            source_count,
-            source_rank,
             tree_dist: None,
             parent_port: None,
             children_ports: Vec::new(),
@@ -206,7 +250,6 @@ impl DistBcNode {
             subtree_max_depth: 0,
             tree_depth: None,
             start_reduce_round: None,
-            sources: vec![None; n],
             visited: false,
             wave_round: None,
             token_forward_round: None,
@@ -220,20 +263,33 @@ impl DistBcNode {
             acc_max_d: 0,
             agg_info: None,
             agg_announced: false,
-            agg_schedule: HashMap::new(),
+            agg_schedule: Vec::new(),
+            agg_cursor: 0,
             out_waves: Vec::new(),
             out_token: None,
             delta_sum: 0.0,
+            delta_in_sum: 0.0,
             stress_sum: 0.0,
             done: false,
         }
+    }
+
+    /// Whether the wave of dense source `i` has reached this node.
+    #[inline]
+    fn seen(&self, i: u32) -> bool {
+        self.seen[i as usize / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn mark_seen(&mut self, i: u32) {
+        self.seen[i as usize / 64] |= 1 << (i % 64);
     }
 
     /// Extrapolation factor: `N / |S|` when sampling, 1 otherwise
     /// (explicit masks are restricted sums, not estimates).
     fn scale(&self) -> f64 {
         match self.opts.sources {
-            SourceSelection::Sample { .. } => self.sources.len() as f64 / self.source_count as f64,
+            SourceSelection::Sample { .. } => self.n as f64 / self.src_index.len() as f64,
             _ => 1.0,
         }
     }
@@ -258,23 +314,83 @@ impl DistBcNode {
             .then(|| self.stress_sum * self.scale() / 2.0)
     }
 
-    /// `d(s, self)` for every source `s` (`None` for non-sources or, on
+    /// Raw directed dependency sum `Σ_{s∈S} δ̂_s(v)` (unscaled).
+    pub fn delta_all(&self) -> f64 {
+        self.delta_sum
+    }
+
+    /// Raw in-sample-target dependency sum `Σ_{s∈S} δ̂^S_s(v)` — zero
+    /// unless the run used the Ji–Yan estimator.
+    pub fn delta_in(&self) -> f64 {
+        self.delta_in_sum
+    }
+
+    /// Dense index of global source id `s`, if `s` is a source whose wave
+    /// reached this node.
+    #[inline]
+    fn seen_index(&self, s: u32) -> Option<u32> {
+        self.src_index.index_of(s).filter(|&i| self.seen(i))
+    }
+
+    /// `d(s, self)` for every node `s` (`None` for non-sources or, on
     /// disconnected graphs, unreachable ones).
     pub fn distances(&self) -> Vec<Option<u32>> {
-        self.sources
-            .iter()
-            .map(|r| r.as_ref().map(|r| r.dist))
+        (0..self.n as u32)
+            .map(|s| self.seen_index(s).map(|i| self.dist[i as usize]))
             .collect()
+    }
+
+    /// `(Σ_s d(s,v), max_s d(s,v))` over seen sources — the O(|S|)
+    /// harvest used for result assembly (no O(N) materialization).
+    pub fn distance_stats(&self) -> (u64, u32) {
+        let mut total = 0u64;
+        let mut ecc = 0u32;
+        for i in 0..self.src_index.len() as u32 {
+            if self.seen(i) {
+                let d = self.dist[i as usize];
+                total += d as u64;
+                ecc = ecc.max(d);
+            }
+        }
+        (total, ecc)
+    }
+
+    /// Heap + inline bytes of this node's protocol state: the measured
+    /// footprint behind the `state_bytes` telemetry. Arrays only grow over
+    /// a run, so the end-of-run value is the peak. The source remap is one
+    /// `Arc` shared by every node in the process, so each node carries its
+    /// `1/N` share of it rather than the full `O(N)` table.
+    pub fn state_bytes(&self) -> u64 {
+        use std::mem::{size_of, size_of_val};
+        fn heap<T>(v: &[T]) -> u64 {
+            size_of_val(v) as u64
+        }
+        let shared_index =
+            heap(self.src_index.ids()) + self.src_index.n() as u64 * size_of::<u32>() as u64;
+        size_of::<Self>() as u64
+            + heap(&self.seen)
+            + heap(&self.ts)
+            + heap(&self.dist)
+            + heap(&self.sigma)
+            + heap(&self.psi)
+            + heap(&self.rho)
+            + heap(&self.psi_in)
+            + heap(&self.pred_start)
+            + heap(&self.pred_len)
+            + heap(&self.pred_arena)
+            + heap(&self.agg_schedule)
+            + heap(&self.children_ports)
+            + shared_index.div_ceil(self.n as u64)
     }
 
     /// `σ̂_{s,self}` as learned during counting.
     pub fn sigma_to(&self, s: u32) -> Option<CeilFloat> {
-        self.sources[s as usize].as_ref().map(|r| r.sigma)
+        self.seen_index(s).map(|i| self.sigma[i as usize])
     }
 
     /// Absolute wave start round `T_s` observed for source `s`.
     pub fn ts_of(&self, s: u32) -> Option<u64> {
-        self.sources[s as usize].as_ref().map(|r| r.ts)
+        self.seen_index(s).map(|i| self.ts[i as usize])
     }
 
     /// The globally agreed aggregation parameters, once broadcast.
@@ -295,7 +411,7 @@ impl DistBcNode {
 
     /// Number of BFS sources in this run.
     pub fn source_count(&self) -> usize {
-        self.source_count
+        self.src_index.len()
     }
 
     /// The round the DFS token returned to the root (root only): the
@@ -363,10 +479,12 @@ impl DistBcNode {
         }
         self.reduce_armed = true;
         ctx.trace(ProtocolDetail::PhaseEnter { phase: 'C' });
-        for rec in self.sources.iter().flatten() {
-            self.acc_min_ts = self.acc_min_ts.min(rec.ts);
-            self.acc_max_ts = self.acc_max_ts.max(rec.ts);
-            self.acc_max_d = self.acc_max_d.max(rec.dist);
+        for i in 0..self.src_index.len() as u32 {
+            if self.seen(i) {
+                self.acc_min_ts = self.acc_min_ts.min(self.ts[i as usize]);
+                self.acc_max_ts = self.acc_max_ts.max(self.ts[i as usize]);
+                self.acc_max_d = self.acc_max_d.max(self.dist[i as usize]);
+            }
         }
     }
 
@@ -375,14 +493,16 @@ impl DistBcNode {
     fn start_own_wave(&mut self, ctx: &mut RoundCtx<'_>, r: u64) {
         ctx.trace(ProtocolDetail::WaveStart { ts: r });
         let one = CeilFloat::one(self.codec.fp);
-        self.sources[ctx.id() as usize] = Some(SourceRec {
-            ts: r,
-            dist: 0,
-            sigma: one,
-            pred_ports: Vec::new(),
-            psi: CeilFloat::zero(self.codec.fp),
-            rho: CeilFloat::zero(self.codec.fp),
-        });
+        let i = self
+            .src_index
+            .index_of(ctx.id())
+            .expect("own wave from a non-source") as usize;
+        self.ts[i] = r;
+        self.dist[i] = 0;
+        self.sigma[i] = one;
+        self.pred_start[i] = self.pred_arena.len() as u32;
+        self.pred_len[i] = 0;
+        self.mark_seen(i as u32);
         for port in 0..ctx.degree() {
             self.out_waves.push((port, ctx.id(), 0, one));
         }
@@ -452,20 +572,22 @@ impl DistBcNode {
             "mixed-distance wave batch"
         );
         let mut sigma = CeilFloat::zero(self.codec.fp);
-        let mut pred_ports = Vec::with_capacity(batch.len());
+        let i = self
+            .src_index
+            .index_of(source)
+            .expect("dispatch checked membership") as usize;
+        // Bump-append the predecessor ports: this is the only round this
+        // source's list is written, so the CSR slice stays contiguous.
+        self.pred_start[i] = self.pred_arena.len() as u32;
+        self.pred_len[i] = batch.len() as u32;
         for &(port, _, s) in batch {
             sigma += s;
-            pred_ports.push(port);
+            self.pred_arena.push(port as u32);
         }
-        self.sources[source as usize] = Some(SourceRec {
-            ts: r - dist as u64,
-            dist,
-            sigma,
-            pred_ports,
-            psi: CeilFloat::zero(self.codec.fp),
-            rho: CeilFloat::zero(self.codec.fp),
-        });
-        let _ = ctx;
+        self.ts[i] = r - dist as u64;
+        self.dist[i] = dist;
+        self.sigma[i] = sigma;
+        self.mark_seen(i as u32);
         for port in 0..ctx.degree() {
             self.out_waves.push((port, source, dist, sigma));
         }
@@ -494,9 +616,7 @@ impl DistBcNode {
             // mode, far enough ahead for the AggStart flood (depth + slack)
             // to reach everyone first.
             let base = match self.opts.scheduling {
-                Scheduling::Adaptive => {
-                    r + self.tree_depth.unwrap_or(self.sources.len() as u32) as u64 + 2
-                }
+                Scheduling::Adaptive => r + self.tree_depth.unwrap_or(self.n as u32) as u64 + 2,
                 _ => self.sched.agg_start,
             };
             self.agg_info = Some(AggInfo {
@@ -512,15 +632,19 @@ impl DistBcNode {
     /// node's aggregation send rounds (Algorithm 3 line 3).
     fn build_agg_schedule(&mut self, my_id: u32) {
         let info = self.agg_info.expect("agg info set");
-        for (s, rec) in self.sources.iter().enumerate() {
-            if s as u32 == my_id {
+        self.agg_schedule.reserve(self.src_index.len());
+        for i in 0..self.src_index.len() as u32 {
+            let s = self.src_index.id_of(i);
+            if s == my_id || !self.seen(i) {
                 continue;
             }
-            if let Some(rec) = rec {
-                let round = info.send_round(rec.ts, rec.dist);
-                self.agg_schedule.entry(round).or_default().push(s as u32);
-            }
+            let round = info.send_round(self.ts[i as usize], self.dist[i as usize]);
+            self.agg_schedule.push((round, s));
         }
+        // Keys are unique (one entry per source), so this yields exactly
+        // the old HashMap iteration: ascending rounds, ascending ids
+        // within a round — the bit-identity-critical send order.
+        self.agg_schedule.sort_unstable();
     }
 
     /// Phase D: finalize source `s` (its ψ/ρ are complete), add its
@@ -530,24 +654,40 @@ impl DistBcNode {
         let zero = CeilFloat::zero(self.codec.fp);
         let one = CeilFloat::one(self.codec.fp);
         let is_target = self.is_target(ctx.id());
-        let rec = self.sources[s as usize]
-            .as_ref()
-            .expect("scheduled source exists");
+        let i = self.src_index.index_of(s).expect("scheduled source exists") as usize;
+        debug_assert!(self.seen(i as u32), "scheduled source was seen");
+        let (sigma, psi) = (self.sigma[i], self.psi[i]);
         // δ̂_s·(u) = ψ̂_s(u)·σ̂_su — ψ is complete at this round (all
         // descendants sent one round earlier).
-        self.delta_sum += (rec.psi * rec.sigma).to_f64();
+        self.delta_sum += (psi * sigma).to_f64();
         // The own-term of Eq. 14 (1/σ) is contributed only by targets:
         // restricting it projects out virtual nodes in the weighted
         // extension.
-        let own_psi = if is_target { rec.sigma.recip() } else { zero };
-        let psi_msg = own_psi + rec.psi;
+        let own_psi = if is_target { sigma.recip() } else { zero };
+        let psi_msg = own_psi + psi;
         let msg = if self.opts.compute_stress {
-            self.stress_sum += (rec.rho * rec.sigma).to_f64();
+            let rho = self.rho[i];
+            self.stress_sum += (rho * sigma).to_f64();
             let own_rho = if is_target { one } else { zero };
             ProtocolMsg::AggWithStress {
                 source: s,
                 psi: psi_msg,
-                rho: own_rho + rec.rho,
+                rho: own_rho + rho,
+            }
+        } else if self.refined {
+            // Ji–Yan: the ψ_in own-term is emitted only when this node is
+            // itself in the sample (targets restricted to S).
+            let psi_in = self.psi_in[i];
+            self.delta_in_sum += (psi_in * sigma).to_f64();
+            let own_in = if is_target && self.is_source_self {
+                sigma.recip()
+            } else {
+                zero
+            };
+            ProtocolMsg::AggRefined {
+                source: s,
+                psi: psi_msg,
+                psi_in: own_in + psi_in,
             }
         } else {
             ProtocolMsg::Agg {
@@ -555,13 +695,10 @@ impl DistBcNode {
                 value: psi_msg,
             }
         };
-        for port in self.sources[s as usize]
-            .as_ref()
-            .expect("source exists")
-            .pred_ports
-            .clone()
-        {
-            self.send_pm(ctx, port, &msg);
+        let start = self.pred_start[i] as usize;
+        let len = self.pred_len[i] as usize;
+        for k in start..start + len {
+            self.send_pm(ctx, self.pred_arena[k] as usize, &msg);
         }
     }
 
@@ -621,7 +758,14 @@ impl Protocol for DistBcNode {
                     if matches!(decoded, ProtocolMsg::WaveWithToken { .. }) {
                         token_arrived = true;
                     }
-                    if self.sources[source as usize].is_none() {
+                    // Waves for unindexed ids (possible only via best-effort
+                    // corruption) are dropped: there is no slot to store
+                    // them, and they can't be legitimate first contacts.
+                    if self
+                        .src_index
+                        .index_of(source)
+                        .is_some_and(|i| !self.seen(i))
+                    {
                         match new_waves.iter_mut().find(|(s, _)| *s == source) {
                             Some((_, batch)) => batch.push((*port, sender_dist, sigma)),
                             None => new_waves.push((source, vec![(*port, sender_dist, sigma)])),
@@ -657,14 +801,28 @@ impl Protocol for DistBcNode {
                     self.subtree_max_depth = self.subtree_max_depth.max(max_depth);
                 }
                 ProtocolMsg::Agg { source, value } => {
-                    if let Some(rec) = self.sources[source as usize].as_mut() {
-                        rec.psi += value;
+                    if let Some(i) = self.seen_index(source) {
+                        self.psi[i as usize] += value;
                     }
                 }
                 ProtocolMsg::AggWithStress { source, psi, rho } => {
-                    if let Some(rec) = self.sources[source as usize].as_mut() {
-                        rec.psi += psi;
-                        rec.rho += rho;
+                    if let Some(i) = self.seen_index(source) {
+                        self.psi[i as usize] += psi;
+                        if self.opts.compute_stress {
+                            self.rho[i as usize] += rho;
+                        }
+                    }
+                }
+                ProtocolMsg::AggRefined {
+                    source,
+                    psi,
+                    psi_in,
+                } => {
+                    if let Some(i) = self.seen_index(source) {
+                        self.psi[i as usize] += psi;
+                        if self.refined {
+                            self.psi_in[i as usize] += psi_in;
+                        }
                     }
                 }
             }
@@ -718,8 +876,10 @@ impl Protocol for DistBcNode {
             }
             Scheduling::Sequential => {
                 if r >= self.sched.counting_start && self.wave_round.is_none() {
-                    if let Some(rank) = self.source_rank {
-                        self.wave_round = Some(self.sched.sequential_ts(rank));
+                    // Sources wave in ascending-id order; the dense index
+                    // is exactly this node's rank among sources.
+                    if let Some(rank) = self.src_index.index_of(my_id) {
+                        self.wave_round = Some(self.sched.sequential_ts(rank as u64));
                     }
                 }
             }
@@ -806,10 +966,13 @@ impl Protocol for DistBcNode {
         }
 
         // ---- 5. Phase D: aggregation. -----------------------------------
-        if let Some(sources) = self.agg_schedule.remove(&r) {
-            for s in sources {
-                self.aggregate_and_send(ctx, s);
+        while let Some(&(round, s)) = self.agg_schedule.get(self.agg_cursor) {
+            if round != r {
+                debug_assert!(round > r, "missed aggregation slot");
+                break;
             }
+            self.agg_cursor += 1;
+            self.aggregate_and_send(ctx, s);
         }
         if let Some(info) = self.agg_info {
             if r >= info.end_round() {
@@ -849,7 +1012,7 @@ impl Protocol for DistBcNode {
             Scheduling::Sequential => {
                 if r >= self.sched.counting_start
                     && self.wave_round.is_none()
-                    && self.source_rank.is_some()
+                    && self.is_source_self
                 {
                     return false;
                 }
@@ -886,7 +1049,11 @@ impl Protocol for DistBcNode {
             return false;
         }
         // Phase D: scheduled aggregation slots and the halting round.
-        if self.agg_schedule.contains_key(&r) {
+        if self
+            .agg_schedule
+            .get(self.agg_cursor)
+            .is_some_and(|&(round, _)| round == r)
+        {
             return false;
         }
         if !self.done && self.agg_info.is_some_and(|info| r >= info.end_round()) {

@@ -12,7 +12,7 @@
 //! engine produced them.
 
 use crate::node::{AggInfo, DistBcNode};
-use crate::sampling::SourceSelection;
+use crate::sampling::{Estimator, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use bc_congest::{NetMetrics, PhaseStat};
 use bc_numeric::FpParams;
@@ -57,6 +57,11 @@ pub struct DistBcResult {
     /// [`Scheduling::Adaptive`], whose boundaries are data-dependent and
     /// not provisioned up front.
     pub phase_stats: Vec<PhaseStat>,
+    /// Total protocol-state bytes across all nodes at the end of the run
+    /// (per-source arrays only grow, so this is also the peak).
+    pub state_bytes_total: u64,
+    /// Largest single-node protocol-state footprint in bytes.
+    pub state_bytes_peak: u64,
 }
 
 /// The per-node observables the result assembly needs, decoupled from the
@@ -67,12 +72,18 @@ pub struct DistBcResult {
 pub(crate) struct NodeSummary {
     /// The node's accumulated betweenness value.
     pub betweenness: f64,
+    /// Raw directed dependency sum `Σ_{s∈S} δ̂_s(v)` (unscaled).
+    pub delta_all: f64,
+    /// Raw in-sample-target dependency sum (0.0 unless Ji–Yan ran).
+    pub delta_in: f64,
     /// Integer sum of all (known) distances from sources to this node.
     pub dist_total: u64,
     /// Max distance seen (eccentricity over the source set).
     pub ecc: u32,
     /// Stress centrality (0.0 when not computed).
     pub stress: f64,
+    /// Protocol-state footprint of the node, in bytes.
+    pub state_bytes: u64,
 }
 
 /// The root-only observables (node 0 drives the schedule and holds the
@@ -91,17 +102,15 @@ pub(crate) struct RootSummary {
 /// pure integer arithmetic, so summarizing on a remote shard and shipping
 /// the summary is bit-exact with summarizing locally.
 pub(crate) fn summarize_node(nd: &DistBcNode) -> NodeSummary {
-    let mut dist_total = 0u64;
-    let mut ecc = 0u32;
-    for d in nd.distances().into_iter().flatten() {
-        dist_total += d as u64;
-        ecc = ecc.max(d);
-    }
+    let (dist_total, ecc) = nd.distance_stats();
     NodeSummary {
         betweenness: nd.betweenness(),
+        delta_all: nd.delta_all(),
+        delta_in: nd.delta_in(),
         dist_total,
         ecc,
         stress: nd.stress().unwrap_or(0.0),
+        state_bytes: nd.state_bytes(),
     }
 }
 
@@ -153,6 +162,7 @@ pub(crate) fn profile_phases(
 pub(crate) fn assemble_result(
     n: usize,
     sources: &SourceSelection,
+    estimator: Estimator,
     compute_stress: bool,
     scheduling: Scheduling,
     sched: PhaseSchedule,
@@ -162,8 +172,25 @@ pub(crate) fn assemble_result(
     summaries: &[NodeSummary],
     root: &RootSummary,
 ) -> DistBcResult {
-    let betweenness = summaries.iter().map(|s| s.betweenness).collect();
     let sample_size = root.source_count;
+    let refined =
+        estimator == Estimator::JiYan && matches!(sources, SourceSelection::Sample { .. });
+    let betweenness: Vec<f64> = if refined {
+        // Ji–Yan (arXiv:1608.04472): pairs with both endpoints in `S` are
+        // counted exactly (`δ_in/2` — each unordered in-sample pair was
+        // seen from both directions), mixed pairs exactly once
+        // (`δ_all − δ_in`), and only the unobserved out-out pairs are
+        // extrapolated from the mixed sum by `(N−k−1)/(2k)`. At `k = N`
+        // the mixed sum is exactly 0.0 and the estimate is exact.
+        let k = sample_size as f64;
+        let out_factor = 1.0 + (n as f64 - k - 1.0) / (2.0 * k);
+        summaries
+            .iter()
+            .map(|s| s.delta_in / 2.0 + (s.delta_all - s.delta_in) * out_factor)
+            .collect()
+    } else {
+        summaries.iter().map(|s| s.betweenness).collect()
+    };
     // With sampling, extrapolate the distance sum by N/k (the eccentricity
     // view stays a max over the sample); explicit masks are restricted
     // sums, not estimates.
@@ -197,6 +224,8 @@ pub(crate) fn assemble_result(
             metrics.phase_window("D:aggregation", sched.agg_start, rounds),
         ]
     };
+    let state_bytes_total = summaries.iter().map(|s| s.state_bytes).sum();
+    let state_bytes_peak = summaries.iter().map(|s| s.state_bytes).max().unwrap_or(0);
     DistBcResult {
         betweenness,
         closeness,
@@ -211,5 +240,7 @@ pub(crate) fn assemble_result(
         counting_rounds_used,
         fp,
         phase_stats,
+        state_bytes_total,
+        state_bytes_peak,
     }
 }

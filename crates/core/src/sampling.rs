@@ -28,6 +28,108 @@ pub enum SourceSelection {
     Explicit(std::sync::Arc<[bool]>),
 }
 
+/// How sampled per-source dependencies are folded into a betweenness
+/// estimate. Irrelevant (and rejected by the driver) unless the run uses
+/// `SourceSelection::Sample`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// Brandes–Pich: `BC(v) ≈ (N/k) · Σ_{s ∈ S} δ_s(v) / 2`.
+    #[default]
+    Scaled,
+    /// Ji–Yan refinement (arXiv:1608.04472): split the dependency sum into
+    /// in-sample-target and out-of-sample-target parts. Pairs `(s, t)` with
+    /// both endpoints in `S` are counted *exactly*; only the remainder is
+    /// extrapolated, which shrinks variance at equal `k`:
+    ///
+    /// `BC(v) ≈ δ_in/2 + (δ_all − δ_in) · (1 + (N − k − 1) / (2k))`
+    ///
+    /// where `δ_all = Σ_{s∈S} δ_s(v)` (all targets) and
+    /// `δ_in = Σ_{s∈S} δ_s^S(v)` (targets restricted to `S`). At `k = N`
+    /// the two sums coincide bitwise and the estimate is exact.
+    JiYan,
+}
+
+/// A run-wide dense remap of sampled source ids: global node id ↔ compact
+/// index `0..|S|`. Every per-source array in `DistBcNode` is keyed by the
+/// dense index, so sampled runs allocate O(|S|) per node instead of O(N).
+///
+/// Built deterministically from the [`SourceSelection`] (itself
+/// coordination-free), so shards rebuild an identical index from the SETUP
+/// frame without shipping the map itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceIndex {
+    /// `idx_of[v]` = dense index of global id `v`, or `u32::MAX` if `v` is
+    /// not a source.
+    idx_of: Vec<u32>,
+    /// Dense index → global id, ascending (so iterating `0..len()` visits
+    /// sources in ascending global-id order).
+    ids: Vec<u32>,
+}
+
+impl SourceIndex {
+    const NONE: u32 = u32::MAX;
+
+    /// Build the index for an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or (for `Explicit`) the mask is malformed — same
+    /// contract as [`source_mask`].
+    pub fn build(selection: &SourceSelection, n: usize) -> Self {
+        let mask = source_mask(selection, n);
+        let mut idx_of = vec![Self::NONE; n];
+        let mut ids = Vec::new();
+        for (v, &is_src) in mask.iter().enumerate() {
+            if is_src {
+                idx_of[v] = ids.len() as u32;
+                ids.push(v as u32);
+            }
+        }
+        SourceIndex { idx_of, ids }
+    }
+
+    /// Number of sources `|S|`.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True iff no sources (never happens for a well-formed selection).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Network size `N` the index was built for.
+    pub fn n(&self) -> usize {
+        self.idx_of.len()
+    }
+
+    /// Dense index of global id `v`, or `None` if `v` is not a source.
+    #[inline]
+    pub fn index_of(&self, v: u32) -> Option<u32> {
+        match self.idx_of[v as usize] {
+            Self::NONE => None,
+            i => Some(i),
+        }
+    }
+
+    /// Global id of dense index `i`.
+    #[inline]
+    pub fn id_of(&self, i: u32) -> u32 {
+        self.ids[i as usize]
+    }
+
+    /// True iff global id `v` is a source.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.idx_of[v as usize] != Self::NONE
+    }
+
+    /// Global ids of all sources, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
 /// SplitMix64 — a tiny, high-quality keyed hash every node can evaluate.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -153,5 +255,38 @@ mod tests {
     #[should_panic(expected = "empty network")]
     fn empty_network_panics() {
         let _ = source_mask(&SourceSelection::All, 0);
+    }
+
+    #[test]
+    fn source_index_matches_mask() {
+        let sel = SourceSelection::Sample { k: 5, seed: 9 };
+        let n = 32;
+        let mask = source_mask(&sel, n);
+        let idx = SourceIndex::build(&sel, n);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.n(), n);
+        let mut dense = 0u32;
+        for v in 0..n as u32 {
+            assert_eq!(idx.contains(v), mask[v as usize]);
+            if mask[v as usize] {
+                assert_eq!(idx.index_of(v), Some(dense));
+                assert_eq!(idx.id_of(dense), v);
+                dense += 1;
+            } else {
+                assert_eq!(idx.index_of(v), None);
+            }
+        }
+        // ids are ascending by construction.
+        assert!(idx.ids().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn source_index_all_is_identity() {
+        let idx = SourceIndex::build(&SourceSelection::All, 7);
+        assert_eq!(idx.len(), 7);
+        for v in 0..7u32 {
+            assert_eq!(idx.index_of(v), Some(v));
+            assert_eq!(idx.id_of(v), v);
+        }
     }
 }

@@ -23,7 +23,7 @@ use crate::result::{
     assemble_result, profile_phases, summarize_node, summarize_root, DistBcResult, NodeSummary,
     RootSummary,
 };
-use crate::sampling::SourceSelection;
+use crate::sampling::{Estimator, SourceIndex, SourceSelection};
 use crate::schedule::{PhaseSchedule, Scheduling};
 use crate::transport::{Reliable, ReliableConfig, TransportStats, HEADER_BITS};
 use bc_congest::telemetry::{Counter, HistogramId, COUNTERS};
@@ -103,6 +103,7 @@ struct Setup {
     skip_idle: bool,
     telemetry: bool,
     profiling: bool,
+    estimator: Estimator,
 }
 
 fn put_mask(buf: &mut Vec<u8>, mask: &[bool]) {
@@ -202,6 +203,7 @@ impl Setup {
         put_u8(&mut buf, self.skip_idle as u8);
         put_u8(&mut buf, self.telemetry as u8);
         put_u8(&mut buf, self.profiling as u8);
+        put_u8(&mut buf, self.estimator as u8);
         buf
     }
 
@@ -269,6 +271,11 @@ impl Setup {
         let skip_idle = r.u8()? != 0;
         let telemetry = r.u8()? != 0;
         let profiling = r.u8()? != 0;
+        let estimator = match r.u8()? {
+            0 => Estimator::Scaled,
+            1 => Estimator::JiYan,
+            t => return Err(WireError::Protocol(format!("unknown estimator tag {t}"))),
+        };
         r.finish()?;
         Ok(Setup {
             n,
@@ -285,6 +292,7 @@ impl Setup {
             skip_idle,
             telemetry,
             profiling,
+            estimator,
         })
     }
 }
@@ -478,9 +486,12 @@ impl ShardDone {
         put_u32(&mut buf, self.summaries.len() as u32);
         for s in &self.summaries {
             put_f64(&mut buf, s.betweenness);
+            put_f64(&mut buf, s.delta_all);
+            put_f64(&mut buf, s.delta_in);
             put_u64(&mut buf, s.dist_total);
             put_u32(&mut buf, s.ecc);
             put_f64(&mut buf, s.stress);
+            put_u64(&mut buf, s.state_bytes);
         }
         match &self.root {
             None => put_u8(&mut buf, 0),
@@ -546,9 +557,12 @@ impl ShardDone {
         for _ in 0..count {
             summaries.push(NodeSummary {
                 betweenness: r.f64()?,
+                delta_all: r.f64()?,
+                delta_in: r.f64()?,
                 dist_total: r.u64()?,
                 ecc: r.u32()?,
                 stress: r.f64()?,
+                state_bytes: r.u64()?,
             });
         }
         let root = match r.u8()? {
@@ -787,6 +801,10 @@ fn shard_run(
         compute_stress: setup.compute_stress,
         sources: setup.sources.clone(),
         targets: setup.targets.clone(),
+        estimator: setup.estimator,
+        // Built once per shard from the selection; every process derives
+        // the identical dense remap from the same SETUP bytes.
+        source_index: Some(Arc::new(SourceIndex::build(&setup.sources, graph.n()))),
     };
     let rcfg = ReliableConfig { rto: WIRE_RTO };
     let telemetry = setup.telemetry.then(|| Arc::new(Telemetry::new(1, 1)));
@@ -938,6 +956,23 @@ pub fn run_leader(
         ));
     }
 
+    if config.estimator == Estimator::JiYan {
+        if !matches!(config.sources, SourceSelection::Sample { .. }) {
+            return Err(DistBcError::BadConfig(
+                "the Ji–Yan estimator requires sampled sources".into(),
+            )
+            .into());
+        }
+        if config.compute_stress {
+            return Err(DistBcError::BadConfig(
+                "the Ji–Yan estimator cannot be combined with stress \
+                 centrality (both extend the aggregation message)"
+                    .into(),
+            )
+            .into());
+        }
+    }
+
     let fp = config.fp.unwrap_or_else(|| FpParams::for_graph_size(n));
     let setup = Setup {
         n,
@@ -954,6 +989,7 @@ pub fn run_leader(
         skip_idle: config.skip_idle,
         telemetry: config.telemetry.is_some(),
         profiling: profile,
+        estimator: config.estimator,
     };
     let (sched, engine_cfg) = derive_engine(&setup);
     let map = setup
@@ -1150,6 +1186,14 @@ pub fn run_leader(
         .ok_or_else(|| proto("incomplete node coverage across shards"))?;
     let root = root.ok_or_else(|| proto("no shard reported the root summary"))?;
 
+    // Leader-recorded run-level state footprint, mirroring the in-process
+    // driver: shards already measured each node, the leader just folds.
+    let state_bytes_total: u64 = summaries.iter().map(|s| s.state_bytes).sum();
+    let state_bytes_peak: u64 = summaries.iter().map(|s| s.state_bytes).max().unwrap_or(0);
+    if let Some(t) = &config.telemetry {
+        t.add(0, Counter::StateBytes, state_bytes_total);
+    }
+
     let profile_report = profile.then(|| {
         let mut profiler = Profiler::new();
         for r in 0..committed as usize {
@@ -1195,12 +1239,15 @@ pub fn run_leader(
             + metrics.faults_duplicated
             + metrics.faults_corrupted
             + metrics.faults_delayed;
+        rep.state_bytes_total = state_bytes_total;
+        rep.state_bytes_peak = state_bytes_peak;
         rep
     });
 
     let result = assemble_result(
         n,
         &config.sources,
+        config.estimator,
         config.compute_stress,
         config.scheduling,
         sched,
@@ -1234,6 +1281,7 @@ mod tests {
             skip_idle: false,
             telemetry: true,
             profiling: true,
+            estimator: Estimator::JiYan,
         };
         let enc = setup.encode();
         assert_eq!(Setup::decode(&enc).unwrap(), setup);
@@ -1278,15 +1326,21 @@ mod tests {
             summaries: vec![
                 NodeSummary {
                     betweenness: 3.5,
+                    delta_all: 7.0,
+                    delta_in: 1.5,
                     dist_total: 12,
                     ecc: 3,
                     stress: 0.0,
+                    state_bytes: 4096,
                 },
                 NodeSummary {
                     betweenness: 0.25,
+                    delta_all: 0.5,
+                    delta_in: 0.0,
                     dist_total: 9,
                     ecc: 2,
                     stress: 7.0,
+                    state_bytes: 2048,
                 },
             ],
             root: Some(RootSummary {

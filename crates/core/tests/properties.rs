@@ -3,8 +3,11 @@
 //! (serial == parallel), stress extension, sampling invariants, and the
 //! codec round-trip under random parameters.
 
-use bc_brandes::{betweenness_f64, stress_centrality};
-use bc_core::{run_distributed_bc, Codec, DistBcConfig, ProtocolMsg, Scheduling, SourceSelection};
+use bc_brandes::{betweenness_f64, dependencies_from, stress_centrality};
+use bc_core::{
+    run_distributed_bc, source_mask, Codec, DistBcConfig, Estimator, ProtocolMsg, Scheduling,
+    SourceSelection,
+};
 use bc_graph::{Graph, GraphBuilder, NodeId};
 use bc_numeric::{CeilFloat, FpParams, Rounding};
 use proptest::prelude::*;
@@ -128,6 +131,97 @@ proptest! {
         for &b in &out.betweenness {
             prop_assert!(b.is_finite() && b >= 0.0);
         }
+    }
+
+    #[test]
+    fn sampled_run_is_bit_identical_to_its_explicit_mask(
+        g in arb_connected_graph(26),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Sample{k, seed} is pure notation: the run must be
+        // indistinguishable from naming the drawn set explicitly, up to
+        // the n/|S| extrapolation only Sample applies. Scaling by a
+        // power-of-two-exact half and one shared factor commutes with
+        // rounding, so even the floats agree bit for bit.
+        let sources = SourceSelection::Sample { k, seed };
+        let mask = source_mask(&sources, g.n());
+        let sampled = run_distributed_bc(
+            &g,
+            DistBcConfig { sources, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        let explicit = run_distributed_bc(
+            &g,
+            DistBcConfig {
+                sources: SourceSelection::Explicit(mask.into()),
+                ..DistBcConfig::default()
+            },
+        )
+        .expect("runs");
+        let scale = g.n() as f64 / explicit.sample_size as f64;
+        for (v, (s, e)) in sampled.betweenness.iter().zip(&explicit.betweenness).enumerate() {
+            prop_assert_eq!(s.to_bits(), (e * scale).to_bits(), "node {}: {} vs {}", v, s, e * scale);
+        }
+        prop_assert_eq!(sampled.rounds, explicit.rounds);
+        prop_assert_eq!(sampled.diameter, explicit.diameter);
+        prop_assert_eq!(sampled.sample_size, explicit.sample_size);
+        prop_assert_eq!(sampled.metrics, explicit.metrics);
+    }
+
+    #[test]
+    fn sampled_run_matches_centralized_fold(
+        g in arb_connected_graph(26),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // The distributed sampled estimate is the Brandes–Pich fold over
+        // the drawn set: (n/|S|) · Σ_{s ∈ S} δ_s·(v) / 2, up to the
+        // CeilFloat rounding of the wire arithmetic.
+        let sources = SourceSelection::Sample { k, seed };
+        let mask = source_mask(&sources, g.n());
+        let out = run_distributed_bc(
+            &g,
+            DistBcConfig { sources, ..DistBcConfig::default() },
+        )
+        .expect("runs");
+        let drawn: Vec<usize> = mask.iter().enumerate().filter(|(_, &b)| b).map(|(v, _)| v).collect();
+        prop_assert_eq!(drawn.len(), out.sample_size);
+        let scale = g.n() as f64 / drawn.len() as f64;
+        let mut expect = vec![0.0f64; g.n()];
+        for &s in &drawn {
+            for (v, d) in dependencies_from(&g, s as u32).into_iter().enumerate() {
+                if v != s {
+                    expect[v] += d;
+                }
+            }
+        }
+        for (v, (a, e)) in out.betweenness.iter().zip(&expect).enumerate() {
+            let e = e * scale / 2.0;
+            prop_assert!(
+                (a - e).abs() <= 1e-2 * (1.0 + e),
+                "node {}: {} vs {}", v, a, e
+            );
+        }
+    }
+
+    #[test]
+    fn jiyan_with_full_sample_is_exact(g in arb_connected_graph(24), seed in any::<u64>()) {
+        // At k = n the drawn set is every node, the in-sample and total
+        // dependencies coincide, and the refined estimator collapses to
+        // δ/2 — bit-identical to the exact run.
+        let exact = run_distributed_bc(&g, DistBcConfig::default()).expect("runs");
+        let refined = run_distributed_bc(
+            &g,
+            DistBcConfig {
+                sources: SourceSelection::Sample { k: g.n(), seed },
+                estimator: Estimator::JiYan,
+                ..DistBcConfig::default()
+            },
+        )
+        .expect("runs");
+        prop_assert_eq!(refined.sample_size, g.n());
+        prop_assert_eq!(&exact.betweenness, &refined.betweenness);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use distbc::congest::{Counter, Enforcement, FaultPlan, PhaseStat, ProfileReport,
 use distbc::core::{
     auto_threads, run_distributed_bc, run_distributed_bc_profiled, run_distributed_bc_traced,
     run_distributed_bc_traced_profiled, run_leader, serve_shard, DistBcConfig, DistBcResult,
-    PartitionStrategy, Scheduling, SourceSelection, AUTO_THREADS_MIN_NODES,
+    Estimator, PartitionStrategy, Scheduling, SourceSelection, AUTO_THREADS_MIN_NODES,
 };
 use distbc::graph::{algo, datasets, generators, io, Graph};
 use distbc::lowerbound::disjoint::{random_instance, universe_size};
@@ -49,6 +49,7 @@ enum Command {
         source: GraphSource,
         algorithm: Algorithm,
         sample_seed: u64,
+        estimator: Estimator,
         stress: bool,
         top: Option<usize>,
         csv: bool,
@@ -78,6 +79,7 @@ enum Command {
         source: GraphSource,
         algorithm: Algorithm,
         sample_seed: u64,
+        estimator: Estimator,
         threads: ThreadSpec,
         connect: Option<Vec<String>>,
         postmortem: Option<String>,
@@ -140,7 +142,8 @@ const USAGE: &str = "usage:
   distbc info        --input FILE | --generate SPEC
   distbc centrality  --input FILE | --generate SPEC
                      [--algorithm distributed|brandes|exact|naive|sampled:K]
-                     [--sample-seed N] [--stress] [--top K] [--csv] [--mantissa-bits L]
+                     [--sample-seed N] [--estimator scaled|jiyan]
+                     [--stress] [--top K] [--csv] [--mantissa-bits L]
                      [--sequential | --adaptive] [--threads N|auto]
                      [--partition contiguous|degree|schedule] [--no-idle-skip]
                      [--trace FILE] [--metrics] [--profile [--json]]
@@ -150,6 +153,7 @@ const USAGE: &str = "usage:
   distbc serve-shard --listen tcp:HOST:PORT|unix:PATH
   distbc serve       --listen tcp:HOST:PORT|unix:PATH (--input FILE | --generate SPEC)
                      [--algorithm distributed|brandes|sampled:K] [--sample-seed N]
+                     [--estimator scaled|jiyan]
                      [--threads N|auto] [--connect ADDR,ADDR,...] [--cache N]
                      [--postmortem FILE] [--no-telemetry]
   distbc query       --connect ADDR [--top K] [--node V] [--percentile P] [--meta]
@@ -160,6 +164,9 @@ const USAGE: &str = "usage:
 
 generator SPECs: path:N  cycle:N  star:N  grid:R:C  er:N:P:SEED  ba:N:M:SEED
                  ws:N:K:BETA:SEED  tree:N:SEED  barbell:K:BRIDGE  karate  florentine  figure1
+sampling:        sampled:K runs the pipeline from K pivot sources (1 <= K <= n) and
+                 scales estimates by n/K; --estimator jiyan applies the refined
+                 finite-sample correction (Ji & Yan 2016) instead of plain scaling
 fault PLANs:     comma-separated, e.g. seed=7,drop=0.1,dup=0.05,corrupt=0.01,
                  delay=0.2:3,crash=4@10..20  (crash=V@A.. = crash-stop).
                  --faults needs --reliable (exact results via retransmission) or
@@ -208,6 +215,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
     let mut sample_seed: Option<u64> = None;
+    let mut estimator: Option<Estimator> = None;
     let mut reliable = false;
     let mut best_effort = false;
     let mut perfetto = None;
@@ -238,9 +246,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "exact" => Algorithm::Exact,
                     "naive" => Algorithm::Naive,
                     other => match other.strip_prefix("sampled:") {
-                        Some(k) => Algorithm::Sampled(
-                            k.parse().map_err(|_| format!("bad sample size {k:?}"))?,
-                        ),
+                        Some(k) => {
+                            let k: usize =
+                                k.parse().map_err(|_| format!("bad sample size {k:?}"))?;
+                            if k == 0 {
+                                return Err("sampled:K needs K >= 1".into());
+                            }
+                            Algorithm::Sampled(k)
+                        }
                         None => return Err(format!("unknown algorithm {other:?}")),
                     },
                 };
@@ -284,6 +297,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         .parse()
                         .map_err(|_| "bad --sample-seed value".to_string())?,
                 )
+            }
+            "--estimator" => {
+                let v = value("--estimator")?;
+                estimator = Some(match v.as_str() {
+                    "scaled" => Estimator::Scaled,
+                    "jiyan" => Estimator::JiYan,
+                    other => return Err(format!("unknown estimator {other:?} (scaled|jiyan)")),
+                });
             }
             "--reliable" => reliable = true,
             "--best-effort" => best_effort = true,
@@ -419,6 +440,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if sample_seed.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
                 return Err("--sample-seed requires --algorithm sampled:K".into());
             }
+            if estimator.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
+                return Err("--estimator requires --algorithm sampled:K".into());
+            }
+            if estimator == Some(Estimator::JiYan) && stress {
+                return Err("--estimator jiyan cannot be combined with --stress \
+                            (both extend the aggregation message)"
+                    .into());
+            }
             if best_effort && faults.is_none() {
                 return Err("--best-effort requires --faults".into());
             }
@@ -489,6 +518,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 source: source.ok_or("centrality needs --input or --generate")?,
                 algorithm,
                 sample_seed: sample_seed.unwrap_or(0),
+                estimator: estimator.unwrap_or_default(),
                 stress,
                 top,
                 csv,
@@ -526,6 +556,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if sample_seed.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
                 return Err("--sample-seed requires --algorithm sampled:K".into());
             }
+            if estimator.is_some() && !matches!(algorithm, Algorithm::Sampled(_)) {
+                return Err("--estimator requires --algorithm sampled:K".into());
+            }
             if cache.is_some() && algorithm != Algorithm::Brandes {
                 return Err("--cache requires --algorithm brandes (the incremental engine)".into());
             }
@@ -554,6 +587,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 source: source.ok_or("serve needs --input or --generate")?,
                 algorithm,
                 sample_seed: sample_seed.unwrap_or(0),
+                estimator: estimator.unwrap_or_default(),
                 threads,
                 connect,
                 postmortem,
@@ -651,6 +685,34 @@ fn generate(spec: &str) -> Result<Graph, String> {
         "figure1" => generators::paper_figure1(),
         other => return Err(format!("unknown generator family {other:?}")),
     })
+}
+
+/// A flag combination that could only be rejected after the graph was
+/// loaded (e.g. `sampled:K` with `K > n`). Reported like a parse error:
+/// usage text and exit code 2, not the runtime failure exit 1.
+#[derive(Debug)]
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for UsageError {}
+
+/// `sampled:K` must draw from the loaded graph: `K` is validated against
+/// `n` here because parse time has no graph yet.
+fn check_sample_size(algorithm: &Algorithm, n: usize) -> Result<(), Box<dyn Error>> {
+    if let Algorithm::Sampled(k) = algorithm {
+        if *k > n {
+            return Err(Box::new(UsageError(format!(
+                "sampled:{k} asks for more sources than the graph has nodes (n = {n}); \
+                 use --algorithm distributed for an exact run"
+            ))));
+        }
+    }
+    Ok(())
 }
 
 fn load(source: &GraphSource) -> Result<Graph, Box<dyn Error>> {
@@ -842,6 +904,7 @@ fn cmd_centrality(
     source: &GraphSource,
     algorithm: &Algorithm,
     sample_seed: u64,
+    estimator: Estimator,
     stress: bool,
     top: Option<usize>,
     csv: bool,
@@ -864,6 +927,7 @@ fn cmd_centrality(
     connect: Option<&[String]>,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
+    check_sample_size(algorithm, g.n())?;
     let threads = match threads {
         ThreadSpec::Fixed(t) => t,
         ThreadSpec::Auto => {
@@ -917,6 +981,7 @@ fn cmd_centrality(
                     },
                     _ => SourceSelection::All,
                 },
+                estimator,
                 threads,
                 partition,
                 skip_idle,
@@ -1155,6 +1220,7 @@ fn cmd_serve(
     source: &GraphSource,
     algorithm: &Algorithm,
     sample_seed: u64,
+    estimator: Estimator,
     threads: ThreadSpec,
     connect: Option<&[String]>,
     postmortem: Option<&str>,
@@ -1162,6 +1228,7 @@ fn cmd_serve(
     cache: Option<usize>,
 ) -> Result<(), Box<dyn Error>> {
     let g = load(source)?;
+    check_sample_size(algorithm, g.n())?;
     let threads = match threads {
         ThreadSpec::Fixed(t) => t,
         ThreadSpec::Auto => auto_threads(g.n()),
@@ -1188,6 +1255,7 @@ fn cmd_serve(
                     },
                     _ => SourceSelection::All,
                 },
+                estimator,
                 threads,
                 telemetry: telemetry.clone(),
                 ..DistBcConfig::default()
@@ -1435,6 +1503,7 @@ fn main() -> ExitCode {
             source,
             algorithm,
             sample_seed,
+            estimator,
             stress,
             top,
             csv,
@@ -1459,6 +1528,7 @@ fn main() -> ExitCode {
             source,
             algorithm,
             *sample_seed,
+            *estimator,
             *stress,
             *top,
             *csv,
@@ -1486,6 +1556,7 @@ fn main() -> ExitCode {
             source,
             algorithm,
             sample_seed,
+            estimator,
             threads,
             connect,
             postmortem,
@@ -1496,6 +1567,7 @@ fn main() -> ExitCode {
             source,
             algorithm,
             *sample_seed,
+            *estimator,
             *threads,
             connect.as_deref(),
             postmortem.as_deref(),
@@ -1523,6 +1595,10 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is::<UsageError>() => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -1575,6 +1651,7 @@ mod tests {
                 source: GraphSource::Generate("er:50:0.1:3".into()),
                 algorithm: Algorithm::Sampled(10),
                 sample_seed: 0,
+                estimator: Estimator::Scaled,
                 stress: true,
                 top: Some(5),
                 csv: true,
@@ -1636,6 +1713,7 @@ mod tests {
                 source: GraphSource::Generate("er:40:0.1:7".into()),
                 algorithm: Algorithm::Brandes,
                 sample_seed: 0,
+                estimator: Estimator::Scaled,
                 threads: ThreadSpec::Fixed(0),
                 connect: None,
                 postmortem: None,
@@ -1884,6 +1962,93 @@ mod tests {
             "nope",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_sample() {
+        let err = p(&[
+            "centrality",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "sampled:0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("K >= 1"), "{err}");
+        assert!(p(&["serve", "--listen", "tcp:a:1", "--generate", "path:8"]).is_ok());
+        let err = p(&[
+            "serve",
+            "--listen",
+            "tcp:a:1",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "sampled:0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("K >= 1"), "{err}");
+    }
+
+    #[test]
+    fn parses_estimator() {
+        let base = ["centrality", "--generate", "path:8", "--algorithm"];
+        let with = |algo: &str, rest: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.push(algo);
+            v.extend_from_slice(rest);
+            p(&v)
+        };
+        match with("sampled:4", &["--estimator", "jiyan"]).unwrap() {
+            Command::Centrality { estimator, .. } => assert_eq!(estimator, Estimator::JiYan),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match with("sampled:4", &["--estimator", "scaled"]).unwrap() {
+            Command::Centrality { estimator, .. } => assert_eq!(estimator, Estimator::Scaled),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Default is plain n/k scaling.
+        match with("sampled:4", &[]).unwrap() {
+            Command::Centrality { estimator, .. } => assert_eq!(estimator, Estimator::Scaled),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // The estimator reshapes sampled estimates only.
+        for algo in ["distributed", "brandes", "exact", "naive"] {
+            let err = with(algo, &["--estimator", "jiyan"]).unwrap_err();
+            assert!(err.contains("--estimator requires"), "{algo}: {err}");
+        }
+        let err = with("sampled:4", &["--estimator", "median"]).unwrap_err();
+        assert!(err.contains("unknown estimator"), "{err}");
+        // Refined aggregation and stress both widen the Phase D message.
+        let err = with("sampled:4", &["--estimator", "jiyan", "--stress"]).unwrap_err();
+        assert!(err.contains("--stress"), "{err}");
+        // serve accepts the same pair.
+        match p(&[
+            "serve",
+            "--listen",
+            "tcp:a:1",
+            "--generate",
+            "path:8",
+            "--algorithm",
+            "sampled:4",
+            "--estimator",
+            "jiyan",
+        ])
+        .unwrap()
+        {
+            Command::Serve { estimator, .. } => assert_eq!(estimator, Estimator::JiYan),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let err = p(&[
+            "serve",
+            "--listen",
+            "tcp:a:1",
+            "--generate",
+            "path:8",
+            "--estimator",
+            "jiyan",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--estimator requires"), "{err}");
     }
 
     #[test]

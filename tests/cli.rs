@@ -222,6 +222,70 @@ fn fault_flags_usage_errors_and_reliable_chaos_run() {
     assert!(err.contains("dropped"), "{err}");
 }
 
+/// Sampling misuse exits 2 like any other usage error — both the cases
+/// parse can catch (`sampled:0`, estimator without sampling) and the one
+/// it cannot (`K > n`, known only after the graph loads).
+#[test]
+fn sampling_usage_errors_and_jiyan_run() {
+    let bad = distbc(&[
+        "centrality",
+        "--generate",
+        "path:10",
+        "--algorithm",
+        "sampled:0",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    let bad = distbc(&[
+        "centrality",
+        "--generate",
+        "path:10",
+        "--algorithm",
+        "sampled:11",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    let err = String::from_utf8_lossy(&bad.stderr).into_owned();
+    assert!(
+        err.contains("more sources than the graph has nodes"),
+        "{err}"
+    );
+
+    let bad = distbc(&[
+        "centrality",
+        "--generate",
+        "path:10",
+        "--estimator",
+        "jiyan",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    // serve validates K against n the same way.
+    let bad = distbc(&[
+        "serve",
+        "--listen",
+        "tcp:127.0.0.1:0",
+        "--generate",
+        "path:10",
+        "--algorithm",
+        "sampled:11",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    let run = distbc(&[
+        "centrality",
+        "--generate",
+        "er:40:0.1:7",
+        "--algorithm",
+        "sampled:8",
+        "--estimator",
+        "jiyan",
+        "--csv",
+    ]);
+    assert!(run.status.success(), "{run:?}");
+    let csv = stdout(&run);
+    assert_eq!(csv.lines().count(), 41, "header + one row per node: {csv}");
+}
+
 fn spawn_distbc(args: &[&str]) -> Child {
     Command::new(env!("CARGO_BIN_EXE_distbc"))
         .args(args)
